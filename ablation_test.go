@@ -1,0 +1,147 @@
+// Ablation benchmarks for the simulation's design choices (DESIGN.md §5):
+// each isolates one mechanism the paper's analysis depends on and reports
+// the effect of removing or sweeping it.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// BenchmarkAblationCongestion toggles the MPI congestion multiplier
+// applied while asynchronous VeloC flushes are in flight — the mechanism
+// behind the paper's "application MPI calls are delayed" observation.
+func BenchmarkAblationCongestion(b *testing.B) {
+	for _, factor := range []float64{1.0, 2.5, 5.0} {
+		b.Run(fmt.Sprintf("factor=%.1f", factor), func(b *testing.B) {
+			m := sim.DefaultMachine()
+			m.CongestionFactor = factor
+			// MiniMD's communication-bound section makes the congestion
+			// visible, as in the paper's Figure 6 discussion.
+			opts := harness.MiniMDOptions{Machine: m, Steps: 60, Interval: 10, Seed: 43}
+			var pt harness.MiniMDPoint
+			for i := 0; i < b.N; i++ {
+				pt = harness.MiniMDCell(core.StrategyFenixKRVeloC, 32, opts)
+			}
+			b.ReportMetric(pt.Overhead.Get(trace.Communicator), "comm_s")
+			b.ReportMetric(pt.OverheadWall, "overhead_s")
+		})
+	}
+}
+
+// BenchmarkAblationCheckpointInterval sweeps checkpoint cadence: frequent
+// checkpoints raise overhead but cut the recompute lost to a failure (the
+// classic Young/Daly trade-off the control-flow layer manages).
+func BenchmarkAblationCheckpointInterval(b *testing.B) {
+	for _, interval := range []int{5, 10, 20, 30} {
+		b.Run(fmt.Sprintf("interval=%d", interval), func(b *testing.B) {
+			opts := harness.HeatdisOptions{Iterations: 60, Interval: interval, Seed: 42, ActualRows: 8, ActualCols: 16}
+			var pt harness.HeatdisPoint
+			for i := 0; i < b.N; i++ {
+				pt = harness.HeatdisCell(core.StrategyFenixKRVeloC, 16, 512*harness.MB, opts)
+			}
+			b.ReportMetric(pt.OverheadWall, "overhead_s")
+			b.ReportMetric(pt.FailureTimes.Get(trace.Recompute), "recompute_s")
+			b.ReportMetric(pt.FailureCost(), "failcost_s")
+		})
+	}
+}
+
+// BenchmarkAblationPFSBandwidth sweeps the parallel file system's
+// aggregate bandwidth: the management-node bottleneck that makes IMR
+// attractive at small sizes and bounds VeloC's congestion at large ones.
+func BenchmarkAblationPFSBandwidth(b *testing.B) {
+	for _, gbps := range []float64{1.5, 6, 24} {
+		b.Run(fmt.Sprintf("aggregate=%.1fGBps", gbps), func(b *testing.B) {
+			m := sim.DefaultMachine()
+			m.PFSAggregateBandwidth = gbps * 1e9
+			opts := harness.HeatdisOptions{Machine: m, Iterations: 60, Interval: 10, Seed: 42, ActualRows: 8, ActualCols: 16}
+			var veloc, imr harness.HeatdisPoint
+			for i := 0; i < b.N; i++ {
+				veloc = harness.HeatdisCell(core.StrategyFenixKRVeloC, 32, 512*harness.MB, opts)
+				imr = harness.HeatdisCell(core.StrategyFenixIMR, 32, 512*harness.MB, opts)
+			}
+			b.ReportMetric(veloc.FailureCost(), "veloc_failcost_s")
+			b.ReportMetric(imr.FailureCost(), "imr_failcost_s")
+			b.ReportMetric(veloc.OverheadWall, "veloc_overhead_s")
+			b.ReportMetric(imr.OverheadWall, "imr_overhead_s")
+		})
+	}
+}
+
+// BenchmarkAblationSparePool sweeps the number of spare ranks Fenix holds
+// out: the cost of insurance (idle nodes) against multi-failure coverage.
+func BenchmarkAblationSparePool(b *testing.B) {
+	for _, spares := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("spares=%d", spares), func(b *testing.B) {
+			opts := harness.HeatdisOptions{Iterations: 60, Interval: 10, Spares: spares, Seed: 42, ActualRows: 8, ActualCols: 16}
+			var pt harness.HeatdisPoint
+			for i := 0; i < b.N; i++ {
+				pt = harness.HeatdisCell(core.StrategyFenixKRVeloC, 32, 256*harness.MB, opts)
+			}
+			b.ReportMetric(pt.OverheadWall, "overhead_s")
+			b.ReportMetric(pt.FailureCost(), "failcost_s")
+		})
+	}
+}
+
+// BenchmarkAblationRelaunchCost sweeps the per-node job launch cost: the
+// knob that controls how much Fenix's online recovery saves over
+// fail-restart (the "Other" category gap).
+func BenchmarkAblationRelaunchCost(b *testing.B) {
+	for _, perNode := range []float64{0.01, 0.05, 0.2} {
+		b.Run(fmt.Sprintf("launch=%.2fs_per_node", perNode), func(b *testing.B) {
+			m := sim.DefaultMachine()
+			m.LaunchPerNode = perNode
+			opts := harness.HeatdisOptions{Machine: m, Iterations: 60, Interval: 10, Seed: 42, ActualRows: 8, ActualCols: 16}
+			var fenixPt, relaunchPt harness.HeatdisPoint
+			for i := 0; i < b.N; i++ {
+				fenixPt = harness.HeatdisCell(core.StrategyFenixKRVeloC, 32, 256*harness.MB, opts)
+				relaunchPt = harness.HeatdisCell(core.StrategyKRVeloC, 32, 256*harness.MB, opts)
+			}
+			b.ReportMetric(fenixPt.FailureCost(), "fenix_failcost_s")
+			b.ReportMetric(relaunchPt.FailureCost(), "relaunch_failcost_s")
+			if fenixPt.FailureCost() > 0 {
+				b.ReportMetric(relaunchPt.FailureCost()/fenixPt.FailureCost(), "fenix_advantage_x")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDecomposition compares the 1-D slab and 2-D block
+// decompositions of Heatdis at the same per-rank data size: slabs exchange
+// two full-width halos, blocks exchange four smaller edges.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	const ranks = 16
+	const dataMB = 512
+	run1D := func() *core.Result {
+		sink := heatdis.NewSink()
+		cfg := heatdis.Config{BytesPerRank: dataMB * harness.MB, Iterations: 60, CheckpointInterval: 10, ActualRows: 8, ActualCols: 16}
+		return core.Run(mpi.JobConfig{Ranks: ranks, Seed: 3},
+			core.Config{Strategy: core.StrategyFenixKRVeloC, Spares: 0, CheckpointInterval: 10, CheckpointName: "d1"},
+			heatdis.App(cfg, sink))
+	}
+	run2D := func() *core.Result {
+		sink := heatdis.NewSink()
+		cfg := heatdis.Config2D{BytesPerRank: dataMB * harness.MB, Iterations: 60, CheckpointInterval: 10}
+		return core.Run(mpi.JobConfig{Ranks: ranks, Seed: 3},
+			core.Config{Strategy: core.StrategyFenixKRVeloC, Spares: 0, CheckpointInterval: 10, CheckpointName: "d2"},
+			heatdis.App2D(cfg, sink))
+	}
+	var r1, r2 *core.Result
+	for i := 0; i < b.N; i++ {
+		r1 = run1D()
+		r2 = run2D()
+	}
+	b.ReportMetric(r1.WallTime, "slab_wall_s")
+	b.ReportMetric(r2.WallTime, "block_wall_s")
+	b.ReportMetric(r1.MeanAppTimes().Get(trace.AppMPI), "slab_mpi_s")
+	b.ReportMetric(r2.MeanAppTimes().Get(trace.AppMPI), "block_mpi_s")
+}

@@ -1,0 +1,168 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section. Each benchmark runs the corresponding experiment
+// cell on the simulated cluster and reports the paper's quantities as
+// custom metrics (virtual seconds, not host nanoseconds):
+//
+//	overhead_s      failure-free wall time
+//	failcost_s      wall-time cost of one injected failure
+//	ckptfunc_s      synchronous checkpoint-function time
+//	recovery_s      data recovery time
+//	recompute_s     recomputation time
+//
+// Run with: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+// benchHeatdisOpts keeps the paper's 6-checkpoint cadence on a modest real
+// grid (the simulated sizes drive all costs).
+func benchHeatdisOpts() harness.HeatdisOptions {
+	return harness.HeatdisOptions{Iterations: 60, Interval: 10, Seed: 42, ActualRows: 8, ActualCols: 16}
+}
+
+func reportHeatdis(b *testing.B, pt harness.HeatdisPoint) {
+	b.ReportMetric(pt.OverheadWall, "overhead_s")
+	b.ReportMetric(pt.FailureCost(), "failcost_s")
+	b.ReportMetric(pt.Overhead.Get(trace.CheckpointFunc), "ckptfunc_s")
+	b.ReportMetric(pt.FailureTimes.Get(trace.DataRecovery), "recovery_s")
+	b.ReportMetric(pt.FailureTimes.Get(trace.Recompute), "recompute_s")
+}
+
+// BenchmarkFig5DataScaling regenerates the left panel of Figure 5:
+// Heatdis on 64 nodes, checkpointed data size swept per rank, every
+// resilience strategy, with and without an injected failure.
+func BenchmarkFig5DataScaling(b *testing.B) {
+	for _, mb := range []int{64, 256, 1024, 4096} {
+		for _, s := range harness.Fig5Strategies {
+			b.Run(fmt.Sprintf("size=%dMB/strategy=%s", mb, s), func(b *testing.B) {
+				var pt harness.HeatdisPoint
+				for i := 0; i < b.N; i++ {
+					pt = harness.HeatdisCell(s, 64, mb*harness.MB, benchHeatdisOpts())
+				}
+				reportHeatdis(b, pt)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5WeakScaling regenerates the right panel of Figure 5:
+// Heatdis with 1 GB of data per rank, node count swept.
+func BenchmarkFig5WeakScaling(b *testing.B) {
+	for _, nodes := range []int{4, 8, 16, 32, 64} {
+		for _, s := range harness.Fig5Strategies {
+			b.Run(fmt.Sprintf("nodes=%d/strategy=%s", nodes, s), func(b *testing.B) {
+				var pt harness.HeatdisPoint
+				for i := 0; i < b.N; i++ {
+					pt = harness.HeatdisCell(s, nodes, harness.GB, benchHeatdisOpts())
+				}
+				reportHeatdis(b, pt)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6MiniMD regenerates Figure 6: MiniMD weak scaling with the
+// per-section breakdown (Force Compute / Neighboring / Communicator).
+func BenchmarkFig6MiniMD(b *testing.B) {
+	for _, ranks := range []int{8, 16, 32, 64} {
+		for _, s := range harness.Fig6Strategies {
+			b.Run(fmt.Sprintf("ranks=%d/strategy=%s", ranks, s), func(b *testing.B) {
+				var pt harness.MiniMDPoint
+				for i := 0; i < b.N; i++ {
+					pt = harness.MiniMDCell(s, ranks, harness.MiniMDOptions{Steps: 60, Interval: 10, Seed: 43})
+				}
+				b.ReportMetric(pt.OverheadWall, "overhead_s")
+				b.ReportMetric(pt.FailureCost(), "failcost_s")
+				b.ReportMetric(pt.Overhead.Get(trace.ForceCompute), "force_s")
+				b.ReportMetric(pt.Overhead.Get(trace.Neighboring), "neigh_s")
+				b.ReportMetric(pt.Overhead.Get(trace.Communicator), "comm_s")
+				b.ReportMetric(pt.Overhead.Get(trace.CheckpointFunc), "ckptfunc_s")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7ViewCensus regenerates Figure 7: the MiniMD view census at
+// each simulation size, reporting the per-class memory shares.
+func BenchmarkFig7ViewCensus(b *testing.B) {
+	for _, size := range []int{100, 200, 300, 400} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var pts []harness.Fig7Point
+			for i := 0; i < b.N; i++ {
+				pts = harness.Fig7ViewCensus([]int{size})
+			}
+			p := pts[0]
+			b.ReportMetric(p.CheckpointedPct, "checkpointed_pct")
+			b.ReportMetric(p.AliasPct, "alias_pct")
+			b.ReportMetric(p.SkippedPct, "skipped_pct")
+			b.ReportMetric(float64(p.Views), "views")
+		})
+	}
+}
+
+// BenchmarkPartialRollback regenerates the Section VI-D2 result: the
+// recovery speedup from keeping survivors' in-progress data.
+func BenchmarkPartialRollback(b *testing.B) {
+	opts := benchHeatdisOpts()
+	var full, part harness.HeatdisPoint
+	for i := 0; i < b.N; i++ {
+		full = harness.HeatdisCell(core.StrategyFenixKRVeloC, 16, 256*harness.MB, opts)
+		part = harness.HeatdisCell(core.StrategyPartialRollback, 16, 256*harness.MB, opts)
+	}
+	fr := full.FailureTimes.Get(trace.Recompute)
+	pr := part.FailureTimes.Get(trace.Recompute)
+	b.ReportMetric(fr, "full_recompute_s")
+	b.ReportMetric(pr, "partial_recompute_s")
+	if pr > 0 {
+		b.ReportMetric(fr/pr, "recompute_speedup_x")
+	}
+	// The paper's headline: "a nearly 2x speedup of recovery".
+	if part.FailureCost() > 0 {
+		b.ReportMetric(full.FailureCost()/part.FailureCost(), "recovery_speedup_x")
+	}
+}
+
+// BenchmarkAvailability runs the Section I motivation quantitatively:
+// long jobs under Poisson failures (Blue Waters-style MTBF pressure),
+// reporting each strategy's efficiency (ideal wall / actual wall).
+func BenchmarkAvailability(b *testing.B) {
+	for _, mtbf := range []float64{5, 15, 45} {
+		for _, strat := range []core.Strategy{core.StrategyKRVeloC, core.StrategyFenixKRVeloC, core.StrategyFenixIMR} {
+			b.Run(fmt.Sprintf("mtbf=%.0fs/strategy=%s", mtbf, strat), func(b *testing.B) {
+				var pts []harness.AvailabilityPoint
+				for i := 0; i < b.N; i++ {
+					pts = harness.AvailabilityStudy([]core.Strategy{strat}, harness.AvailabilityOptions{
+						Ranks: 16, Iterations: 240, Interval: 10,
+						BytesPerRank: 128 * harness.MB, MTBF: mtbf, Seed: 5,
+					})
+				}
+				p := pts[0]
+				b.ReportMetric(p.Efficiency, "efficiency")
+				b.ReportMetric(float64(p.Failures), "failures")
+				b.ReportMetric(p.ActualWall, "wall_s")
+			})
+		}
+	}
+}
+
+// BenchmarkComplexityCensus regenerates the Section VI-E numbers.
+func BenchmarkComplexityCensus(b *testing.B) {
+	var c harness.Complexity
+	var err error
+	for i := 0; i < b.N; i++ {
+		c, err = harness.ComplexityReport()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(c.Views), "views")
+	b.ReportMetric(float64(c.MPICallSites), "mpi_sites")
+	b.ReportMetric(float64(c.ResilienceLines), "resilience_lines")
+}

@@ -1,0 +1,152 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation section (Figures 5, 6, 7 and the Section VI-E complexity
+// census) as tab-separated tables on stdout.
+//
+// Usage:
+//
+//	figures -fig all            # everything (several minutes)
+//	figures -fig 5a             # Figure 5, data scaling panel
+//	figures -fig 5b             # Figure 5, node weak-scaling panel
+//	figures -fig 6              # Figure 6, MiniMD weak scaling
+//	figures -fig 7              # Figure 7, view census
+//	figures -fig complexity     # Section VI-E complexity census
+//	figures -quick              # smaller sweeps for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 5a, 5b, 6, 7, complexity, all")
+	quick := flag.Bool("quick", false, "smaller sweeps (fewer sizes/node counts)")
+	format := flag.String("format", "table", "output format: table or csv")
+	machine := flag.String("machine", "xc40", "machine preset: xc40, commodity, exascale")
+	flag.Parse()
+
+	mk, ok := sim.Presets[*machine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine preset %q\n", *machine)
+		os.Exit(2)
+	}
+	m := mk()
+	hOpts := harness.HeatdisOptions{Machine: m}
+	mOpts := harness.MiniMDOptions{Machine: m}
+	csvOut := *format == "csv"
+
+	var (
+		sizesMB = []int{64, 256, 1024, 4096}
+		nodes   = []int{4, 8, 16, 32, 64}
+		ranks   = []int{8, 16, 32, 64}
+	)
+	if *quick {
+		sizesMB = []int{64, 1024}
+		nodes = []int{4, 16}
+		ranks = []int{8, 16}
+	}
+
+	emit5 := func(title string, pts []harness.HeatdisPoint) {
+		if csvOut {
+			if err := harness.WriteFig5CSV(os.Stdout, pts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		harness.RenderFig5(os.Stdout, title, pts)
+		fmt.Println()
+	}
+
+	did := false
+	run5a := func() {
+		emit5("Figure 5 (left): Heatdis 64-node data scaling", harness.Fig5DataScaling(sizesMB, hOpts))
+	}
+	run5b := func() {
+		emit5("Figure 5 (right): Heatdis 1GB-data node weak scaling", harness.Fig5WeakScaling(nodes, hOpts))
+	}
+	run6 := func() {
+		pts := harness.Fig6MiniMD(ranks, mOpts)
+		if csvOut {
+			if err := harness.WriteFig6CSV(os.Stdout, pts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		harness.RenderFig6(os.Stdout, pts)
+	}
+	run7 := func() {
+		pts := harness.Fig7ViewCensus(nil)
+		if csvOut {
+			if err := harness.WriteFig7CSV(os.Stdout, pts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		harness.RenderFig7(os.Stdout, pts)
+	}
+
+	switch *fig {
+	case "5":
+		run5a()
+		run5b()
+		did = true
+	case "5a":
+		run5a()
+		did = true
+	case "5b":
+		run5b()
+		did = true
+	case "6":
+		run6()
+		did = true
+	case "7":
+		run7()
+		did = true
+	case "complexity":
+		c, err := harness.ComplexityReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "complexity census:", err)
+			os.Exit(1)
+		}
+		harness.RenderComplexity(os.Stdout, c)
+		did = true
+	case "availability":
+		fmt.Println("Availability study: Heatdis under Poisson failures (efficiency = ideal/actual wall)")
+		fmt.Println("mtbf_s\tstrategy\tfailures\tideal_s\tactual_s\tefficiency")
+		for _, mtbf := range []float64{5, 15, 45} {
+			pts := harness.AvailabilityStudy(nil, harness.AvailabilityOptions{
+				Machine: m, Ranks: 16, Iterations: 240, Interval: 10,
+				BytesPerRank: 128 * harness.MB, MTBF: mtbf, Seed: 5,
+			})
+			for _, p := range pts {
+				fmt.Printf("%.0f\t%s\t%d\t%.2f\t%.2f\t%.3f\n",
+					p.MTBF, p.Strategy, p.Failures, p.IdealWall, p.ActualWall, p.Efficiency)
+			}
+		}
+		did = true
+	case "all":
+		run5a()
+		run5b()
+		run6()
+		fmt.Println()
+		run7()
+		fmt.Println()
+		if c, err := harness.ComplexityReport(); err == nil {
+			harness.RenderComplexity(os.Stdout, c)
+		} else {
+			fmt.Fprintln(os.Stderr, "complexity census:", err)
+		}
+		did = true
+	}
+	if !did {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

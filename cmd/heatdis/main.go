@@ -1,0 +1,110 @@
+// Command heatdis runs the heat-distribution benchmark under a chosen
+// resilience strategy on the simulated cluster, optionally injecting a
+// process failure, and prints the category time breakdown.
+//
+// Example:
+//
+//	heatdis -strategy fenix-kr-veloc -ranks 16 -data-mb 256 -fail
+//	heatdis -strategy partial-rollback -converge -fail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	strategyName := flag.String("strategy", "fenix-kr-veloc", "resilience strategy: none, veloc, kr-veloc, fenix-veloc, fenix-kr-veloc, fenix-imr, partial-rollback")
+	ranks := flag.Int("ranks", 16, "application ranks (one per node)")
+	dataMB := flag.Int("data-mb", 256, "application data per rank in MB")
+	iters := flag.Int("iters", 60, "iterations (fixed variant)")
+	interval := flag.Int("interval", 10, "checkpoint interval in iterations")
+	spares := flag.Int("spares", 2, "spare ranks (Fenix strategies)")
+	fail := flag.Bool("fail", false, "inject a failure ~95% between the last two checkpoints")
+	failRank := flag.Int("fail-rank", 1, "logical rank to kill")
+	converge := flag.Bool("converge", false, "run the convergence variant")
+	epsilon := flag.Float64("epsilon", 0.05, "convergence threshold")
+	decomp := flag.String("decomp", "1d", "domain decomposition: 1d (row slabs) or 2d (Cartesian blocks)")
+	machinePreset := flag.String("machine", "xc40", "machine preset: xc40, commodity, exascale")
+	seed := flag.Uint64("seed", 42, "jitter seed")
+	flag.Parse()
+
+	strategy, err := core.ParseStrategy(*strategyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mk, ok := sim.Presets[*machinePreset]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine preset %q\n", *machinePreset)
+		os.Exit(2)
+	}
+	machine := mk()
+	if !strategy.UsesFenix() {
+		*spares = 0
+	}
+
+	cfg := heatdis.Config{
+		BytesPerRank:       *dataMB << 20,
+		Iterations:         *iters,
+		CheckpointInterval: *interval,
+		Convergence:        *converge || strategy.PartialRollback(),
+		Epsilon:            *epsilon,
+		MaxIterations:      20 * *iters,
+	}
+	cc := core.Config{
+		Strategy:           strategy,
+		Spares:             *spares,
+		CheckpointInterval: *interval,
+		CheckpointName:     "heatdis",
+	}
+	if *fail {
+		it := (*iters / *interval)**interval - 1 - *interval + int(0.95*float64(*interval))
+		cc.Failures = []*core.FailurePlan{{Slot: *failRank, Iteration: it}}
+		fmt.Printf("injecting failure: logical rank %d exits before iteration %d\n", *failRank, it)
+	}
+
+	var app core.App
+	sink := heatdis.NewSink()
+	switch *decomp {
+	case "1d":
+		app = heatdis.App(cfg, sink)
+	case "2d":
+		if *converge {
+			fmt.Fprintln(os.Stderr, "the 2d decomposition supports the fixed-iteration variant only")
+			os.Exit(2)
+		}
+		app = heatdis.App2D(heatdis.Config2D{
+			BytesPerRank:       cfg.BytesPerRank,
+			Iterations:         cfg.Iterations,
+			CheckpointInterval: cfg.CheckpointInterval,
+		}, sink)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown decomposition %q\n", *decomp)
+		os.Exit(2)
+	}
+	res := core.Run(mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed}, cc, app)
+
+	fmt.Printf("strategy=%s ranks=%d data=%dMB launches=%d wall=%.3fs failed=%v\n",
+		strategy, *ranks, *dataMB, res.Launches, res.WallTime, res.Failed)
+	times := res.TimesWithOther()
+	for _, c := range []trace.Category{
+		trace.AppCompute, trace.AppMPI, trace.ResilienceInit,
+		trace.CheckpointFunc, trace.DataRecovery, trace.Recompute, trace.Other,
+	} {
+		fmt.Printf("  %-26s %8.3f s\n", c, times.Get(c))
+	}
+	if r, ok := sink.Get(0); ok {
+		fmt.Printf("rank 0: iterations=%d residual=%.6f checksum=%.6g\n", r.Iterations, r.Delta, r.Checksum)
+	}
+	if res.Failed {
+		os.Exit(1)
+	}
+}

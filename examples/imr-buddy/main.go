@@ -1,0 +1,120 @@
+// IMR buddy checkpointing with the low-level Fenix API.
+//
+// This example skips the core.Session convenience layer and uses Fenix
+// directly — fenix.Run, roles, the resilient communicator, and the
+// in-memory-redundancy buddy store — the way an application hand-tuning
+// its process resilience would (Section V-A). Ranks pair up (0,1), (2,3),
+// ... and hold each other's checkpoints in memory; when a rank dies, its
+// replacement pulls the data from the surviving buddy over the network
+// instead of touching the file system.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/fenix"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+const (
+	appRanks = 4
+	spares   = 1
+	steps    = 30
+	ckEvery  = 10
+	failStep = 17
+)
+
+func body(results *sync.Map) fenix.Body {
+	return func(ctx *fenix.Context) error {
+		p := ctx.Proc()
+		im, err := fenix.NewIMR(ctx, "demo")
+		if err != nil {
+			return err
+		}
+
+		// Local state: a single accumulating value.
+		value := float64(ctx.Rank() + 1)
+		start := 0
+		if ctx.Role() != fenix.RoleInitial {
+			// Recover: agree on the newest common version, restore it.
+			v, err := im.LatestCommon()
+			if err = ctx.Check(err); err != nil {
+				return err
+			}
+			blob, err := im.Restore(v)
+			if err = ctx.Check(err); err != nil {
+				return err
+			}
+			value = math.Float64frombits(binary.LittleEndian.Uint64(blob))
+			start = v + 1
+			fmt.Printf("[%v] logical rank %d restored version %d (value %.4f)\n",
+				ctx.Role(), ctx.Rank(), v, value)
+		}
+
+		for i := start; i < steps; i++ {
+			if ctx.Role() == fenix.RoleInitial && ctx.Rank() == 1 && i == failStep {
+				p.Exit() // simulate a process failure
+			}
+			sum, err := ctx.Comm().AllreduceF64(p, []float64{value}, mpi.OpSum)
+			if err = ctx.Check(err); err != nil {
+				return err
+			}
+			value += 1e-2 * sum[0]
+			p.Compute(1e6)
+
+			if (i+1)%ckEvery == 0 {
+				var blob [8]byte
+				binary.LittleEndian.PutUint64(blob[:], math.Float64bits(value))
+				if err = ctx.Check(im.Checkpoint(i, blob[:])); err != nil {
+					return err
+				}
+			}
+		}
+		results.Store(ctx.Rank(), value)
+		return nil
+	}
+}
+
+func runJob() map[int]float64 {
+	var results sync.Map
+	cl := cluster.New(appRanks+spares, sim.DefaultMachine())
+	w := mpi.NewWorld(cl, appRanks+spares, 1, false, 9, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < w.Size(); i++ {
+		wg.Add(1)
+		go func(p *mpi.Proc) {
+			defer wg.Done()
+			defer func() { recover() }() // absorb the injected Exit unwind
+			if err := fenix.Run(p, fenix.Config{Spares: spares}, body(&results)); err != nil {
+				fmt.Fprintf(os.Stderr, "rank %d: %v\n", p.Rank(), err)
+			}
+		}(w.Proc(i))
+	}
+	wg.Wait()
+	out := map[int]float64{}
+	results.Range(func(k, v any) bool {
+		out[k.(int)] = v.(float64)
+		return true
+	})
+	return out
+}
+
+func main() {
+	fmt.Printf("IMR buddy demo: %d ranks + %d spare, checkpoint every %d steps, rank 1 dies at step %d\n",
+		appRanks, spares, ckEvery, failStep)
+	got := runJob()
+	for r := 0; r < appRanks; r++ {
+		fmt.Printf("logical rank %d: final value %.6f (buddy of rank %d)\n", r, got[r], fenix.BuddyOf(r))
+	}
+	if len(got) != appRanks {
+		fmt.Println("FAILURE: some ranks missing")
+		os.Exit(1)
+	}
+	fmt.Println("rank 1's data was recovered from rank 0's in-memory copy — no file system involved")
+}

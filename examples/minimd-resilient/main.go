@@ -1,0 +1,74 @@
+// MiniMD made resilient: the paper's Section VI-E workflow.
+//
+// The mini-app's main loop is wrapped in one checkpoint region; Kokkos
+// Resilience automatically classifies the 61 captured views (39
+// checkpointed, 3 swap-space aliases, 19 duplicate captures serialized
+// only once) and the Fenix resilient communicator removes the need to add
+// error handling at any of the MPI call sites. This example runs MiniMD
+// with an injected failure and prints the per-section time breakdown of
+// Figure 6 plus the live view census of Figure 7.
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/apps/minimd"
+	"repro/internal/core"
+	"repro/internal/kr"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func main() {
+	cfg := minimd.Config{
+		Size:               100, // 100^3 unit cells simulated
+		Steps:              60,
+		CheckpointInterval: 10,
+	}
+	cc := core.Config{
+		Strategy:           core.StrategyFenixKRVeloC,
+		Spares:             2,
+		CheckpointInterval: 10,
+		CheckpointName:     "minimd",
+		Failures:           []*core.FailurePlan{{Slot: 3, Iteration: 48}},
+	}
+
+	var mu sync.Mutex
+	var census kr.Census
+	sink := minimd.NewSink()
+	app := minimd.App(cfg, sink)
+	res := core.Run(mpi.JobConfig{Ranks: 16 + 2, Seed: 7}, cc, func(s *core.Session) error {
+		err := app(s)
+		if s.Rank() == 0 {
+			mu.Lock()
+			census = s.Census()
+			mu.Unlock()
+		}
+		return err
+	})
+
+	fmt.Printf("MiniMD %d^3 on 16 ranks, failure at step 48: launches=%d wall=%.3fs failed=%v\n\n",
+		cfg.Size, res.Launches, res.WallTime, res.Failed)
+
+	fmt.Println("per-section times (Figure 6 categories):")
+	times := res.TimesWithOther()
+	for _, c := range []trace.Category{
+		trace.ForceCompute, trace.Neighboring, trace.Communicator,
+		trace.CheckpointFunc, trace.DataRecovery, trace.Recompute, trace.Other,
+	} {
+		fmt.Printf("  %-22s %8.3f s\n", c, times.Get(c))
+	}
+
+	ck, al, sk := census.Counts()
+	ckB, alB, skB := census.Bytes()
+	total := float64(ckB+alB+skB) / 100
+	fmt.Printf("\nview census (Figure 7): %d views — %d checkpointed (%.0f%% of memory), "+
+		"%d aliases (%.0f%%), %d skipped duplicates (%.0f%%)\n",
+		census.TotalViews(), ck, float64(ckB)/total, al, float64(alB)/total, sk, float64(skB)/total)
+
+	if res.Failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Partial rollback: the paper's Section V-A demonstration on the
+// convergence variant of Heatdis.
+//
+// A failed rank's replacement restores the last checkpoint, but the
+// surviving ranks keep their newer in-progress data: an iterative solver
+// tolerates the temporarily inconsistent state and simply re-converges.
+// This example runs the same failure under full rollback and under partial
+// rollback and prints the recompute time saved (the paper reports a ~2x
+// recovery speedup).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func run(strategy core.Strategy) *core.Result {
+	cfg := heatdis.Config{
+		BytesPerRank:       64 << 20,
+		Iterations:         60,
+		CheckpointInterval: 10,
+		Convergence:        true,
+		Epsilon:            0.05,
+		MaxIterations:      2000,
+	}
+	cc := core.Config{
+		Strategy:           strategy,
+		Spares:             2,
+		CheckpointInterval: 10,
+		CheckpointName:     "heatdis",
+		Failures:           []*core.FailurePlan{{Slot: 1, Iteration: 28}},
+	}
+	sink := heatdis.NewSink()
+	res := core.Run(mpi.JobConfig{Ranks: 8 + 2, Seed: 42}, cc, heatdis.App(cfg, sink))
+	if r, ok := sink.Get(0); ok {
+		fmt.Printf("%-18s converged after %d iterations (residual %.4f), wall %.3fs\n",
+			strategy.String()+":", r.Iterations, r.Delta, res.WallTime)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("Heatdis (convergence variant), failure injected at iteration 28:")
+	full := run(core.StrategyFenixKRVeloC)
+	part := run(core.StrategyPartialRollback)
+
+	fr := full.MeanAppTimes().Get(trace.Recompute)
+	pr := part.MeanAppTimes().Get(trace.Recompute)
+	fmt.Printf("\nrecompute time: full rollback %.3fs, partial rollback %.3fs (%.1fx less)\n",
+		fr, pr, fr/max(pr, 1e-9))
+	fmt.Println("survivors kept their in-progress data; only the recovered rank rolled back")
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,48 @@
+// Strategy comparison: one table, all seven resilience configurations.
+//
+// Runs the Heatdis benchmark under every strategy of the paper's Section
+// V-A — with and without an injected failure — and prints a compact
+// comparison: overhead of checkpointing, cost of one failure, and where
+// the time goes. This is the quickest way to see the paper's conclusions
+// in one place.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+func main() {
+	const nodes = 16
+	const dataMB = 256
+	opts := harness.HeatdisOptions{}
+
+	fmt.Printf("Heatdis: %d nodes, %d MB/rank, 6 checkpoints, one failure at 95%% between the last two\n\n", nodes, dataMB)
+	fmt.Printf("%-18s %12s %12s %12s %12s %12s\n",
+		"strategy", "overhead_s", "failcost_s", "ckptfunc_s", "recompute_s", "other_fail_s")
+
+	var ref harness.HeatdisPoint
+	for i, s := range harness.Fig5Strategies {
+		pt := harness.HeatdisCell(s, nodes, dataMB*harness.MB, opts)
+		if i == 0 {
+			ref = pt
+		}
+		fmt.Printf("%-18s %12.3f %12.3f %12.3f %12.3f %12.3f\n",
+			s,
+			pt.OverheadWall-ref.OverheadWall,
+			pt.FailureCost(),
+			pt.Overhead.Get(trace.CheckpointFunc),
+			pt.FailureTimes.Get(trace.Recompute),
+			pt.FailureTimes.Get(trace.Other),
+		)
+	}
+
+	fmt.Println("\nreading the table like the paper does:")
+	fmt.Println(" - kr-veloc ~ veloc:             Kokkos Resilience adds no overhead as a VeloC manager")
+	fmt.Println(" - fenix-kr-veloc ~ kr-veloc:    adding Fenix is also free when nothing fails")
+	fmt.Println(" - fenix rows, failcost + other: online recovery skips the relaunch entirely")
+	fmt.Println(" - fenix-imr, ckptfunc:          buddy checkpointing pays the network cost up front")
+	fmt.Println(" - partial-rollback, recompute:  survivors keep their progress; only the lost rank redoes work")
+}

@@ -1,0 +1,164 @@
+package heatdis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+var testCfg2D = Config2D{
+	BytesPerRank:       1 << 24,
+	Iterations:         30,
+	CheckpointInterval: 10,
+	GlobalRows:         32,
+	GlobalCols:         32,
+}
+
+func run2D(t *testing.T, strat core.Strategy, ranks, spares int, fail *core.FailurePlan) (*core.Result, *Sink) {
+	t.Helper()
+	sink := NewSink()
+	cc := core.Config{
+		Strategy:           strat,
+		Spares:             spares,
+		CheckpointInterval: testCfg2D.CheckpointInterval,
+		CheckpointName:     "heatdis2d",
+	}
+	if fail != nil {
+		cc.Failures = []*core.FailurePlan{fail}
+	}
+	job := mpi.JobConfig{Ranks: ranks + spares, Machine: quietMachine(), Seed: 17}
+	res := core.Run(job, cc, App2D(testCfg2D, sink))
+	return res, sink
+}
+
+func globalSum2D(t *testing.T, sink *Sink, ranks int) float64 {
+	t.Helper()
+	sum, err := sink.GlobalChecksum(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sum
+}
+
+func TestDecompositionInvariance(t *testing.T) {
+	// The same 32x32 global problem on 1, 2, and 4 ranks must produce the
+	// same field (checksums agree to FP-summation tolerance).
+	res1, sink1 := run2D(t, core.StrategyNone, 1, 0, nil)
+	if res1.Failed {
+		t.Fatal("1-rank run failed")
+	}
+	ref := globalSum2D(t, sink1, 1)
+	if ref == 0 {
+		t.Fatal("zero reference checksum")
+	}
+	for _, ranks := range []int{2, 4, 8} {
+		res, sink := run2D(t, core.StrategyNone, ranks, 0, nil)
+		if res.Failed {
+			t.Fatalf("%d-rank run failed", ranks)
+		}
+		got := globalSum2D(t, sink, ranks)
+		if rel := math.Abs(got-ref) / math.Abs(ref); rel > 1e-12 {
+			t.Fatalf("%d-rank checksum %v deviates from 1-rank %v (rel %v)", ranks, got, ref, rel)
+		}
+	}
+}
+
+func TestHeatFlowsDownward2D(t *testing.T) {
+	// On a 2x2 grid, the top-row blocks (ranks with grid row 0) must be
+	// hotter than the bottom-row blocks.
+	res, sink := run2D(t, core.StrategyNone, 4, 0, nil)
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	// BalancedDims(4,2) = [2,2]: ranks 0,1 are grid row 0; 2,3 row 1.
+	top0, _ := sink.Get(0)
+	bot0, _ := sink.Get(2)
+	if top0.Checksum <= 0 || bot0.Checksum < 0 {
+		t.Fatalf("checksums %v / %v", top0.Checksum, bot0.Checksum)
+	}
+	if bot0.Checksum >= top0.Checksum {
+		t.Fatalf("bottom block (%v) hotter than top block (%v)", bot0.Checksum, top0.Checksum)
+	}
+}
+
+func TestRecovery2DBitwise(t *testing.T) {
+	resRef, sinkRef := run2D(t, core.StrategyNone, 4, 0, nil)
+	if resRef.Failed {
+		t.Fatal("reference failed")
+	}
+	ref := globalSum2D(t, sinkRef, 4)
+
+	for _, strat := range []core.Strategy{core.StrategyKRVeloC, core.StrategyFenixKRVeloC} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			spares := 0
+			if strat.UsesFenix() {
+				spares = 2
+			}
+			fail := &core.FailurePlan{Slot: 2, Iteration: 28}
+			res, sink := run2D(t, strat, 4, spares, fail)
+			if res.Failed || res.Err() != nil {
+				t.Fatalf("failed: %v", res.Err())
+			}
+			if !fail.Fired() {
+				t.Fatal("failure never fired")
+			}
+			if got := globalSum2D(t, sink, 4); got != ref {
+				t.Fatalf("recovered checksum %v != %v (bitwise)", got, ref)
+			}
+		})
+	}
+}
+
+func TestOddRankCount2D(t *testing.T) {
+	// 6 ranks -> 3x2 grid.
+	res, sink := run2D(t, core.StrategyNone, 6, 0, nil)
+	if res.Failed {
+		t.Fatal("6-rank run failed")
+	}
+	for r := 0; r < 6; r++ {
+		if _, ok := sink.Get(r); !ok {
+			t.Fatalf("rank %d missing", r)
+		}
+	}
+}
+
+func TestRoundUp(t *testing.T) {
+	cases := []struct{ n, m, want int }{{32, 2, 32}, {33, 2, 34}, {10, 3, 12}, {1, 1, 1}}
+	for _, c := range cases {
+		if got := roundUp(c.n, c.m); got != c.want {
+			t.Errorf("roundUp(%d,%d)=%d want %d", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+func TestIsqrt(t *testing.T) {
+	if isqrt(0) != 1 || isqrt(1) != 1 || isqrt(16) != 4 || isqrt(17) != 5 {
+		t.Fatal("isqrt wrong")
+	}
+}
+
+func TestRecovery2DWithIMR(t *testing.T) {
+	// The 2-D decomposition over the in-memory buddy store: 4 app ranks
+	// (even, so buddy pairing works), one failure, bitwise recovery with
+	// nothing written to the PFS.
+	resRef, sinkRef := run2D(t, core.StrategyNone, 4, 0, nil)
+	if resRef.Failed {
+		t.Fatal("reference failed")
+	}
+	ref := globalSum2D(t, sinkRef, 4)
+
+	fail := &core.FailurePlan{Slot: 1, Iteration: 28}
+	res, sink := run2D(t, core.StrategyFenixIMR, 4, 2, fail)
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("failed: %v", res.Err())
+	}
+	if got := globalSum2D(t, sink, 4); got != ref {
+		t.Fatalf("IMR 2-D recovered checksum %v != %v", got, ref)
+	}
+	if res.Cluster.PFS().SimBytes() != 0 {
+		t.Fatalf("IMR wrote %d bytes to the PFS", res.Cluster.PFS().SimBytes())
+	}
+}

@@ -1,0 +1,318 @@
+package heatdis
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func quietMachine() *sim.Machine {
+	m := sim.DefaultMachine()
+	m.NoiseAmplitude = 0
+	return m
+}
+
+func runHeatdis(t *testing.T, strat core.Strategy, spares int, cfg Config, fail *core.FailurePlan) (*core.Result, *Sink) {
+	t.Helper()
+	sink := NewSink()
+	cc := core.Config{
+		Strategy:           strat,
+		Spares:             spares,
+		CheckpointInterval: cfg.CheckpointInterval,
+		CheckpointName:     "heatdis",
+	}
+	if fail != nil {
+		cc.Failures = []*core.FailurePlan{fail}
+	}
+	job := mpi.JobConfig{Ranks: 4 + spares, Machine: quietMachine(), Seed: 11}
+	res := core.Run(job, cc, App(cfg, sink))
+	return res, sink
+}
+
+var testCfg = Config{
+	BytesPerRank:       1 << 24, // 16 MB simulated
+	Iterations:         30,
+	CheckpointInterval: 10,
+	ActualRows:         16,
+	ActualCols:         32,
+}
+
+func refChecksum(t *testing.T) float64 {
+	t.Helper()
+	res, sink := runHeatdis(t, core.StrategyNone, 0, testCfg, nil)
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("reference failed: %v", res.Err())
+	}
+	sum, err := sink.GlobalChecksum(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == 0 {
+		t.Fatal("reference checksum is zero; solver did nothing")
+	}
+	return sum
+}
+
+func TestPhysicsHeatPropagates(t *testing.T) {
+	res, sink := runHeatdis(t, core.StrategyNone, 0, testCfg, nil)
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	// Rank 0 holds the heat source; its checksum must dominate, and
+	// downstream ranks must have received some heat through halos.
+	r0, _ := sink.Get(0)
+	r1, _ := sink.Get(1)
+	if r0.Checksum <= 0 {
+		t.Fatalf("rank 0 checksum %v", r0.Checksum)
+	}
+	if r1.Checksum <= 0 {
+		t.Fatalf("heat did not propagate to rank 1 (checksum %v)", r1.Checksum)
+	}
+	if r1.Checksum >= r0.Checksum {
+		t.Fatalf("rank 1 (%v) hotter than source rank 0 (%v)", r1.Checksum, r0.Checksum)
+	}
+}
+
+func TestDeltaDecreasesMonotonically(t *testing.T) {
+	cfg := testCfg
+	cfg.Iterations = 5
+	_, sinkShort := runHeatdis(t, core.StrategyNone, 0, cfg, nil)
+	cfg.Iterations = 50
+	_, sinkLong := runHeatdis(t, core.StrategyNone, 0, cfg, nil)
+	s5, _ := sinkShort.Get(0)
+	s50, _ := sinkLong.Get(0)
+	if s50.Delta >= s5.Delta {
+		t.Fatalf("residual did not decrease: %v (5 iters) vs %v (50 iters)", s5.Delta, s50.Delta)
+	}
+}
+
+func TestAllStrategiesMatchReferenceNoFailure(t *testing.T) {
+	ref := refChecksum(t)
+	for _, strat := range core.Strategies() {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			spares := 0
+			if strat.UsesFenix() {
+				spares = 2 // keep resilient comm even (4) for IMR
+			}
+			res, sink := runHeatdis(t, strat, spares, testCfg, nil)
+			if res.Failed || res.Err() != nil {
+				t.Fatalf("failed: %v", res.Err())
+			}
+			sum, err := sink.GlobalChecksum(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != ref {
+				t.Fatalf("checksum %v != reference %v", sum, ref)
+			}
+		})
+	}
+}
+
+func TestRecoveryMatchesReference(t *testing.T) {
+	ref := refChecksum(t)
+	for _, strat := range []core.Strategy{core.StrategyVeloC, core.StrategyKRVeloC,
+		core.StrategyFenixVeloC, core.StrategyFenixKRVeloC, core.StrategyFenixIMR} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			spares := 0
+			if strat.UsesFenix() {
+				spares = 2
+			}
+			// Checkpoints at iterations 9, 19, 29; fail at 19+9 = 28 (95%
+			// of the way from checkpoint 19 to 29).
+			fail := &core.FailurePlan{Slot: 2, Iteration: 28}
+			res, sink := runHeatdis(t, strat, spares, testCfg, fail)
+			if res.Failed || res.Err() != nil {
+				t.Fatalf("failed: %v", res.Err())
+			}
+			if !fail.Fired() {
+				t.Fatal("failure never fired")
+			}
+			sum, err := sink.GlobalChecksum(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != ref {
+				t.Fatalf("recovered checksum %v != reference %v (bitwise)", sum, ref)
+			}
+		})
+	}
+}
+
+func TestConvergenceVariant(t *testing.T) {
+	cfg := testCfg
+	cfg.Convergence = true
+	cfg.Epsilon = 0.05
+	cfg.MaxIterations = 2000
+	res, sink := runHeatdis(t, core.StrategyNone, 0, cfg, nil)
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	r, _ := sink.Get(0)
+	if r.Delta >= cfg.Epsilon {
+		t.Fatalf("did not converge: delta %v", r.Delta)
+	}
+	if r.Iterations >= cfg.MaxIterations {
+		t.Fatal("hit iteration cap")
+	}
+}
+
+func TestPartialRollbackConverges(t *testing.T) {
+	cfg := testCfg
+	cfg.Convergence = true
+	cfg.Epsilon = 0.05
+	cfg.MaxIterations = 2000
+
+	// Reference: converged failure-free run.
+	resRef, sinkRef := runHeatdis(t, core.StrategyNone, 0, cfg, nil)
+	if resRef.Failed {
+		t.Fatal("ref failed")
+	}
+	rRef, _ := sinkRef.Get(0)
+
+	fail := &core.FailurePlan{Slot: 1, Iteration: 28}
+	res, sink := runHeatdis(t, core.StrategyPartialRollback, 2, cfg, fail)
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("partial rollback failed: %v", res.Err())
+	}
+	r, _ := sink.Get(0)
+	if r.Delta >= cfg.Epsilon {
+		t.Fatalf("did not re-converge after partial rollback: delta %v", r.Delta)
+	}
+	// The recovered answer approximates the reference (inconsistent state
+	// is tolerated, not bitwise-identical).
+	if math.Abs(r.Checksum-rRef.Checksum) > 0.05*math.Abs(rRef.Checksum)+1 {
+		t.Fatalf("partial-rollback checksum %v too far from reference %v", r.Checksum, rRef.Checksum)
+	}
+}
+
+func TestPartialRollbackCheaperRecomputeThanFull(t *testing.T) {
+	cfg := testCfg
+	cfg.Convergence = true
+	cfg.Epsilon = 0.05
+	cfg.MaxIterations = 2000
+
+	failFull := &core.FailurePlan{Slot: 1, Iteration: 28}
+	full, _ := runHeatdis(t, core.StrategyFenixKRVeloC, 2, cfg, failFull)
+	failPart := &core.FailurePlan{Slot: 1, Iteration: 28}
+	part, _ := runHeatdis(t, core.StrategyPartialRollback, 2, cfg, failPart)
+	if full.Failed || part.Failed {
+		t.Fatal("runs failed")
+	}
+	fullRe := full.MeanAppTimes().Get(trace.Recompute)
+	partRe := part.MeanAppTimes().Get(trace.Recompute)
+	if fullRe <= 0 {
+		t.Fatal("full rollback recorded no recompute")
+	}
+	if partRe >= fullRe {
+		t.Fatalf("partial rollback recompute (%v) not below full rollback (%v)", partRe, fullRe)
+	}
+}
+
+func TestCheckpointSizeIsHalfAppData(t *testing.T) {
+	cfg := testCfg
+	sink := NewSink()
+	cc := core.Config{Strategy: core.StrategyFenixKRVeloC, Spares: 1, CheckpointInterval: 10, CheckpointName: "h"}
+	var mu sync.Mutex
+	var captured int
+	app := App(cfg, sink)
+	res := core.Run(mpi.JobConfig{Ranks: 5, Machine: quietMachine(), Seed: 1}, cc, func(s *core.Session) error {
+		err := app(s)
+		if s.Rank() == 0 {
+			ck, _, _ := s.Census().Bytes()
+			mu.Lock()
+			captured = ck
+			mu.Unlock()
+		}
+		return err
+	})
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	if captured != cfg.BytesPerRank/2 {
+		t.Fatalf("checkpointed bytes %d, want half of %d", captured, cfg.BytesPerRank)
+	}
+}
+
+func TestCensusHasAliasAndSkipped(t *testing.T) {
+	cfg := testCfg
+	sink := NewSink()
+	cc := core.Config{Strategy: core.StrategyKRVeloC, CheckpointInterval: 10, CheckpointName: "h"}
+	var mu sync.Mutex
+	var ck, al, sk int
+	app := App(cfg, sink)
+	res := core.Run(mpi.JobConfig{Ranks: 2, Machine: quietMachine(), Seed: 1}, cc, func(s *core.Session) error {
+		err := app(s)
+		if s.Rank() == 0 {
+			mu.Lock()
+			ck, al, sk = s.Census().Counts()
+			mu.Unlock()
+		}
+		return err
+	})
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	if ck != 1 || al != 1 || sk != 1 {
+		t.Fatalf("census = %d/%d/%d, want 1/1/1", ck, al, sk)
+	}
+}
+
+func TestSimRows(t *testing.T) {
+	cfg := Config{BytesPerRank: 1 << 30}
+	if got := cfg.SimRows(); got != (1<<30)/(2*8*simCols) {
+		t.Fatalf("SimRows = %d", got)
+	}
+}
+
+func TestSingleRankRun(t *testing.T) {
+	cfg := testCfg
+	sink := NewSink()
+	cc := core.Config{Strategy: core.StrategyNone, CheckpointInterval: 10}
+	res := core.Run(mpi.JobConfig{Ranks: 1, Machine: quietMachine(), Seed: 1}, cc, App(cfg, sink))
+	if res.Failed {
+		t.Fatal("single-rank run failed")
+	}
+	if _, ok := sink.Get(0); !ok {
+		t.Fatal("no result")
+	}
+}
+
+func TestMultipleRanksPerNode(t *testing.T) {
+	// 8 ranks packed 4-per-node: scratch keys, congestion windows, and
+	// recovery all operate per node. The result must still match the
+	// one-rank-per-node reference bitwise.
+	sink1 := NewSink()
+	cc := core.Config{Strategy: core.StrategyFenixKRVeloC, Spares: 2, CheckpointInterval: 10, CheckpointName: "pack"}
+	cc.Failures = []*core.FailurePlan{{Slot: 3, Iteration: 28}}
+	res := core.Run(mpi.JobConfig{Ranks: 10, RanksPerNode: 4, Machine: quietMachine(), Seed: 11},
+		cc, App(testCfg, sink1))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("packed run failed: %v", res.Err())
+	}
+	sum1, err := sink1.GlobalChecksum(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink2 := NewSink()
+	cc2 := core.Config{Strategy: core.StrategyNone, CheckpointInterval: 10}
+	res2 := core.Run(mpi.JobConfig{Ranks: 8, Machine: quietMachine(), Seed: 11}, cc2, App(testCfg, sink2))
+	if res2.Failed {
+		t.Fatal("reference failed")
+	}
+	sum2, err := sink2.GlobalChecksum(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1 != sum2 {
+		t.Fatalf("packed checksum %v != reference %v", sum1, sum2)
+	}
+}

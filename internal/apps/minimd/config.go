@@ -1,0 +1,97 @@
+// Package minimd reproduces Sandia's MiniMD molecular-dynamics mini-app,
+// the paper's second evaluation application: a Lennard-Jones solid on an
+// FCC lattice, slab-decomposed across ranks, with the three profiled
+// phases the paper reports in Figure 6 — the compute-bound "Force
+// Compute", the mostly-local "Neighboring" (binning and neighbor-list
+// builds), and the communication-bound "Communicator" (border/ghost
+// exchanges).
+//
+// As with Heatdis, the simulation size (e.g. 200^3 unit cells) drives the
+// cost model while the actual arithmetic runs on a small per-rank lattice,
+// keeping runs fast and results bit-exact for recovery testing. The view
+// inventory matches the census in the paper's Figure 7: 61 captured view
+// objects — 39 checkpointed, 3 user-declared aliases (swap space), and 19
+// duplicate captures detected and skipped automatically.
+package minimd
+
+// Config parameterizes a MiniMD run.
+type Config struct {
+	// Size is the simulated problem edge in unit cells: the global system
+	// is Size^3 cells with 4 atoms each, split into rank slabs.
+	Size int
+	// Steps is the number of timesteps.
+	Steps int
+	// CheckpointInterval checkpoints every k-th step.
+	CheckpointInterval int
+	// NeighborEvery rebuilds neighbor lists every k-th step.
+	NeighborEvery int
+	// ActualCells is the real per-rank lattice edge in unit cells
+	// (ActualCells^3 cells, 4 atoms each). Defaults to 3 (108 atoms).
+	ActualCells int
+	// Dt is the integration timestep.
+	Dt float64
+	// Cutoff is the LJ interaction cutoff in lattice units.
+	Cutoff float64
+}
+
+func (c *Config) normalize() {
+	if c.Size <= 0 {
+		c.Size = 100
+	}
+	if c.Steps <= 0 {
+		c.Steps = 60
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 10
+	}
+	if c.NeighborEvery <= 0 {
+		c.NeighborEvery = 10
+	}
+	if c.ActualCells <= 0 {
+		c.ActualCells = 3
+	}
+	if c.Dt <= 0 {
+		c.Dt = 0.002
+	}
+	if c.Cutoff <= 0 {
+		c.Cutoff = 1.6
+	}
+}
+
+// SimAtomsPerRank returns the simulated atom count per rank for p ranks.
+func (c Config) SimAtomsPerRank(p int) int {
+	cc := c
+	cc.normalize()
+	total := 4 * cc.Size * cc.Size * cc.Size
+	return total / p
+}
+
+// SimBorderAtoms returns the simulated ghost/border atom count per rank: a
+// one-cutoff-deep layer of the slab's two faces.
+func (c Config) SimBorderAtoms(p int) int {
+	cc := c
+	cc.normalize()
+	// A slab face holds 4*Size^2 atoms per cell layer; two faces, and a
+	// cutoff under two lattice units deep keeps it to ~2 layers per face.
+	perFace := 4 * cc.Size * cc.Size * 2
+	if p == 1 {
+		return 0
+	}
+	return 2 * perFace
+}
+
+// simNeighborsPerAtom is the average LJ neighbor count used for cost
+// scaling (a 2.5-sigma cutoff in an FCC solid sees ~76 neighbors).
+const simNeighborsPerAtom = 76
+
+// opsPerNeighbor is the cost-model work per neighbor interaction in the
+// force kernel (~one LJ pair evaluation). Calibrated so the checkpoint
+// interval comfortably exceeds the asynchronous flush time at the paper's
+// scales.
+const opsPerNeighbor = 25
+
+// neighborBuildOps is the cost-model work per atom for one neighbor-list
+// rebuild (binning, sorting, candidate scans); amortized over
+// NeighborEvery steps it keeps Neighboring at roughly a tenth of the
+// force-compute time, as MiniMD's own profile shows.
+const neighborBuildOps = 2000

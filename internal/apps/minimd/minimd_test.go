@@ -1,0 +1,326 @@
+package minimd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func quietMachine() *sim.Machine {
+	m := sim.DefaultMachine()
+	m.NoiseAmplitude = 0
+	return m
+}
+
+var testCfg = Config{
+	Size:               50,
+	Steps:              30,
+	CheckpointInterval: 10,
+	NeighborEvery:      10,
+	ActualCells:        3,
+}
+
+func runMiniMD(t *testing.T, strat core.Strategy, spares int, cfg Config, fail *core.FailurePlan) (*core.Result, *Sink) {
+	t.Helper()
+	sink := NewSink()
+	cc := core.Config{
+		Strategy:           strat,
+		Spares:             spares,
+		CheckpointInterval: cfg.CheckpointInterval,
+		CheckpointName:     "minimd",
+	}
+	if fail != nil {
+		cc.Failures = []*core.FailurePlan{fail}
+	}
+	job := mpi.JobConfig{Ranks: 4 + spares, Machine: quietMachine(), Seed: 23}
+	res := core.Run(job, cc, App(cfg, sink))
+	return res, sink
+}
+
+func refChecksum(t *testing.T) float64 {
+	t.Helper()
+	res, sink := runMiniMD(t, core.StrategyNone, 0, testCfg, nil)
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("reference failed: %v", res.Err())
+	}
+	sum, err := sink.GlobalChecksum(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == 0 {
+		t.Fatal("zero checksum")
+	}
+	return sum
+}
+
+func TestLatticeConstruction(t *testing.T) {
+	cfg := testCfg
+	cfg.normalize()
+	st := newState(&cfg, 0, 4)
+	if st.n != 4*27 {
+		t.Fatalf("atoms = %d", st.n)
+	}
+	// All atoms inside the slab.
+	for i := 0; i < st.n; i++ {
+		z := st.views.x.At2(i, 2)
+		if z < st.zlo-0.1 || z > st.zlo+st.lzLocal+0.1 {
+			t.Fatalf("atom %d z=%v outside slab [%v,%v]", i, z, st.zlo, st.zlo+st.lzLocal)
+		}
+	}
+	// Distinct ranks get distinct slabs.
+	st1 := newState(&cfg, 1, 4)
+	if st1.zlo <= st.zlo {
+		t.Fatal("rank 1 slab not above rank 0")
+	}
+}
+
+func TestForcesNearZeroAtEquilibrium(t *testing.T) {
+	// An unperturbed FCC lattice at the equilibrium constant experiences
+	// near-zero net force per atom.
+	cfg := testCfg
+	cfg.normalize()
+	st := newState(&cfg, 0, 1)
+	// Remove the random perturbation for this check.
+	i := 0
+	for cx := 0; cx < cfg.ActualCells; cx++ {
+		for cy := 0; cy < cfg.ActualCells; cy++ {
+			for cz := 0; cz < cfg.ActualCells; cz++ {
+				for _, off := range fccOffsets {
+					st.views.x.Set2(i, 0, (float64(cx)+off[0])*latticeA)
+					st.views.x.Set2(i, 1, (float64(cy)+off[1])*latticeA)
+					st.views.x.Set2(i, 2, (float64(cz)+off[2])*latticeA)
+					i++
+				}
+			}
+		}
+	}
+	st.nGhost = 0
+	st.buildNeighbors()
+	pe := st.ljForce()
+	if pe >= 0 {
+		t.Fatalf("lattice PE %v not negative (not bound)", pe)
+	}
+	var maxF float64
+	for a := 0; a < st.n; a++ {
+		for d := 0; d < 3; d++ {
+			if f := math.Abs(st.views.f.At2(a, d)); f > maxF {
+				maxF = f
+			}
+		}
+	}
+	if maxF > 1e-6 {
+		t.Fatalf("max |F| = %v on perfect lattice, want ~0", maxF)
+	}
+}
+
+func TestNeighborCountsReasonable(t *testing.T) {
+	cfg := testCfg
+	cfg.normalize()
+	st := newState(&cfg, 0, 1)
+	st.nGhost = 0
+	st.buildNeighbors()
+	// With cutoff+skin 1.9 and a=1.5874, interior atoms see 12 (first
+	// shell) + 6 (second shell) = 18 neighbors; edges see fewer due to
+	// the non-periodic z faces of a single rank... (z IS periodic via
+	// minimum image for 1 rank, x/y periodic) so all see 18.
+	for i := 0; i < st.n; i++ {
+		nn := int(st.views.neighNum.At(i))
+		if nn < 12 || nn > maxNeighbors {
+			t.Fatalf("atom %d has %d neighbors", i, nn)
+		}
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	// The solid must not blow up over the run: kinetic energy stays
+	// bounded (no NaN, no explosion).
+	res, sink := runMiniMD(t, core.StrategyNone, 0, testCfg, nil)
+	if res.Failed {
+		t.Fatal("run failed")
+	}
+	for r := 0; r < 4; r++ {
+		got, ok := sink.Get(r)
+		if !ok {
+			t.Fatalf("rank %d missing", r)
+		}
+		if math.IsNaN(got.Checksum) || math.IsInf(got.Checksum, 0) {
+			t.Fatalf("rank %d checksum %v", r, got.Checksum)
+		}
+		if got.Temp < 0 || got.Temp > 10 {
+			t.Fatalf("rank %d temperature %v diverged", r, got.Temp)
+		}
+		if got.PE >= 0 {
+			t.Fatalf("rank %d PE %v: solid melted or exploded", r, got.PE)
+		}
+	}
+}
+
+func TestSectionsRecorded(t *testing.T) {
+	res, _ := runMiniMD(t, core.StrategyNone, 0, testCfg, nil)
+	mean := res.MeanAppTimes()
+	for _, c := range []trace.Category{trace.ForceCompute, trace.Neighboring, trace.Communicator} {
+		if mean.Get(c) <= 0 {
+			t.Fatalf("section %v has no recorded time", c)
+		}
+	}
+	// Force compute dominates neighbor time (76 neighbors * 6 ops vs 30).
+	if mean.Get(trace.ForceCompute) <= mean.Get(trace.Neighboring) {
+		t.Fatalf("force (%v) not above neighboring (%v)",
+			mean.Get(trace.ForceCompute), mean.Get(trace.Neighboring))
+	}
+}
+
+func TestAllStrategiesMatchReferenceNoFailure(t *testing.T) {
+	ref := refChecksum(t)
+	for _, strat := range []core.Strategy{core.StrategyVeloC, core.StrategyKRVeloC,
+		core.StrategyFenixVeloC, core.StrategyFenixKRVeloC, core.StrategyFenixIMR} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			spares := 0
+			if strat.UsesFenix() {
+				spares = 2
+			}
+			res, sink := runMiniMD(t, strat, spares, testCfg, nil)
+			if res.Failed || res.Err() != nil {
+				t.Fatalf("failed: %v", res.Err())
+			}
+			sum, err := sink.GlobalChecksum(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != ref {
+				t.Fatalf("checksum %v != %v", sum, ref)
+			}
+		})
+	}
+}
+
+func TestRecoveryMatchesReference(t *testing.T) {
+	ref := refChecksum(t)
+	for _, strat := range []core.Strategy{core.StrategyKRVeloC, core.StrategyFenixKRVeloC, core.StrategyFenixIMR} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			spares := 0
+			if strat.UsesFenix() {
+				spares = 2
+			}
+			// Checkpoints at steps 9, 19, 29; fail at 28.
+			fail := &core.FailurePlan{Slot: 1, Iteration: 28}
+			res, sink := runMiniMD(t, strat, spares, testCfg, fail)
+			if res.Failed || res.Err() != nil {
+				t.Fatalf("failed: %v", res.Err())
+			}
+			if !fail.Fired() {
+				t.Fatal("failure never fired")
+			}
+			sum, err := sink.GlobalChecksum(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != ref {
+				t.Fatalf("recovered checksum %v != %v (bitwise)", sum, ref)
+			}
+		})
+	}
+}
+
+func TestFailureBeforeFirstCheckpoint(t *testing.T) {
+	ref := refChecksum(t)
+	fail := &core.FailurePlan{Slot: 2, Iteration: 5} // before checkpoint at 9
+	res, sink := runMiniMD(t, core.StrategyFenixKRVeloC, 2, testCfg, fail)
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("failed: %v", res.Err())
+	}
+	sum, err := sink.GlobalChecksum(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != ref {
+		t.Fatalf("restart-from-scratch checksum %v != %v", sum, ref)
+	}
+}
+
+func TestViewCensusMatchesFigure7Counts(t *testing.T) {
+	for _, size := range []int{100, 200, 300, 400} {
+		c := ViewCensus(size, 64)
+		ck, al, sk := c.Counts()
+		if c.TotalViews() != 61 || ck != 39 || al != 3 || sk != 19 {
+			t.Fatalf("size %d: census %d views %d/%d/%d, want 61 total 39/3/19", size, c.TotalViews(), ck, al, sk)
+		}
+		ckB, alB, skB := c.Bytes()
+		total := float64(ckB + alB + skB)
+		if total <= 0 {
+			t.Fatalf("size %d: zero census bytes", size)
+		}
+		// Shape from the paper's Figure 7: checkpointed data is the
+		// majority-ish share, skipped is substantial (big duplicated
+		// views), alias is the smallest slice.
+		if float64(ckB)/total < 0.35 {
+			t.Fatalf("size %d: checkpointed share %.2f too small", size, float64(ckB)/total)
+		}
+		if float64(skB)/total < 0.1 {
+			t.Fatalf("size %d: skipped share %.2f too small", size, float64(skB)/total)
+		}
+		if alB >= ckB || alB >= skB {
+			t.Fatalf("size %d: alias share not smallest (%d/%d/%d)", size, ckB, alB, skB)
+		}
+	}
+}
+
+func TestCensusSingleViewDominates(t *testing.T) {
+	// "A single view contains the majority of the data" among the
+	// checkpointed views: the neighbor list.
+	c := ViewCensus(200, 64)
+	var biggest, totalCk int
+	for _, r := range c.Records {
+		if r.Class.String() == "Checkpointed" {
+			totalCk += r.Bytes
+			if r.Bytes > biggest {
+				biggest = r.Bytes
+			}
+		}
+	}
+	if float64(biggest)/float64(totalCk) < 0.5 {
+		t.Fatalf("largest checkpointed view holds %.2f of checkpointed bytes, want majority",
+			float64(biggest)/float64(totalCk))
+	}
+}
+
+func TestSimSizing(t *testing.T) {
+	cfg := Config{Size: 100}
+	if got := cfg.SimAtomsPerRank(4); got != 4*100*100*100/4 {
+		t.Fatalf("SimAtomsPerRank = %d", got)
+	}
+	if cfg.SimBorderAtoms(1) != 0 {
+		t.Fatal("single rank should have no border atoms")
+	}
+	if cfg.SimBorderAtoms(4) <= 0 {
+		t.Fatal("no border atoms for 4 ranks")
+	}
+}
+
+func TestTwoRankRun(t *testing.T) {
+	sink := NewSink()
+	cc := core.Config{Strategy: core.StrategyNone, CheckpointInterval: 10}
+	cfg := testCfg
+	res := core.Run(mpi.JobConfig{Ranks: 2, Machine: quietMachine(), Seed: 5}, cc, App(cfg, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("2-rank run failed: %v", res.Err())
+	}
+}
+
+func TestSingleRankRun(t *testing.T) {
+	sink := NewSink()
+	cc := core.Config{Strategy: core.StrategyNone, CheckpointInterval: 10}
+	res := core.Run(mpi.JobConfig{Ranks: 1, Machine: quietMachine(), Seed: 5}, cc, App(testCfg, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("1-rank run failed: %v", res.Err())
+	}
+	if _, ok := sink.Get(0); !ok {
+		t.Fatal("no result")
+	}
+}

@@ -1,0 +1,184 @@
+package minimd
+
+import (
+	"repro/internal/kokkos"
+)
+
+// maxNeighbors bounds the real per-atom neighbor list.
+const maxNeighbors = 96
+
+// systemViews is the full Kokkos view inventory of the mini-app. Its
+// capture list reproduces the census in the paper's Figure 7: 61 view
+// objects reachable from the checkpoint lambda, of which 39 are unique
+// allocations to checkpoint, 3 are user-declared swap-space aliases, and
+// 19 are duplicate captures (the same allocation reachable through the
+// force, communication, thermo, and neighbor objects).
+type systemViews struct {
+	// Primary state (large views).
+	x, v, f, xold *kokkos.F64View
+	// Swap space (aliases, never checkpointed).
+	xSwap, vSwap, fSwap *kokkos.F64View
+	// Neighbor machinery.
+	neighList          *kokkos.I32View
+	neighNum           *kokkos.I32View
+	binCount, binAtoms *kokkos.I32View
+	// Communication machinery.
+	ghostX                 *kokkos.F64View
+	sendBuf, recvBuf       *kokkos.F64View
+	borderIdx              *kokkos.I32View
+	commPlanUp, commPlanDn *kokkos.I32View
+	haloSizes              *kokkos.I32View
+	// Atom metadata.
+	atomType           *kokkos.I32View
+	atomID             *kokkos.I32View
+	mass               *kokkos.F64View
+	sortKeys, sortPerm *kokkos.I32View
+	// Thermo / bookkeeping.
+	peAcc, keAcc    *kokkos.F64View
+	tempHist        *kokkos.F64View
+	pressHist       *kokkos.F64View
+	energyHist      *kokkos.F64View
+	virialAcc       *kokkos.F64View
+	stressTensor    *kokkos.F64View
+	boxLo, boxHi    *kokkos.F64View
+	latticeParams   *kokkos.F64View
+	dtParams        *kokkos.F64View
+	cutoffParams    *kokkos.F64View
+	forceParams     *kokkos.F64View
+	integrateParams *kokkos.F64View
+	neighStats      *kokkos.F64View
+	rngState        *kokkos.F64View
+	binDims         *kokkos.I32View
+	thermoStep      *kokkos.I32View
+	stepCounter     *kokkos.I32View
+
+	capture []kokkos.View // the 61-entry Figure 7 capture list
+}
+
+// buildViews constructs the inventory. n is the real per-rank atom count,
+// nbins the real bin count, ghosts the real ghost capacity. When dry is
+// true no storage is allocated (Figure 7 census at 400^3 scales). simAtoms
+// and simGhosts size the cost model.
+func buildViews(dry bool, n, nbins, ghosts, simAtoms, simGhosts int) *systemViews {
+	f64 := func(label string, shape ...int) *kokkos.F64View {
+		if dry {
+			return kokkos.NewF64Dry(label, shape...)
+		}
+		return kokkos.NewF64(label, shape...)
+	}
+	i32 := func(label string, shape ...int) *kokkos.I32View {
+		if dry {
+			return kokkos.NewI32Dry(label, shape...)
+		}
+		return kokkos.NewI32(label, shape...)
+	}
+
+	sv := &systemViews{}
+	sv.x = f64("x", n, 3)
+	sv.v = f64("v", n, 3)
+	sv.f = f64("f", n, 3)
+	sv.xold = f64("xold", n, 3)
+	sv.xSwap = f64("x_swap", n, 3)
+	sv.vSwap = f64("v_swap", n, 3)
+	sv.fSwap = f64("f_swap", n, 3)
+
+	sv.neighList = i32("neigh_list", n, maxNeighbors)
+	sv.neighNum = i32("neigh_num", n)
+	sv.binCount = i32("bin_count", nbins)
+	sv.binAtoms = i32("bin_atoms", nbins, 32)
+
+	sv.ghostX = f64("ghost_x", ghosts, 3)
+	sv.sendBuf = f64("send_buf", ghosts*3)
+	sv.recvBuf = f64("recv_buf", ghosts*3)
+	sv.borderIdx = i32("border_idx", ghosts)
+	sv.commPlanUp = i32("comm_plan_up", 8)
+	sv.commPlanDn = i32("comm_plan_dn", 8)
+	sv.haloSizes = i32("halo_sizes", 4)
+
+	sv.atomType = i32("type", n)
+	sv.atomID = i32("atom_id", n)
+	sv.mass = f64("mass", 4)
+	sv.sortKeys = i32("sort_keys", n)
+	sv.sortPerm = i32("sort_perm", n)
+
+	sv.peAcc = f64("pe_acc", 1)
+	sv.keAcc = f64("ke_acc", 1)
+	sv.tempHist = f64("temp_hist", 64)
+	sv.pressHist = f64("press_hist", 64)
+	sv.energyHist = f64("energy_hist", 64)
+	sv.virialAcc = f64("virial_acc", 6)
+	sv.stressTensor = f64("stress_tensor", 9)
+	sv.boxLo = f64("box_lo", 3)
+	sv.boxHi = f64("box_hi", 3)
+	sv.latticeParams = f64("lattice_params", 4)
+	sv.dtParams = f64("dt_params", 2)
+	sv.cutoffParams = f64("cutoff_params", 2)
+	sv.forceParams = f64("force_params", 3)
+	sv.integrateParams = f64("integrate_params", 3)
+	sv.neighStats = f64("neigh_stats", 4)
+	sv.rngState = f64("rng_state", 2)
+	sv.binDims = i32("bin_dims", 3)
+	sv.thermoStep = i32("thermo_step", 1)
+	sv.stepCounter = i32("step_counter", 1)
+
+	// Cost-model sizing: N-proportional views carry the simulated atom
+	// count, ghost views the simulated border count.
+	perAtomF64 := func(v *kokkos.F64View, comps int) { v.SetSimBytes(simAtoms * comps * 8) }
+	perAtomF64(sv.x, 3)
+	perAtomF64(sv.v, 3)
+	perAtomF64(sv.f, 3)
+	perAtomF64(sv.xold, 3)
+	perAtomF64(sv.xSwap, 3)
+	perAtomF64(sv.vSwap, 3)
+	perAtomF64(sv.fSwap, 3)
+	sv.neighList.SetSimBytes(simAtoms * simNeighborsPerAtom * 4)
+	sv.neighNum.SetSimBytes(simAtoms * 4)
+	sv.binCount.SetSimBytes(simAtoms / 2 * 4)
+	sv.binAtoms.SetSimBytes(simAtoms * 4)
+	sv.atomType.SetSimBytes(simAtoms * 4)
+	sv.atomID.SetSimBytes(simAtoms * 4)
+	sv.sortKeys.SetSimBytes(simAtoms * 4)
+	sv.sortPerm.SetSimBytes(simAtoms * 4)
+	gb := simGhosts * 3 * 8
+	if gb < 8 {
+		gb = 8
+	}
+	sv.ghostX.SetSimBytes(gb)
+	sv.sendBuf.SetSimBytes(gb)
+	sv.recvBuf.SetSimBytes(gb)
+	sv.borderIdx.SetSimBytes(simGhosts*4 + 4)
+
+	// The Figure 7 capture list: 39 unique + 3 aliases + 19 duplicates.
+	sv.capture = []kokkos.View{
+		// 39 unique allocations, checkpointed.
+		sv.x, sv.v, sv.f, sv.xold,
+		sv.neighList, sv.neighNum, sv.binCount, sv.binAtoms,
+		sv.ghostX, sv.sendBuf, sv.recvBuf, sv.borderIdx,
+		sv.commPlanUp, sv.commPlanDn, sv.haloSizes,
+		sv.atomType, sv.atomID, sv.mass, sv.sortKeys, sv.sortPerm,
+		sv.peAcc, sv.keAcc, sv.tempHist, sv.pressHist, sv.energyHist,
+		sv.virialAcc, sv.stressTensor, sv.boxLo, sv.boxHi,
+		sv.latticeParams, sv.dtParams, sv.cutoffParams, sv.forceParams,
+		sv.integrateParams, sv.neighStats, sv.rngState, sv.binDims,
+		sv.thermoStep, sv.stepCounter,
+		// 3 swap-space aliases (declared via DeclareAliases).
+		sv.xSwap, sv.vSwap, sv.fSwap,
+		// 19 duplicate captures: the same allocations reachable through
+		// the force, communication, thermo, neighbor, and sort objects.
+		sv.x.Ref("x@force"), sv.x.Ref("x@comm"), sv.x.Ref("x@thermo"),
+		sv.x.Ref("x@neighbor"), sv.x.Ref("x@sort"),
+		sv.v.Ref("v@force"), sv.v.Ref("v@comm"), sv.v.Ref("v@thermo"),
+		sv.v.Ref("v@integrate"),
+		sv.f.Ref("f@force"), sv.f.Ref("f@comm"),
+		sv.xold.Ref("xold@neighbor"), sv.xold.Ref("xold@comm"),
+		sv.neighNum.Ref("neigh_num@force"), sv.atomType.Ref("type@force"),
+		sv.binCount.Ref("bin_count@neighbor"), sv.ghostX.Ref("ghost_x@force"),
+		sv.latticeParams.Ref("lattice@setup"), sv.dtParams.Ref("dt@integrate"),
+	}
+	return sv
+}
+
+// aliasSet returns the alias labels for DeclareAliases / census calls.
+func aliasSet() map[string]bool {
+	return map[string]bool{"x_swap": true, "v_swap": true, "f_swap": true}
+}

@@ -1,0 +1,337 @@
+// Package cluster models the simulated machine: compute nodes with local
+// scratch storage (the memory-mapped folder VeloC uses for synchronous
+// checkpoint copies), an interconnect, and a Lustre-like parallel file
+// system whose aggregate bandwidth is shared by all concurrent writers.
+//
+// The PFS model reproduces the two effects the paper's evaluation hinges on:
+//
+//  1. A fixed number of filesystem management nodes caps aggregate flush
+//     throughput, so N nodes flushing simultaneously each see ~1/N of it —
+//     but this same cap bounds the total congestion checkpointing can
+//     generate (Section VI-D1).
+//  2. While a node's asynchronous flush is in flight, MPI operations issued
+//     from that node are inflated by the machine's congestion factor,
+//     reproducing the delayed application MPI calls the paper observes.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Cluster is a set of nodes sharing one parallel file system.
+type Cluster struct {
+	machine *sim.Machine
+	nodes   []*Node
+	pfs     *PFS
+}
+
+// New creates a cluster of n nodes using the given cost model.
+func New(n int, machine *sim.Machine) *Cluster {
+	if n <= 0 {
+		panic("cluster: node count must be positive")
+	}
+	c := &Cluster{machine: machine, pfs: NewPFS(machine)}
+	c.nodes = make([]*Node, n)
+	for i := range c.nodes {
+		c.nodes[i] = newNode(i, machine, c.pfs)
+	}
+	return c
+}
+
+// Machine returns the cluster's cost model.
+func (c *Cluster) Machine() *sim.Machine { return c.machine }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node {
+	if i < 0 || i >= len(c.nodes) {
+		panic(fmt.Sprintf("cluster: node %d out of range [0,%d)", i, len(c.nodes)))
+	}
+	return c.nodes[i]
+}
+
+// PFS returns the shared parallel file system.
+func (c *Cluster) PFS() *PFS { return c.pfs }
+
+// window is a half-open virtual-time interval [start, end).
+type window struct{ start, end float64 }
+
+func (w window) contains(t float64) bool { return t >= w.start && t < w.end }
+
+// Node is one compute node. Node state persists across job relaunches on
+// the same allocation, which is how VeloC scratch checkpoints survive a
+// fail-restart recovery.
+type Node struct {
+	id      int
+	machine *sim.Machine
+	pfs     *PFS
+
+	mu      sync.Mutex
+	scratch map[string]stored
+	flushes []window
+}
+
+// stored is a scratch or PFS object: real contents plus the simulated size
+// used by the cost model (experiments back paper-scale data with small real
+// buffers; see kokkos.View.SimBytes).
+type stored struct {
+	data     []byte
+	simBytes int
+}
+
+func newNode(id int, machine *sim.Machine, pfs *PFS) *Node {
+	return &Node{id: id, machine: machine, pfs: pfs, scratch: make(map[string]stored)}
+}
+
+// ID returns the node index within its cluster.
+func (n *Node) ID() int { return n.id }
+
+// ScratchWrite stores data under key in node-local scratch and returns the
+// virtual duration of the copy (a memory-bandwidth-bound memcpy). The caller
+// charges this duration to its clock.
+func (n *Node) ScratchWrite(key string, data []byte) float64 {
+	return n.ScratchWriteSized(key, data, len(data))
+}
+
+// ScratchWriteSized is ScratchWrite with the cost model charged for
+// simBytes instead of the real buffer length.
+func (n *Node) ScratchWriteSized(key string, data []byte, simBytes int) float64 {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	n.mu.Lock()
+	n.scratch[key] = stored{data: cp, simBytes: simBytes}
+	n.mu.Unlock()
+	return n.machine.MemcpyTime(simBytes)
+}
+
+// ScratchRead returns a copy of the data stored under key and the virtual
+// duration of the read, or ok=false if absent.
+func (n *Node) ScratchRead(key string) (data []byte, cost float64, ok bool) {
+	n.mu.Lock()
+	s, ok := n.scratch[key]
+	n.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	cp := make([]byte, len(s.data))
+	copy(cp, s.data)
+	return cp, n.machine.MemcpyTime(s.simBytes), true
+}
+
+// ScratchDelete removes key from scratch storage.
+func (n *Node) ScratchDelete(key string) {
+	n.mu.Lock()
+	delete(n.scratch, key)
+	n.mu.Unlock()
+}
+
+// ScratchKeys returns the number of scratch entries (for tests).
+func (n *Node) ScratchKeys() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.scratch)
+}
+
+// ScratchSimBytes returns the cost-model footprint of all scratch entries,
+// quantifying the node-memory cost of checkpoint staging.
+func (n *Node) ScratchSimBytes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, s := range n.scratch {
+		total += s.simBytes
+	}
+	return total
+}
+
+// ScratchClear drops all scratch contents, modeling node memory loss.
+func (n *Node) ScratchClear() {
+	n.mu.Lock()
+	n.scratch = make(map[string]stored)
+	n.mu.Unlock()
+}
+
+// FlushAsync starts an asynchronous flush of the scratch entry under key to
+// the parallel file system as pfsKey, beginning at virtual time start. It
+// returns the virtual completion time. The caller does NOT block: the flush
+// is performed by the simulated VeloC server thread; only the returned
+// completion time matters for later reads and congestion.
+func (n *Node) FlushAsync(key, pfsKey string, start float64) (end float64, err error) {
+	n.mu.Lock()
+	s, ok := n.scratch[key]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("cluster: flush of missing scratch key %q on node %d", key, n.id)
+	}
+	end = n.pfs.WriteSized(pfsKey, s.data, start, s.simBytes)
+	n.mu.Lock()
+	n.flushes = append(n.flushes, window{start: start, end: end})
+	// Prune windows that ended well before the new flush began to bound
+	// memory over long runs.
+	if len(n.flushes) > 64 {
+		kept := n.flushes[:0]
+		for _, w := range n.flushes {
+			if w.end > start-1.0 {
+				kept = append(kept, w)
+			}
+		}
+		n.flushes = kept
+	}
+	n.mu.Unlock()
+	return end, nil
+}
+
+// CongestedAt reports whether an asynchronous flush from this node is in
+// flight at virtual time t. MPI operations issued while congested are
+// inflated by the machine's CongestionFactor.
+func (n *Node) CongestedAt(t float64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, w := range n.flushes {
+		if w.contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// LastFlushEnd returns the latest flush completion time recorded on this
+// node, or 0 if none.
+func (n *Node) LastFlushEnd() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var end float64
+	for _, w := range n.flushes {
+		if w.end > end {
+			end = w.end
+		}
+	}
+	return end
+}
+
+// file is a PFS object: contents plus the virtual time it becomes readable.
+type file struct {
+	data        []byte
+	simBytes    int
+	availableAt float64
+}
+
+// PFS is the shared parallel file system.
+type PFS struct {
+	machine *sim.Machine
+
+	mu     sync.Mutex
+	files  map[string]file
+	active []window
+}
+
+// NewPFS creates an empty parallel file system with the given cost model.
+func NewPFS(machine *sim.Machine) *PFS {
+	return &PFS{machine: machine, files: make(map[string]file)}
+}
+
+// Write stores data under key starting at virtual time start and returns
+// the completion time. Effective bandwidth is the per-client cap reduced by
+// sharing the aggregate cap with every other flush overlapping the start
+// time, which is the management-node bottleneck.
+func (p *PFS) Write(key string, data []byte, start float64) (end float64) {
+	return p.WriteSized(key, data, start, len(data))
+}
+
+// WriteSized is Write with the cost model charged for simBytes instead of
+// the real buffer length.
+func (p *PFS) WriteSized(key string, data []byte, start float64, simBytes int) (end float64) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	concurrent := 1
+	for _, w := range p.active {
+		if w.end > start {
+			concurrent++
+		}
+	}
+	bw := p.machine.PFSAggregateBandwidth / float64(concurrent)
+	if bw > p.machine.PFSPerClientBandwidth {
+		bw = p.machine.PFSPerClientBandwidth
+	}
+	end = start + p.machine.PFSLatency + float64(simBytes)/bw
+	p.active = append(p.active, window{start: start, end: end})
+	if len(p.active) > 4096 {
+		kept := p.active[:0]
+		for _, w := range p.active {
+			if w.end > start-1.0 {
+				kept = append(kept, w)
+			}
+		}
+		p.active = kept
+	}
+
+	if existing, ok := p.files[key]; !ok || end >= existing.availableAt {
+		p.files[key] = file{data: cp, simBytes: simBytes, availableAt: end}
+	}
+	return end
+}
+
+// Read returns a copy of the data under key. ready is the virtual time at
+// which the read completes for a caller starting at time start: if the file
+// is still being flushed the reader waits for availability, then pays the
+// read latency and bandwidth cost. ok is false if the key does not exist.
+func (p *PFS) Read(key string, start float64) (data []byte, ready float64, ok bool) {
+	p.mu.Lock()
+	f, ok := p.files[key]
+	p.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	begin := start
+	if f.availableAt > begin {
+		begin = f.availableAt
+	}
+	cp := make([]byte, len(f.data))
+	copy(cp, f.data)
+	ready = begin + p.machine.PFSLatency + float64(f.simBytes)/p.machine.PFSReadBandwidth
+	return cp, ready, true
+}
+
+// Exists reports whether key is present (regardless of availability time)
+// and the virtual time at which it becomes readable.
+func (p *PFS) Exists(key string) (availableAt float64, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.files[key]
+	return f.availableAt, ok
+}
+
+// Delete removes key.
+func (p *PFS) Delete(key string) {
+	p.mu.Lock()
+	delete(p.files, key)
+	p.mu.Unlock()
+}
+
+// Len returns the number of stored files (for tests).
+func (p *PFS) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.files)
+}
+
+// SimBytes returns the cost-model footprint of all stored files, the
+// persistent-storage cost of a checkpointing strategy.
+func (p *PFS) SimBytes() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	for _, f := range p.files {
+		total += f.simBytes
+	}
+	return total
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fenix"
+	"repro/internal/kr"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/veloc"
+)
+
+// App is the application body written against the Session API. It is
+// invoked once per rank per (re-)entry: after a relaunch (fail-restart
+// strategies) or a Fenix recovery (online strategies), exactly as the code
+// between Fenix_Init and Fenix_Finalize in Figure 4.
+type App func(s *Session) error
+
+// Result is the outcome of a strategy run.
+type Result struct {
+	*mpi.JobResult
+	Strategy Strategy
+	// AppRanks is the number of application (non-spare) ranks.
+	AppRanks int
+}
+
+// MeanAppTimes averages category times over application ranks only; spare
+// ranks spend the run blocked in Fenix initialization and would dilute the
+// per-rank averages the paper plots.
+func (r *Result) MeanAppTimes() trace.Times {
+	var sum trace.Times
+	n := r.AppRanks
+	if n > len(r.PerRank) {
+		n = len(r.PerRank)
+	}
+	// Under Fenix, a spare that replaced a failed rank carries that logical
+	// rank's post-recovery time; fold every world rank's time in but divide
+	// by the number of application ranks.
+	for _, t := range r.PerRank {
+		sum = sum.Add(t)
+	}
+	return sum.Scale(1 / float64(n))
+}
+
+// TimesWithOther returns the mean per-rank category times with the Other
+// category derived from job wall time, the paper's presentation.
+func (r *Result) TimesWithOther() trace.Times {
+	return r.MeanAppTimes().WithOther(r.WallTime)
+}
+
+// Run executes app under the given strategy on a simulated job.
+func Run(job mpi.JobConfig, cfg Config, app App) *Result {
+	cfg.normalize()
+	if cfg.Strategy.UsesRelaunch() {
+		job.FailRestart = true
+		job.MaxRestarts = cfg.MaxRestarts
+	}
+	if !cfg.Strategy.UsesFenix() && cfg.Spares != 0 {
+		panic(fmt.Sprintf("core: strategy %v cannot use spares", cfg.Strategy))
+	}
+	appRanks := job.Ranks - cfg.Spares
+	if appRanks <= 0 {
+		panic("core: no application ranks left after spares")
+	}
+	prog := newProgress()
+	res := mpi.RunJob(job, func(p *mpi.Proc) error {
+		return runRank(p, &cfg, prog, app)
+	})
+	return &Result{JobResult: res, Strategy: cfg.Strategy, AppRanks: appRanks}
+}
+
+func runRank(p *mpi.Proc, cfg *Config, prog *progress, app App) error {
+	if !cfg.Strategy.UsesFenix() {
+		s, err := newPlainSession(p, cfg, prog)
+		if err != nil {
+			return err
+		}
+		return app(s)
+	}
+
+	var held *Session // survives Fenix re-entries for survivors
+	return fenix.Run(p, fenix.Config{Spares: cfg.Spares}, func(fctx *fenix.Context) error {
+		s, err := sessionForEntry(held, fctx, cfg, prog)
+		if err != nil {
+			return err
+		}
+		held = s
+		return app(s)
+	})
+}
+
+// newPlainSession builds the session for non-Fenix strategies. For
+// fail-restart strategies this runs afresh on every relaunch, and the
+// VeloC version query performs the recovery discovery.
+func newPlainSession(p *mpi.Proc, cfg *Config, prog *progress) (*Session, error) {
+	comm := p.World().CommWorld()
+	s := &Session{p: p, cfg: cfg, prog: prog, comm: comm, role: fenix.RoleInitial, Store: make(map[string]any)}
+	switch cfg.Strategy {
+	case StrategyNone:
+		return s, nil
+	case StrategyVeloC:
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Collective, Comm: comm})
+		if err != nil {
+			return nil, err
+		}
+		s.manual = &manualCtx{client: client, name: cfg.CheckpointName, interval: cfg.CheckpointInterval, latest: -1}
+		return s, s.manual.resync(comm, p)
+	case StrategyKRVeloC:
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Collective, Comm: comm})
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := kr.MakeContext(p, comm, kr.NewVeloCBackend(client, cfg.CheckpointName),
+			kr.Config{Interval: cfg.CheckpointInterval, RestoreSurvivors: true})
+		if err != nil {
+			return nil, err
+		}
+		s.krctx = ctx
+		return s, nil
+	default:
+		return nil, fmt.Errorf("core: strategy %v is not a plain strategy", cfg.Strategy)
+	}
+}
+
+// sessionForEntry builds or refreshes the session on each entry into the
+// Fenix-protected body, implementing the role dispatch of Figure 4:
+// initial ranks create contexts, survivors reset them against the repaired
+// communicator, and recovered ranks (substituted spares) create fresh ones.
+func sessionForEntry(held *Session, fctx *fenix.Context, cfg *Config, prog *progress) (*Session, error) {
+	p := fctx.Proc()
+	if held != nil && fctx.Role() == fenix.RoleSurvivor {
+		// Survivor: memory (and Store) intact; re-point everything at the
+		// repaired communicator per the paper's ctx.reset(res_comm).
+		held.comm = fctx.Comm()
+		held.role = fenix.RoleSurvivor
+		held.fctx = fctx
+		switch {
+		case held.krctx != nil:
+			if err := held.krctx.Reset(fctx.Comm()); err != nil {
+				return nil, err
+			}
+		case held.manual != nil:
+			held.manual.client.SetComm(fctx.Comm())
+			held.manual.client.SetRank(fctx.Rank())
+			if err := held.manual.resync(fctx.Comm(), p); err != nil {
+				return nil, err
+			}
+		}
+		return held, nil
+	}
+
+	// Initial entry or a recovered replacement: build everything fresh.
+	s := &Session{
+		p: p, cfg: cfg, prog: prog,
+		comm: fctx.Comm(), role: fctx.Role(), fctx: fctx,
+		Store: make(map[string]any),
+	}
+	switch cfg.Strategy {
+	case StrategyFenixVeloC:
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Single, Rank: fctx.Rank(), RankSet: true})
+		if err != nil {
+			return nil, err
+		}
+		s.manual = &manualCtx{client: client, name: cfg.CheckpointName, interval: cfg.CheckpointInterval, latest: -1}
+		return s, s.manual.resync(fctx.Comm(), p)
+	case StrategyFenixKRVeloC, StrategyPartialRollback:
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Single, Rank: fctx.Rank(), RankSet: true})
+		if err != nil {
+			return nil, err
+		}
+		krCfg := kr.Config{Interval: cfg.CheckpointInterval, RestoreSurvivors: true}
+		if cfg.Strategy.PartialRollback() {
+			krCfg.RestoreSurvivors = false
+			krCfg.Recovered = func() bool { return fctx.Role() == fenix.RoleRecovered }
+		}
+		ctx, err := kr.MakeContext(p, fctx.Comm(), kr.NewVeloCBackend(client, cfg.CheckpointName), krCfg)
+		if err != nil {
+			return nil, err
+		}
+		s.krctx = ctx
+		return s, nil
+	case StrategyFenixIMR:
+		im, err := fenix.NewIMR(fctx, cfg.CheckpointName)
+		if err != nil {
+			return nil, err
+		}
+		ctx, err := kr.MakeContext(p, fctx.Comm(), kr.NewIMRBackend(im),
+			kr.Config{Interval: cfg.CheckpointInterval, RestoreSurvivors: true})
+		if err != nil {
+			return nil, err
+		}
+		s.krctx = ctx
+		return s, nil
+	default:
+		return nil, fmt.Errorf("core: strategy %v is not a Fenix strategy", cfg.Strategy)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fenix"
+	"repro/internal/kokkos"
+	"repro/internal/kr"
+	"repro/internal/mpi"
+	"repro/internal/veloc"
+)
+
+// FailurePlan schedules one injected process failure: the process holding
+// logical rank Slot exits just before executing iteration Iteration. The
+// harness places Iteration ~95% of the way between two checkpoints so that
+// asynchronous flushes have completed, matching the paper's protocol. A
+// plan fires at most once per job, including across relaunches.
+type FailurePlan struct {
+	Slot      int
+	Iteration int
+	fired     atomic.Bool
+}
+
+func (fp *FailurePlan) matches(slot, iter int) bool {
+	return fp != nil && slot == fp.Slot && iter == fp.Iteration && fp.fired.CompareAndSwap(false, true)
+}
+
+// Fired reports whether the plan has triggered.
+func (fp *FailurePlan) Fired() bool { return fp.fired.Load() }
+
+// Config selects and parameterizes a resilience strategy.
+type Config struct {
+	// Strategy is the layer combination to run.
+	Strategy Strategy
+	// Spares is the number of spare ranks Fenix holds out (Fenix
+	// strategies only).
+	Spares int
+	// CheckpointInterval checkpoints every k-th iteration.
+	CheckpointInterval int
+	// CheckpointName names the checkpoint set.
+	CheckpointName string
+	// MaxRestarts bounds relaunches for fail-restart strategies.
+	MaxRestarts int
+	// Failures lists the injected failures (nil for overhead-only runs).
+	Failures []*FailurePlan
+}
+
+func (c *Config) normalize() {
+	if c.CheckpointName == "" {
+		c.CheckpointName = "app"
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 1 << 30 // effectively never
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 4
+	}
+}
+
+// progress tracks the furthest iteration each logical rank has executed,
+// across failures and relaunches, so re-executed iterations are attributed
+// to the Recompute category.
+type progress struct {
+	mu      sync.Mutex
+	maxIter map[int]int
+}
+
+func newProgress() *progress { return &progress{maxIter: make(map[int]int)} }
+
+func (g *progress) isRecompute(slot, iter int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	max, ok := g.maxIter[slot]
+	return ok && iter <= max
+}
+
+func (g *progress) update(slot, iter int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if max, ok := g.maxIter[slot]; !ok || iter > max {
+		g.maxIter[slot] = iter
+	}
+}
+
+// Session is one rank's handle on the integrated resilience system. It is
+// recreated on relaunch (process memory is lost) and persists across Fenix
+// re-entries for survivors (memory intact).
+type Session struct {
+	p    *mpi.Proc
+	cfg  *Config
+	prog *progress
+
+	comm   *mpi.Comm
+	role   fenix.Role
+	fctx   *fenix.Context // nil without Fenix
+	krctx  *kr.Context    // nil without KR
+	manual *manualCtx     // nil without hand-written control flow
+
+	// Store persists application state (views, solver data) across Fenix
+	// re-entries of the same process.
+	Store map[string]any
+}
+
+// Proc returns the underlying MPI process.
+func (s *Session) Proc() *mpi.Proc { return s.p }
+
+// Comm returns the communicator application code must use: the resilient
+// communicator under Fenix, MPI_COMM_WORLD otherwise.
+func (s *Session) Comm() *mpi.Comm { return s.comm }
+
+// Role returns the Fenix role (RoleInitial for non-Fenix strategies, since
+// a relaunched process starts fresh).
+func (s *Session) Role() fenix.Role { return s.role }
+
+// Rank returns this rank's logical ID (resilient comm rank under Fenix).
+func (s *Session) Rank() int { return s.comm.Rank(s.p) }
+
+// Size returns the number of application ranks.
+func (s *Session) Size() int { return s.comm.Size() }
+
+// Strategy returns the active strategy.
+func (s *Session) Strategy() Strategy { return s.cfg.Strategy }
+
+// Check routes an MPI error to the Fenix recovery jump when running under
+// Fenix, and returns it unchanged otherwise.
+func (s *Session) Check(err error) error {
+	if s.fctx != nil {
+		return s.fctx.Check(err)
+	}
+	return err
+}
+
+// ResumeIteration returns the iteration the application loop should start
+// from: -1 for a fresh start, or the latest checkpoint version when
+// recovering (the Checkpoint call at that iteration restores data instead
+// of executing, per Figure 4).
+func (s *Session) ResumeIteration() int {
+	switch {
+	case s.krctx != nil:
+		if s.krctx.RecoveryPending() {
+			return s.krctx.LatestVersion()
+		}
+	case s.manual != nil:
+		if s.manual.pending {
+			return s.manual.latest
+		}
+	}
+	return -1
+}
+
+// DeclareAliases forwards a swap-space alias declaration to the
+// control-flow layer, or to the hand-written control flow for strategies
+// without KR (a manual VeloC user would simply not register the swap
+// buffer).
+func (s *Session) DeclareAliases(primary, alias string) {
+	if s.krctx != nil {
+		s.krctx.DeclareAliases(primary, alias)
+	}
+	if s.manual != nil {
+		if s.manual.aliases == nil {
+			s.manual.aliases = make(map[string]bool)
+		}
+		s.manual.aliases[alias] = true
+	}
+}
+
+// Census returns the most recent view classification (zero value without
+// KR).
+func (s *Session) Census() kr.Census {
+	if s.krctx != nil {
+		return s.krctx.Census()
+	}
+	return kr.Census{}
+}
+
+// Checkpoint wraps one iteration of the application's checkpoint region:
+// failure injection, recompute attribution, recovery-or-execute, and
+// checkpoint writing are all handled according to the strategy.
+func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body func() error) error {
+	slot := s.Rank()
+	for _, fp := range s.cfg.Failures {
+		if fp.matches(slot, iter) {
+			s.p.Exit()
+		}
+	}
+	if s.prog != nil {
+		re := s.prog.isRecompute(slot, iter)
+		// Under partial rollback survivors never roll their data back, so
+		// re-executed loop indices are not wasted work — they advance the
+		// solver. Only the recovered rank truly recomputes.
+		if s.cfg.Strategy.PartialRollback() && s.role != fenix.RoleRecovered {
+			re = false
+		}
+		s.p.Recorder().SetRecompute(re)
+		defer s.p.Recorder().SetRecompute(false)
+	}
+	var err error
+	switch {
+	case s.krctx != nil:
+		err = s.krctx.Checkpoint(label, iter, views, body)
+	case s.manual != nil:
+		err = s.manual.checkpoint(iter, views, body)
+	default:
+		err = body()
+	}
+	if err != nil {
+		return s.Check(err)
+	}
+	if s.prog != nil {
+		s.prog.update(slot, iter)
+	}
+	return nil
+}
+
+// manualCtx is the hand-written control flow a developer would pair with
+// raw VeloC: protect the views once, restore at the resume iteration, and
+// checkpoint on the interval. It exists so the no-KR configurations
+// (StrategyVeloC, StrategyFenixVeloC) exercise the same application code.
+type manualCtx struct {
+	client   *veloc.Client
+	name     string
+	interval int
+	latest   int
+	pending  bool
+	guarded  bool // views protected
+	aliases  map[string]bool
+}
+
+// viewRegion adapts a kokkos view as a VeloC region.
+type viewRegion struct{ v kokkos.View }
+
+func (r viewRegion) Bytes() []byte          { return r.v.Serialize() }
+func (r viewRegion) Restore(b []byte) error { return r.v.Deserialize(b) }
+func (r viewRegion) SimBytes() int          { return r.v.SimBytes() }
+
+func (m *manualCtx) resync(comm *mpi.Comm, p *mpi.Proc) error {
+	var v int
+	var err error
+	if m.client.Mode() == veloc.Collective {
+		v, err = m.client.LatestVersion(m.name)
+	} else {
+		v, err = m.client.BestCommonVersion(m.name, comm)
+	}
+	switch {
+	case err == nil:
+		m.latest, m.pending = v, true
+		return nil
+	case errors.Is(err, veloc.ErrNoCheckpoint):
+		m.latest, m.pending = -1, false
+		return nil
+	default:
+		return err
+	}
+}
+
+func (m *manualCtx) protect(views []kokkos.View) {
+	if m.guarded {
+		return
+	}
+	unique := kr.CensusOf(views, m.aliases).CheckpointedViews()
+	for i, v := range unique {
+		m.client.Protect(i, viewRegion{v})
+	}
+	m.guarded = true
+}
+
+func (m *manualCtx) checkpoint(iter int, views []kokkos.View, body func() error) error {
+	m.protect(views)
+	if m.pending && iter == m.latest {
+		m.pending = false
+		return m.client.Restart(m.name, iter)
+	}
+	if err := body(); err != nil {
+		return err
+	}
+	if (iter+1)%m.interval == 0 {
+		if err := m.client.Checkpoint(m.name, iter); err != nil {
+			return err
+		}
+		m.latest = iter
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+// Package core is the paper's integrated resilience system: it wires the
+// process layer (Fenix), the control-flow layer (Kokkos Resilience), and
+// the data layer (VeloC or Fenix IMR) into the per-application strategy
+// configurations of Section V-A, exposing one uniform Session API so the
+// same application code runs under every configuration.
+package core
+
+import "fmt"
+
+// Strategy selects one of the resilience configurations evaluated in the
+// paper (Figure 1 / Section V-A).
+type Strategy int
+
+const (
+	// StrategyNone runs without any resilience (the reference).
+	StrategyNone Strategy = iota
+	// StrategyVeloC uses VeloC alone with hand-written control flow and
+	// fail-restart (full job relaunch) recovery.
+	StrategyVeloC
+	// StrategyKRVeloC uses Kokkos Resilience managing VeloC, without
+	// Fenix: failures still require a full job relaunch.
+	StrategyKRVeloC
+	// StrategyFenixVeloC uses Fenix process recovery with VeloC in
+	// non-collective mode and hand-written control flow (no KR).
+	StrategyFenixVeloC
+	// StrategyFenixKRVeloC is the paper's integrated system: Fenix +
+	// Kokkos Resilience + VeloC (non-collective), per Figure 4.
+	StrategyFenixKRVeloC
+	// StrategyFenixIMR replaces VeloC with Fenix's in-memory redundancy
+	// (buddy rank) data policy, managed through Kokkos Resilience.
+	StrategyFenixIMR
+	// StrategyPartialRollback is Fenix + KR + VeloC where survivors skip
+	// checkpoint restoration and keep their in-progress data; only the
+	// recovered rank rolls back (for convergence-tolerant applications).
+	StrategyPartialRollback
+
+	numStrategies
+)
+
+var strategyNames = [...]string{
+	StrategyNone:            "none",
+	StrategyVeloC:           "veloc",
+	StrategyKRVeloC:         "kr-veloc",
+	StrategyFenixVeloC:      "fenix-veloc",
+	StrategyFenixKRVeloC:    "fenix-kr-veloc",
+	StrategyFenixIMR:        "fenix-imr",
+	StrategyPartialRollback: "partial-rollback",
+}
+
+// String returns the strategy's flag name.
+func (s Strategy) String() string {
+	if s < 0 || int(s) >= len(strategyNames) {
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+	return strategyNames[s]
+}
+
+// ParseStrategy resolves a flag name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for i, n := range strategyNames {
+		if n == name {
+			return Strategy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", name)
+}
+
+// Strategies returns all strategies in presentation order.
+func Strategies() []Strategy {
+	out := make([]Strategy, numStrategies)
+	for i := range out {
+		out[i] = Strategy(i)
+	}
+	return out
+}
+
+// UsesFenix reports whether the strategy recovers processes online.
+func (s Strategy) UsesFenix() bool {
+	switch s {
+	case StrategyFenixVeloC, StrategyFenixKRVeloC, StrategyFenixIMR, StrategyPartialRollback:
+		return true
+	}
+	return false
+}
+
+// UsesKR reports whether control flow is managed by Kokkos Resilience.
+func (s Strategy) UsesKR() bool {
+	switch s {
+	case StrategyKRVeloC, StrategyFenixKRVeloC, StrategyFenixIMR, StrategyPartialRollback:
+		return true
+	}
+	return false
+}
+
+// UsesVeloC reports whether the data layer is VeloC.
+func (s Strategy) UsesVeloC() bool {
+	switch s {
+	case StrategyVeloC, StrategyKRVeloC, StrategyFenixVeloC, StrategyFenixKRVeloC, StrategyPartialRollback:
+		return true
+	}
+	return false
+}
+
+// UsesIMR reports whether the data layer is in-memory redundancy.
+func (s Strategy) UsesIMR() bool { return s == StrategyFenixIMR }
+
+// UsesRelaunch reports whether failures are recovered by relaunching the
+// whole job (classic checkpoint/restart).
+func (s Strategy) UsesRelaunch() bool {
+	return s == StrategyVeloC || s == StrategyKRVeloC
+}
+
+// PartialRollback reports whether survivors keep in-progress data.
+func (s Strategy) PartialRollback() bool { return s == StrategyPartialRollback }
+
+// Checkpoints reports whether the strategy writes checkpoints at all.
+func (s Strategy) Checkpoints() bool { return s != StrategyNone }

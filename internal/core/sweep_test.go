@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// TestFailureSweepEveryIteration injects a failure at every possible
+// iteration (including before the first checkpoint and at the final one)
+// and at every slot, verifying that recovery always reproduces the
+// reference bitwise. This is the strongest recovery-correctness property
+// the system claims.
+func TestFailureSweepEveryIteration(t *testing.T) {
+	ref := reference(t)
+	for _, strat := range []Strategy{StrategyFenixKRVeloC, StrategyKRVeloC} {
+		for iter := 0; iter < tIters; iter += 3 {
+			for slot := 0; slot < tRanks; slot += 3 {
+				name := fmt.Sprintf("%s/iter=%d/slot=%d", strat, iter, slot)
+				t.Run(name, func(t *testing.T) {
+					spares := 0
+					if strat.UsesFenix() {
+						spares = 1
+					}
+					fail := &FailurePlan{Slot: slot, Iteration: iter}
+					res, sink := runStrategy(t, strat, spares, fail)
+					if res.Failed || res.Err() != nil {
+						t.Fatalf("failed: %v (launches %d)", res.Err(), res.Launches)
+					}
+					if !fail.Fired() {
+						t.Fatal("plan never fired")
+					}
+					checkMatchesReference(t, sink, ref)
+				})
+			}
+		}
+	}
+}
+
+// TestTwoFailuresDifferentIntervals injects two failures in different
+// checkpoint intervals (two full recovery cycles) and checks bitwise
+// correctness.
+func TestTwoFailuresDifferentIntervals(t *testing.T) {
+	ref := reference(t)
+	sink := newSink()
+	cfg := Config{
+		Strategy:           StrategyFenixKRVeloC,
+		Spares:             2,
+		CheckpointInterval: 5,
+		CheckpointName:     "mini",
+		Failures: []*FailurePlan{
+			{Slot: 1, Iteration: 8},
+			{Slot: 3, Iteration: 17},
+		},
+	}
+	job := jobCfg(tRanks + 2)
+	res := Run(job, cfg, miniApp(tIters, tVecLen, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("failed: %v", res.Err())
+	}
+	for _, fp := range cfg.Failures {
+		if !fp.Fired() {
+			t.Fatal("a failure plan never fired")
+		}
+	}
+	checkMatchesReference(t, sink, ref)
+}
+
+// TestTwoFailuresSameIteration kills two ranks at the same iteration
+// (simultaneous failures) and checks bitwise correctness.
+func TestTwoFailuresSameIteration(t *testing.T) {
+	ref := reference(t)
+	sink := newSink()
+	cfg := Config{
+		Strategy:           StrategyFenixKRVeloC,
+		Spares:             2,
+		CheckpointInterval: 5,
+		CheckpointName:     "mini",
+		Failures: []*FailurePlan{
+			{Slot: 0, Iteration: 13},
+			{Slot: 2, Iteration: 13},
+		},
+	}
+	res := Run(jobCfg(tRanks+2), cfg, miniApp(tIters, tVecLen, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("failed: %v", res.Err())
+	}
+	checkMatchesReference(t, sink, ref)
+}
+
+// TestRelaunchTwoFailures exercises two relaunches under fail-restart.
+func TestRelaunchTwoFailures(t *testing.T) {
+	ref := reference(t)
+	sink := newSink()
+	cfg := Config{
+		Strategy:           StrategyKRVeloC,
+		CheckpointInterval: 5,
+		CheckpointName:     "mini",
+		MaxRestarts:        4,
+		Failures: []*FailurePlan{
+			{Slot: 1, Iteration: 8},
+			{Slot: 2, Iteration: 17},
+		},
+	}
+	res := Run(jobCfg(tRanks), cfg, miniApp(tIters, tVecLen, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("failed: %v", res.Err())
+	}
+	if res.Launches != 3 {
+		t.Fatalf("launches = %d, want 3", res.Launches)
+	}
+	checkMatchesReference(t, sink, ref)
+}
+
+func jobCfg(ranks int) mpi.JobConfig {
+	return mpi.JobConfig{Ranks: ranks, Machine: quietMachine(), Seed: 7}
+}

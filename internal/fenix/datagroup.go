@@ -1,0 +1,157 @@
+package fenix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements Fenix's data-group API, the interface the real
+// runtime exposes its in-memory redundancy policies through
+// (Fenix_Data_group_create / member_create / member_store / commit /
+// restore). Applications stage member buffers and commit them atomically:
+// a commit either becomes fully visible as a recovery version or not at
+// all. The storage policy underneath is the buddy-rank IMR store.
+
+// ErrNoSuchMember is returned for operations on unregistered member ids.
+var ErrNoSuchMember = errors.New("fenix: no such data group member")
+
+// ErrNothingStaged is returned by Commit when no member has been stored
+// since the last commit.
+var ErrNothingStaged = errors.New("fenix: commit with no staged members")
+
+// DataGroup is a named set of application buffers committed and restored
+// as a unit through the IMR buddy store.
+type DataGroup struct {
+	im      *IMR
+	members map[int][]byte // member id -> latest staged contents
+	sizes   map[int]int    // member id -> cost-model size
+	staged  bool
+}
+
+// NewDataGroup creates a data group over ctx using the buddy-rank policy.
+// The resilient communicator must have even size.
+func NewDataGroup(ctx *Context, name string) (*DataGroup, error) {
+	im, err := NewIMR(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return &DataGroup{
+		im:      im,
+		members: make(map[int][]byte),
+		sizes:   make(map[int]int),
+	}, nil
+}
+
+// CreateMember registers a member buffer id with its cost-model size.
+// Re-creating an id resets its staged contents.
+func (dg *DataGroup) CreateMember(id, simBytes int) {
+	dg.members[id] = nil
+	dg.sizes[id] = simBytes
+}
+
+// Store stages the current contents of member id for the next commit
+// (Fenix_Data_member_store). The data is copied.
+func (dg *DataGroup) Store(id int, data []byte) error {
+	if _, ok := dg.members[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchMember, id)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	dg.members[id] = cp
+	dg.staged = true
+	return nil
+}
+
+// memberBlob layout: u32 count, then per member: u32 id, u32 len, bytes.
+func (dg *DataGroup) serialize() ([]byte, int) {
+	ids := make([]int, 0, len(dg.members))
+	for id, data := range dg.members {
+		if data != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	var out []byte
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(ids)))
+	out = append(out, hdr[:]...)
+	simTotal := 4
+	for _, id := range ids {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(id))
+		out = append(out, hdr[:]...)
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(dg.members[id])))
+		out = append(out, hdr[:]...)
+		out = append(out, dg.members[id]...)
+		simTotal += 8 + dg.sizes[id]
+	}
+	return out, simTotal
+}
+
+// Commit atomically persists all staged members as version v
+// (Fenix_Data_commit): a local copy plus the buddy exchange. All ranks of
+// the resilient communicator must commit collectively.
+func (dg *DataGroup) Commit(v int) error {
+	if !dg.staged {
+		return ErrNothingStaged
+	}
+	blob, simTotal := dg.serialize()
+	return dg.im.CheckpointSized(v, blob, simTotal)
+}
+
+// LatestCommit returns the newest version committed at every rank.
+func (dg *DataGroup) LatestCommit() (int, error) {
+	v, err := dg.im.LatestCommon()
+	if errors.Is(err, ErrIMRNoCheckpoint) {
+		return 0, err
+	}
+	return v, err
+}
+
+// Restore retrieves version v and returns the member contents by id
+// (Fenix_Data_member_restore for every member). Collective, like
+// IMR.Restore. The staged contents are replaced by the restored ones.
+func (dg *DataGroup) Restore(v int) (map[int][]byte, error) {
+	blob, err := dg.im.Restore(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) < 4 {
+		return nil, errors.New("fenix: truncated data group commit")
+	}
+	count := int(binary.LittleEndian.Uint32(blob))
+	off := 4
+	out := make(map[int][]byte, count)
+	for i := 0; i < count; i++ {
+		if off+8 > len(blob) {
+			return nil, errors.New("fenix: truncated member header")
+		}
+		id := int(binary.LittleEndian.Uint32(blob[off:]))
+		n := int(binary.LittleEndian.Uint32(blob[off+4:]))
+		off += 8
+		if off+n > len(blob) {
+			return nil, errors.New("fenix: truncated member data")
+		}
+		data := make([]byte, n)
+		copy(data, blob[off:off+n])
+		out[id] = data
+		off += n
+		if _, ok := dg.members[id]; ok {
+			dg.members[id] = data
+		}
+	}
+	dg.staged = true
+	return out, nil
+}
+
+// Member returns the currently staged (or last restored) contents of id.
+func (dg *DataGroup) Member(id int) ([]byte, error) {
+	data, ok := dg.members[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchMember, id)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, nil
+}

@@ -1,0 +1,164 @@
+package fenix
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDataGroupCommitRestore(t *testing.T) {
+	errs, _ := runFenix(4, Config{Spares: 0}, func(ctx *Context) error {
+		dg, err := NewDataGroup(ctx, "fields")
+		if err != nil {
+			return err
+		}
+		dg.CreateMember(1, 1024)
+		dg.CreateMember(7, 2048)
+		if err := dg.Store(1, []byte(fmt.Sprintf("x-%d", ctx.Rank()))); err != nil {
+			return err
+		}
+		if err := dg.Store(7, []byte{byte(ctx.Rank()), 0xEE}); err != nil {
+			return err
+		}
+		if err := dg.Commit(5); err != nil {
+			return err
+		}
+		v, err := dg.LatestCommit()
+		if err != nil {
+			return err
+		}
+		if v != 5 {
+			t.Errorf("latest commit %d", v)
+		}
+		got, err := dg.Restore(5)
+		if err != nil {
+			return err
+		}
+		if string(got[1]) != fmt.Sprintf("x-%d", ctx.Rank()) {
+			t.Errorf("member 1 = %q", got[1])
+		}
+		if got[7][0] != byte(ctx.Rank()) || got[7][1] != 0xEE {
+			t.Errorf("member 7 = %v", got[7])
+		}
+		m, err := dg.Member(7)
+		if err != nil || m[1] != 0xEE {
+			t.Errorf("Member(7) = %v, %v", m, err)
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}
+
+func TestDataGroupValidation(t *testing.T) {
+	errs, _ := runFenix(2, Config{Spares: 0}, func(ctx *Context) error {
+		dg, err := NewDataGroup(ctx, "g")
+		if err != nil {
+			return err
+		}
+		if err := dg.Store(9, []byte{1}); !errors.Is(err, ErrNoSuchMember) {
+			t.Errorf("store to unknown member: %v", err)
+		}
+		if err := dg.Commit(0); !errors.Is(err, ErrNothingStaged) {
+			t.Errorf("empty commit: %v", err)
+		}
+		if _, err := dg.Member(9); !errors.Is(err, ErrNoSuchMember) {
+			t.Errorf("Member(9): %v", err)
+		}
+		if _, err := dg.LatestCommit(); !errors.Is(err, ErrIMRNoCheckpoint) {
+			t.Errorf("LatestCommit with no commits: %v", err)
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}
+
+func TestDataGroupRecoveryAcrossFailure(t *testing.T) {
+	// A full recovery cycle through the data-group API: commit, fail,
+	// spare adopts the slot and restores its predecessor's members from
+	// the buddy.
+	errs, _ := runFenix(5, Config{Spares: 1}, func(ctx *Context) error {
+		dg, err := NewDataGroup(ctx, "state")
+		if err != nil {
+			return err
+		}
+		dg.CreateMember(0, 64)
+		payload := []byte(fmt.Sprintf("slot-%d-data", ctx.Rank()))
+		if ctx.Role() == RoleInitial {
+			if err := dg.Store(0, payload); err != nil {
+				return err
+			}
+			if err := ctx.Check(dg.Commit(3)); err != nil {
+				return err
+			}
+			if ctx.p.Rank() == 2 {
+				ctx.p.Exit()
+			}
+		}
+		if err := ctx.Check(ctx.Comm().Barrier(ctx.p)); err != nil {
+			return err
+		}
+		v, err := dg.LatestCommit()
+		if err = ctx.Check(err); err != nil {
+			return err
+		}
+		got, err := dg.Restore(v)
+		if err = ctx.Check(err); err != nil {
+			return err
+		}
+		want := fmt.Sprintf("slot-%d-data", ctx.Rank())
+		if string(got[0]) != want {
+			t.Errorf("world %d logical %d restored %q, want %q", ctx.p.Rank(), ctx.Rank(), got[0], want)
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}
+
+func TestDataGroupCommitIsAtomic(t *testing.T) {
+	// Members staged after a commit do not retroactively appear in it.
+	errs, _ := runFenix(2, Config{Spares: 0}, func(ctx *Context) error {
+		dg, err := NewDataGroup(ctx, "a")
+		if err != nil {
+			return err
+		}
+		dg.CreateMember(0, 8)
+		if err := dg.Store(0, []byte("v1")); err != nil {
+			return err
+		}
+		if err := dg.Commit(1); err != nil {
+			return err
+		}
+		if err := dg.Store(0, []byte("v2")); err != nil {
+			return err
+		}
+		if err := dg.Commit(2); err != nil {
+			return err
+		}
+		got, err := dg.Restore(1)
+		if err != nil {
+			return err
+		}
+		if string(got[0]) != "v1" {
+			t.Errorf("version 1 member = %q", got[0])
+		}
+		got, err = dg.Restore(2)
+		if err != nil {
+			return err
+		}
+		if string(got[0]) != "v2" {
+			t.Errorf("version 2 member = %q", got[0])
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}
+
+func TestDataGroupOddSizeRejected(t *testing.T) {
+	errs, _ := runFenix(3, Config{Spares: 0}, func(ctx *Context) error {
+		if _, err := NewDataGroup(ctx, "g"); err == nil {
+			t.Error("odd-size data group accepted")
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}

@@ -1,0 +1,539 @@
+// Package fenix reproduces the Fenix process-resilience runtime on top of
+// the simulated ULFM layer in internal/mpi.
+//
+// Fenix provides two things (Section IV of the paper):
+//
+//  1. A resilient communicator that appears to keep a constant process pool:
+//     some world ranks are held out as spares, blocked inside Fenix
+//     initialization, and substituted in place for failed ranks during
+//     communicator repair.
+//  2. A single control-flow exit point for failures: in C Fenix attaches an
+//     error handler that longjmps back to Fenix_Init. In Go, Run re-invokes
+//     the application body after recovery; application code escapes to that
+//     point either by returning the MPI error (Go style) or by wrapping
+//     calls in Context.Check, which panics and is recovered by Run —
+//     matching the "no error handling at 148 MPI call sites" property the
+//     paper measures.
+//
+// Recovery protocol, as in the paper: the first rank to observe a failure
+// revokes the resilient communicator (propagating the failure to every
+// rank, including those blocked in collectives); every survivor then enters
+// communicator repair, where failed ranks are replaced in place by spares;
+// finally control returns to the top of the application body with roles
+// updated (Survivor / Recovered) so the C/R layers can reason about state.
+package fenix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Role describes a rank's state after (re-)entering the application body,
+// matching the rank states in the paper's Figure 2.
+type Role int
+
+const (
+	// RoleInitial: first entry, no failure has occurred.
+	RoleInitial Role = iota
+	// RoleSurvivor: the rank lived through a failure; its memory is intact.
+	RoleSurvivor
+	// RoleRecovered: the rank is a spare substituted for a failed rank; its
+	// memory is fresh and must be restored from checkpoints.
+	RoleRecovered
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleInitial:
+		return "initial"
+	case RoleSurvivor:
+		return "survivor"
+	case RoleRecovered:
+		return "recovered"
+	}
+	return fmt.Sprintf("Role(%d)", int(r))
+}
+
+// ErrOutOfSpares is returned when a failure occurs and no spare ranks
+// remain (and shrinking is not enabled).
+var ErrOutOfSpares = errors.New("fenix: no spare ranks remain")
+
+// Config configures Fenix initialization.
+type Config struct {
+	// Spares is the number of world ranks held out of the resilient
+	// communicator as replacements.
+	Spares int
+	// ShrinkOnExhaustion, when true, continues with a smaller resilient
+	// communicator once spares run out instead of failing the job.
+	ShrinkOnExhaustion bool
+	// OnRecover, if set, runs on every rank after communicator repair,
+	// before the application body is re-entered (Fenix recovery callback).
+	OnRecover func(*Context)
+}
+
+// Context is one rank's Fenix handle, valid for the duration of Run.
+type Context struct {
+	p    *mpi.Proc
+	rt   *runtime
+	role Role
+	comm *mpi.Comm
+	gen  int
+	// logicalRank is the rank's identity within the resilient
+	// communicator; a Recovered rank adopts its failed predecessor's.
+	logicalRank int
+}
+
+// Proc returns the underlying MPI process.
+func (c *Context) Proc() *mpi.Proc { return c.p }
+
+// Comm returns the current resilient communicator. It changes across
+// recoveries; application code must always obtain it from the Context.
+func (c *Context) Comm() *mpi.Comm { return c.comm }
+
+// Role returns the rank's role as of the most recent (re-)entry.
+func (c *Context) Role() Role { return c.role }
+
+// Generation counts completed repairs (0 before any failure).
+func (c *Context) Generation() int { return c.gen }
+
+// Rank returns the rank's logical ID within the resilient communicator.
+func (c *Context) Rank() int { return c.logicalRank }
+
+// Size returns the resilient communicator size.
+func (c *Context) Size() int { return c.comm.Size() }
+
+// fenixJump is the panic payload emitted by Check, the analogue of the
+// ULFM error handler's longjmp back to Fenix_Init.
+type fenixJump struct{ err error }
+
+// Check inspects err: nil passes through, ULFM errors trigger the Fenix
+// recovery jump (panic recovered by Run), and other errors are returned
+// for the application to handle.
+func (c *Context) Check(err error) error {
+	if err == nil {
+		return nil
+	}
+	if mpi.IsULFMError(err) {
+		panic(fenixJump{err: err})
+	}
+	return err
+}
+
+// Body is the application code protected by Fenix: everything that in an
+// MPI program would sit between Fenix_Init and Fenix_Finalize.
+type Body func(ctx *Context) error
+
+// Run initializes Fenix on process p and executes body under its
+// protection, re-entering it after each recovered failure. Spare ranks
+// block inside Run until they are activated as replacements (or until the
+// job finalizes without needing them, in which case Run returns nil).
+//
+// All ranks of the world must call Run with an equivalent Config.
+func Run(p *mpi.Proc, cfg Config, body Body) error {
+	rt, err := runtimeFor(p.World(), cfg)
+	if err != nil {
+		return err
+	}
+	ctx, active, err := rt.initRank(p)
+	if err != nil {
+		return err
+	}
+	if !active {
+		return nil // unused spare: job completed without it
+	}
+	for {
+		err := runBody(ctx, body)
+		if err == nil {
+			rt.finalize(ctx)
+			return nil
+		}
+		if !mpi.IsULFMError(err) {
+			rt.finalize(ctx)
+			return err
+		}
+		if rerr := rt.recover(ctx); rerr != nil {
+			rt.finalize(ctx)
+			return rerr
+		}
+		if cfg.OnRecover != nil {
+			cfg.OnRecover(ctx)
+		}
+	}
+}
+
+// runBody invokes body, converting Check's jump panic back into an error.
+func runBody(ctx *Context, body Body) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if j, ok := r.(fenixJump); ok {
+				err = j.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return body(ctx)
+}
+
+// runtime is the per-world Fenix coordinator shared by all rank
+// goroutines. In a real deployment this state is distributed; the
+// simulation centralizes it, with the corresponding communication costs
+// charged through the machine model.
+type runtime struct {
+	world *mpi.World
+	cfg   Config
+
+	mu        sync.Mutex
+	comm      *mpi.Comm // current resilient communicator
+	gen       int
+	spares    []int               // world ranks not yet activated
+	slots     []int               // logical rank -> world rank
+	waiters   map[int]chan sparse // blocked spares by world rank
+	finalized map[int]bool        // world ranks done with the body
+	repairs   map[int]*repair     // generation -> in-progress repair
+	imr       map[int]*imrSlot    // logical rank -> IMR storage
+	imrKeep   int
+}
+
+// jobDoneLocked reports whether every current member of the resilient
+// communicator has finalized (or died): at that point unused spares will
+// never be activated and can be released. Caller holds rt.mu.
+func (rt *runtime) jobDoneLocked() bool {
+	if rt.comm == nil {
+		return false
+	}
+	deadSet := make(map[int]bool)
+	for _, wr := range rt.world.DeadRanks() {
+		deadSet[wr] = true
+	}
+	for _, wr := range rt.slots {
+		if !rt.finalized[wr] && !deadSet[wr] {
+			return false
+		}
+	}
+	return true
+}
+
+// releaseSparesLocked unblocks all waiting spares with an inactive result.
+// Caller holds rt.mu.
+func (rt *runtime) releaseSparesLocked() {
+	for wr, ch := range rt.waiters {
+		delete(rt.waiters, wr)
+		ch <- sparse{}
+	}
+}
+
+// sparse is the activation message delivered to a blocked spare. The spare
+// applies syncTime/repairCost to its own clock (the completing survivor
+// must not touch another goroutine's clock).
+type sparse struct {
+	ctx        *Context
+	err        error
+	syncTime   float64
+	repairCost float64
+}
+
+// repair coordinates one communicator recovery.
+type repair struct {
+	gen      int
+	arrivals map[int]float64 // world rank -> arrival clock
+	done     chan struct{}
+
+	newComm  *mpi.Comm
+	newSlots []int
+	syncTime float64
+	err      error
+}
+
+// registry maps worlds to their Fenix runtime (created by the first rank
+// to call Run).
+var registry sync.Map // *mpi.World -> *runtime
+
+func runtimeFor(w *mpi.World, cfg Config) (*runtime, error) {
+	if cfg.Spares < 0 || cfg.Spares >= w.Size() {
+		return nil, fmt.Errorf("fenix: %d spares invalid for world size %d", cfg.Spares, w.Size())
+	}
+	rt := &runtime{
+		world:     w,
+		cfg:       cfg,
+		waiters:   make(map[int]chan sparse),
+		finalized: make(map[int]bool),
+		repairs:   make(map[int]*repair),
+		imr:       make(map[int]*imrSlot),
+		imrKeep:   2,
+	}
+	actual, loaded := registry.LoadOrStore(w, rt)
+	got := actual.(*runtime)
+	if loaded && got.cfg.Spares != cfg.Spares {
+		return nil, fmt.Errorf("fenix: inconsistent spare counts across ranks (%d vs %d)", got.cfg.Spares, cfg.Spares)
+	}
+	if !loaded {
+		// Re-evaluate pending repairs whenever a failure occurs: a rank
+		// dying mid-recovery must not leave the repair waiting for it.
+		w.RegisterDeathHook(func(int) {
+			got.mu.Lock()
+			for _, r := range got.repairs {
+				got.tryCompleteRepairLocked(r)
+			}
+			got.mu.Unlock()
+		})
+	}
+	return got, nil
+}
+
+// initCost is the virtual cost of Fenix initialization beyond the
+// communicator split, in seconds.
+const initCost = 10e-3
+
+// initRank performs Fenix_Init for one rank. Members of the resilient
+// communicator return immediately with an initial Context; spares block
+// until activated or released.
+func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
+	rt.mu.Lock()
+	if rt.comm == nil {
+		n := rt.world.Size() - rt.cfg.Spares
+		group := make([]int, n)
+		for i := range group {
+			group[i] = i
+		}
+		rt.slots = append([]int(nil), group...)
+		for r := n; r < rt.world.Size(); r++ {
+			rt.spares = append(rt.spares, r)
+		}
+		rt.comm = rt.world.NewComm(group)
+	}
+	comm := rt.comm
+	isSpare := comm.Rank(p) < 0
+
+	if !isSpare {
+		rt.mu.Unlock()
+		p.ChargeTime(trace.ResilienceInit, initCost+p.Machine().CollectiveTime(rt.world.Size(), 8))
+		return &Context{p: p, rt: rt, role: RoleInitial, comm: comm, logicalRank: comm.Rank(p)}, true, nil
+	}
+
+	if rt.jobDoneLocked() {
+		// The members already finished; this spare will never be needed.
+		rt.mu.Unlock()
+		return nil, false, nil
+	}
+	ch := make(chan sparse, 1)
+	rt.waiters[p.Rank()] = ch
+	// A pending repair may have been waiting for this spare to register.
+	for _, r := range rt.repairs {
+		rt.tryCompleteRepairLocked(r)
+	}
+	rt.mu.Unlock()
+	p.ChargeTime(trace.ResilienceInit, initCost+p.Machine().CollectiveTime(rt.world.Size(), 8))
+
+	act := <-ch
+	if act.ctx == nil {
+		return nil, false, act.err
+	}
+	p.Clock().AdvanceTo(act.syncTime)
+	p.Recorder().AddRaw(trace.ResilienceInit, act.repairCost)
+	return act.ctx, true, nil
+}
+
+// finalize marks a rank's body as complete. When every active rank has
+// finalized, blocked spares are released.
+func (rt *runtime) finalize(ctx *Context) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.finalized[ctx.p.Rank()] {
+		return
+	}
+	rt.finalized[ctx.p.Rank()] = true
+	// A rank finalizing can complete a pending repair (it is no longer an
+	// expected participant) or finish the job entirely.
+	for _, r := range rt.repairs {
+		rt.tryCompleteRepairLocked(r)
+	}
+	if rt.jobDoneLocked() {
+		rt.releaseSparesLocked()
+	}
+}
+
+// recover runs the Fenix failure-recovery protocol for one survivor:
+// revoke, repair rendezvous, communicator substitution, clock sync.
+func (rt *runtime) recover(ctx *Context) error {
+	p := ctx.p
+
+	// Propagate the failure: revoke the resilient communicator so every
+	// rank blocked in an operation on it reaches its own recover call.
+	ctx.comm.Revoke(p)
+
+	rt.mu.Lock()
+	gen := ctx.gen
+	r, ok := rt.repairs[gen]
+	if !ok {
+		r = &repair{gen: gen, arrivals: make(map[int]float64), done: make(chan struct{})}
+		rt.repairs[gen] = r
+	}
+	r.arrivals[p.Rank()] = p.Now()
+	rt.tryCompleteRepairLocked(r)
+	rt.mu.Unlock()
+
+	<-r.done
+
+	if r.err != nil {
+		return r.err
+	}
+	waited := p.Clock().AdvanceTo(r.syncTime)
+	p.Recorder().Add(trace.ResilienceInit, waited)
+	ctx.comm = r.newComm
+	ctx.role = RoleSurvivor
+	ctx.gen = r.gen + 1
+	ctx.logicalRank = r.newComm.Rank(p)
+	return nil
+}
+
+// tryCompleteRepairLocked completes the repair once every live,
+// non-finalized member of the current resilient communicator has arrived.
+// Caller holds rt.mu.
+func (rt *runtime) tryCompleteRepairLocked(r *repair) {
+	if r.gen != rt.gen {
+		return
+	}
+	deadSet := make(map[int]bool)
+	for _, wr := range rt.world.DeadRanks() {
+		deadSet[wr] = true
+	}
+	var expected []int
+	for _, wr := range rt.comm.Group() {
+		if !deadSet[wr] && !rt.finalized[wr] {
+			expected = append(expected, wr)
+		}
+	}
+	if len(expected) == 0 {
+		return
+	}
+	maxClock := 0.0
+	for _, wr := range expected {
+		t, ok := r.arrivals[wr]
+		if !ok {
+			return
+		}
+		if t > maxClock {
+			maxClock = t
+		}
+	}
+
+	// Count failed slots and make sure every spare we are about to
+	// activate has registered its waiter: the repair must not outrun the
+	// spares still blocking into Fenix initialization.
+	needed := 0
+	for _, wr := range rt.slots {
+		if deadSet[wr] {
+			needed++
+		}
+	}
+	avail := len(rt.spares)
+	if avail > needed {
+		avail = needed
+	}
+	for _, sp := range rt.spares[:avail] {
+		if _, waiting := rt.waiters[sp]; !waiting {
+			return // spare not yet blocked in init; its arrival re-triggers us
+		}
+	}
+
+	// Build the new slot map, substituting spares for failed slots.
+	newSlots := append([]int(nil), rt.slots...)
+	var activated []int // logical ranks filled by spares
+	var shrunkOut []int
+	for slot, wr := range newSlots {
+		if !deadSet[wr] {
+			continue
+		}
+		if len(rt.spares) > 0 {
+			sp := rt.spares[0]
+			rt.spares = rt.spares[1:]
+			newSlots[slot] = sp
+			activated = append(activated, slot)
+		} else if rt.cfg.ShrinkOnExhaustion {
+			shrunkOut = append(shrunkOut, slot)
+		} else {
+			r.err = ErrOutOfSpares
+			rt.gen++
+			close(r.done)
+			// Release blocked spares (none remain, but be thorough) and
+			// fail them too.
+			for wr, ch := range rt.waiters {
+				delete(rt.waiters, wr)
+				ch <- sparse{err: ErrOutOfSpares}
+			}
+			return
+		}
+	}
+	if len(shrunkOut) > 0 {
+		compact := newSlots[:0:0]
+		for slot, wr := range newSlots {
+			if !containsInt(shrunkOut, slot) {
+				compact = append(compact, wr)
+			}
+		}
+		newSlots = compact
+	}
+
+	syncTime := maxClock + rt.world.Machine().RepairTime(len(newSlots))
+	newComm := rt.world.NewComm(newSlots)
+
+	rt.slots = newSlots
+	rt.comm = newComm
+	rt.gen++
+	delete(rt.repairs, r.gen)
+
+	r.newComm = newComm
+	r.newSlots = newSlots
+	r.syncTime = syncTime
+
+	// Activate the substituted spares.
+	for _, slot := range activated {
+		wr := newSlots[slot]
+		ch, ok := rt.waiters[wr]
+		if !ok {
+			panic(fmt.Sprintf("fenix: spare %d activated but not waiting", wr))
+		}
+		delete(rt.waiters, wr)
+		sp := rt.world.Proc(wr)
+		ch <- sparse{
+			ctx: &Context{
+				p:           sp,
+				rt:          rt,
+				role:        RoleRecovered,
+				comm:        newComm,
+				gen:         rt.gen,
+				logicalRank: slot,
+			},
+			syncTime:   syncTime,
+			repairCost: rt.world.Machine().RepairTime(len(newSlots)),
+		}
+	}
+
+	close(r.done)
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// SpareCount returns the number of unused spares remaining (for tests).
+func SpareCount(p *mpi.Proc) int {
+	v, ok := registry.Load(p.World())
+	if !ok {
+		return 0
+	}
+	rt := v.(*runtime)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.spares)
+}

@@ -1,0 +1,127 @@
+package fenix
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestSimultaneousDoubleFailure(t *testing.T) {
+	// Two ranks die in the same generation, before either failure has
+	// been recovered: one repair must substitute both spares at once.
+	errs, _ := runFenix(6, Config{Spares: 2}, func(ctx *Context) error {
+		if ctx.Role() == RoleInitial && (ctx.p.Rank() == 1 || ctx.p.Rank() == 3) {
+			ctx.p.Exit()
+		}
+		sum, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if ctx.Size() != 4 {
+			t.Errorf("size = %d after double repair", ctx.Size())
+		}
+		if sum != 4 {
+			t.Errorf("allreduce = %d", sum)
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}
+
+func TestSimultaneousFailuresExceedSpares(t *testing.T) {
+	// Two die, one spare: the job must fail cleanly with ErrOutOfSpares,
+	// not hang.
+	errs, _ := runFenix(5, Config{Spares: 1}, func(ctx *Context) error {
+		if ctx.Role() == RoleInitial && (ctx.p.Rank() == 0 || ctx.p.Rank() == 2) {
+			ctx.p.Exit()
+		}
+		_, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum)
+		return err
+	})
+	sawOut := false
+	for i, e := range errs {
+		if i == 0 || i == 2 {
+			continue
+		}
+		if e != nil {
+			sawOut = true
+		}
+	}
+	if !sawOut {
+		t.Fatal("no survivor reported ErrOutOfSpares")
+	}
+}
+
+func TestSimultaneousFailuresWithShrink(t *testing.T) {
+	// Two die, one spare, shrinking enabled: one slot is refilled, the
+	// other is compacted away.
+	var mu sync.Mutex
+	sizes := map[int]int{}
+	errs, _ := runFenix(5, Config{Spares: 1, ShrinkOnExhaustion: true}, func(ctx *Context) error {
+		if ctx.Role() == RoleInitial && (ctx.p.Rank() == 0 && ctx.Generation() == 0 || ctx.p.Rank() == 2 && ctx.Generation() == 0) {
+			ctx.p.Exit()
+		}
+		if _, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum); err != nil {
+			return err
+		}
+		mu.Lock()
+		sizes[ctx.p.Rank()] = ctx.Size()
+		mu.Unlock()
+		return nil
+	})
+	checkNoErrs(t, errs, 0, 2)
+	mu.Lock()
+	defer mu.Unlock()
+	for wr, size := range sizes {
+		if size != 3 { // 4 original - 2 dead + 1 spare
+			t.Fatalf("world rank %d saw size %d, want 3", wr, size)
+		}
+	}
+}
+
+func TestThreeSequentialFailures(t *testing.T) {
+	errs, _ := runFenix(8, Config{Spares: 3}, func(ctx *Context) error {
+		kill := map[int]int{0: 1, 1: 2, 2: 3} // generation -> world rank to kill
+		for gen := 0; gen < 3; gen++ {
+			if ctx.Generation() == gen {
+				if wr, ok := kill[gen]; ok && ctx.p.Rank() == wr && ctx.Role() != RoleRecovered {
+					ctx.p.Exit()
+				}
+			}
+			if _, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum); err != nil {
+				return err
+			}
+		}
+		if ctx.Size() != 5 {
+			t.Errorf("final size %d", ctx.Size())
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}
+
+func TestRecoveredRankFailsAgain(t *testing.T) {
+	// A spare takes over logical rank 1, then the replacement itself dies
+	// and a second spare takes the same slot.
+	errs, _ := runFenix(5, Config{Spares: 2}, func(ctx *Context) error {
+		if ctx.Role() == RoleInitial && ctx.p.Rank() == 1 {
+			ctx.p.Exit()
+		}
+		if _, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum); err != nil {
+			return err
+		}
+		// The first replacement (world rank 3, logical 1) dies too.
+		if ctx.Role() == RoleRecovered && ctx.p.Rank() == 3 {
+			ctx.p.Exit()
+		}
+		if _, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum); err != nil {
+			return err
+		}
+		if ctx.Size() != 3 {
+			t.Errorf("size %d", ctx.Size())
+		}
+		return nil
+	})
+	checkNoErrs(t, errs)
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"repro/internal/trace"
+)
+
+// WriteFig5CSV emits Figure 5 data as CSV for external plotting.
+func WriteFig5CSV(w io.Writer, points []HeatdisPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{"data_mb", "nodes", "strategy", "wall_ok_s", "wall_fail_s", "failure_cost_s"}
+	for _, c := range fig5Categories {
+		header = append(header, "ok_"+csvName(c))
+	}
+	for _, c := range fig5Categories {
+		header = append(header, "fail_"+csvName(c))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range points {
+		row := []string{
+			fmt.Sprint(p.BytesPerRank / MB),
+			fmt.Sprint(p.Nodes),
+			p.Strategy.String(),
+			fmt.Sprintf("%.6f", p.OverheadWall),
+			fmt.Sprintf("%.6f", p.FailureWall),
+			fmt.Sprintf("%.6f", p.FailureCost()),
+		}
+		for _, c := range fig5Categories {
+			row = append(row, fmt.Sprintf("%.6f", p.Overhead.Get(c)))
+		}
+		for _, c := range fig5Categories {
+			row = append(row, fmt.Sprintf("%.6f", p.FailureTimes.Get(c)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV emits Figure 6 data as CSV.
+func WriteFig6CSV(w io.Writer, points []MiniMDPoint) error {
+	cw := csv.NewWriter(w)
+	header := []string{"ranks", "sim_size", "strategy", "wall_ok_s", "wall_fail_s", "failure_cost_s"}
+	for _, c := range fig6Categories {
+		header = append(header, "ok_"+csvName(c))
+	}
+	for _, c := range fig6Categories {
+		header = append(header, "fail_"+csvName(c))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range points {
+		row := []string{
+			fmt.Sprint(p.Ranks),
+			fmt.Sprint(p.SimSize),
+			p.Strategy.String(),
+			fmt.Sprintf("%.6f", p.OverheadWall),
+			fmt.Sprintf("%.6f", p.FailureWall),
+			fmt.Sprintf("%.6f", p.FailureCost()),
+		}
+		for _, c := range fig6Categories {
+			row = append(row, fmt.Sprintf("%.6f", p.Overhead.Get(c)))
+		}
+		for _, c := range fig6Categories {
+			row = append(row, fmt.Sprintf("%.6f", p.FailureTimes.Get(c)))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV emits Figure 7 data as CSV.
+func WriteFig7CSV(w io.Writer, points []Fig7Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sim_size", "views", "checkpointed_n", "alias_n", "skipped_n",
+		"checkpointed_pct", "alias_pct", "skipped_pct"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			fmt.Sprint(p.Size), fmt.Sprint(p.Views),
+			fmt.Sprint(p.CheckpointedN), fmt.Sprint(p.AliasN), fmt.Sprint(p.SkippedN),
+			fmt.Sprintf("%.3f", p.CheckpointedPct),
+			fmt.Sprintf("%.3f", p.AliasPct),
+			fmt.Sprintf("%.3f", p.SkippedPct),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// csvName converts a category label to a CSV-friendly identifier.
+func csvName(c trace.Category) string {
+	out := make([]rune, 0, len(c.String()))
+	for _, r := range c.String() {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == ' ':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,311 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// fastOpts shrinks the sweeps for unit testing while keeping the paper's
+// 6-checkpoint cadence.
+func fastOpts() HeatdisOptions {
+	return HeatdisOptions{
+		Machine:    sim.DefaultMachine(),
+		Iterations: 60,
+		Interval:   10,
+		Seed:       7,
+		ActualRows: 8,
+		ActualCols: 16,
+	}
+}
+
+func TestFailIterationPlacement(t *testing.T) {
+	// 60 iterations, interval 10: checkpoints at 9..59; failure 95% of
+	// the way from 49 to 59.
+	if got := failIteration(60, 10); got != 58 {
+		t.Fatalf("failIteration = %d, want 58", got)
+	}
+	if got := failIteration(30, 10); got != 28 {
+		t.Fatalf("failIteration = %d, want 28", got)
+	}
+}
+
+func TestHeatdisCellProducesSaneTimes(t *testing.T) {
+	pt := HeatdisCell(core.StrategyFenixKRVeloC, 8, 64*MB, fastOpts())
+	if pt.OverheadWall <= 0 || pt.FailureWall <= 0 {
+		t.Fatalf("walls %v/%v", pt.OverheadWall, pt.FailureWall)
+	}
+	if pt.FailureCost() <= 0 {
+		t.Fatalf("failure cost %v not positive", pt.FailureCost())
+	}
+	if pt.Overhead.Get(trace.AppCompute) <= 0 {
+		t.Fatal("no compute time")
+	}
+	if pt.Overhead.Get(trace.CheckpointFunc) <= 0 {
+		t.Fatal("no checkpoint function time")
+	}
+	if pt.FailureTimes.Get(trace.Recompute) <= 0 {
+		t.Fatal("no recompute in failure run")
+	}
+	if pt.FailureTimes.Get(trace.DataRecovery) <= 0 {
+		t.Fatal("no data recovery in failure run")
+	}
+}
+
+func TestReferenceHasNoResilienceCosts(t *testing.T) {
+	pt := HeatdisCell(core.StrategyNone, 4, 64*MB, fastOpts())
+	for _, c := range []trace.Category{trace.ResilienceInit, trace.CheckpointFunc, trace.DataRecovery, trace.Recompute} {
+		if pt.Overhead.Get(c) != 0 {
+			t.Fatalf("reference has %v time in %v", pt.Overhead.Get(c), c)
+		}
+	}
+	if pt.FailureCost() != 0 {
+		t.Fatal("reference failure cost should be zero (no failure injected)")
+	}
+}
+
+// TestFig5HeadlineShapes verifies the qualitative results the paper reads
+// off Figure 5.
+func TestFig5HeadlineShapes(t *testing.T) {
+	opts := fastOpts()
+	const nodes = 16
+	size := 256 * MB
+
+	cells := map[core.Strategy]HeatdisPoint{}
+	for _, s := range Fig5Strategies {
+		cells[s] = HeatdisCell(s, nodes, size, opts)
+	}
+
+	ref := cells[core.StrategyNone]
+	krv := cells[core.StrategyKRVeloC]
+	vel := cells[core.StrategyVeloC]
+	fkr := cells[core.StrategyFenixKRVeloC]
+	imr := cells[core.StrategyFenixIMR]
+
+	// (1) KR as a VeloC manager adds no or negligible overhead (< 5%).
+	if krv.OverheadWall > vel.OverheadWall*1.05 {
+		t.Errorf("KR overhead: kr-veloc %v vs veloc %v", krv.OverheadWall, vel.OverheadWall)
+	}
+	// (2) Adding Fenix adds no or negligible overhead over KR+VeloC.
+	if fkr.OverheadWall > krv.OverheadWall*1.05 {
+		t.Errorf("Fenix overhead: fenix-kr-veloc %v vs kr-veloc %v", fkr.OverheadWall, krv.OverheadWall)
+	}
+	// (3) All checkpointing overheads exceed the reference.
+	if !(vel.OverheadWall > ref.OverheadWall) {
+		t.Errorf("checkpointing should cost something: %v vs ref %v", vel.OverheadWall, ref.OverheadWall)
+	}
+	// (4) Fenix recovers failures cheaper than relaunch-based recovery.
+	if !(fkr.FailureCost() < krv.FailureCost()) {
+		t.Errorf("Fenix failure cost %v not below relaunch %v", fkr.FailureCost(), krv.FailureCost())
+	}
+	// (5) The Fenix savings are concentrated in Other (no job relaunch).
+	if !(fkr.FailureTimes.Get(trace.Other) < krv.FailureTimes.Get(trace.Other)) {
+		t.Errorf("Fenix Other %v not below relaunch Other %v",
+			fkr.FailureTimes.Get(trace.Other), krv.FailureTimes.Get(trace.Other))
+	}
+	// (6) IMR at this small size beats VeloC's total overhead impact on
+	// wall time or at least recovers cheaper than relaunch.
+	if !(imr.FailureCost() < krv.FailureCost()) {
+		t.Errorf("IMR failure cost %v not below relaunch %v", imr.FailureCost(), krv.FailureCost())
+	}
+}
+
+func TestIMRCheckpointScalesWithData(t *testing.T) {
+	opts := fastOpts()
+	small := HeatdisCell(core.StrategyFenixIMR, 8, 64*MB, opts)
+	big := HeatdisCell(core.StrategyFenixIMR, 8, 512*MB, opts)
+	cs, cb := small.Overhead.Get(trace.CheckpointFunc), big.Overhead.Get(trace.CheckpointFunc)
+	if !(cb > cs*4) {
+		t.Fatalf("IMR checkpoint function should scale ~linearly with data: %v -> %v", cs, cb)
+	}
+	// VeloC's synchronous cost is only the scratch memcpy: it grows much
+	// more slowly than IMR's network exchange.
+	vs := HeatdisCell(core.StrategyFenixKRVeloC, 8, 64*MB, opts)
+	vb := HeatdisCell(core.StrategyFenixKRVeloC, 8, 512*MB, opts)
+	if !(big.Overhead.Get(trace.CheckpointFunc) > vb.Overhead.Get(trace.CheckpointFunc)) {
+		t.Fatalf("IMR ckpt func (%v) should exceed VeloC's memcpy-only cost (%v) at large sizes",
+			big.Overhead.Get(trace.CheckpointFunc), vb.Overhead.Get(trace.CheckpointFunc))
+	}
+	_ = vs
+}
+
+func TestPartialRollbackReducesRecompute(t *testing.T) {
+	opts := fastOpts()
+	full := HeatdisCell(core.StrategyFenixKRVeloC, 8, 64*MB, opts)
+	part := HeatdisCell(core.StrategyPartialRollback, 8, 64*MB, opts)
+	if !(part.FailureTimes.Get(trace.Recompute) < full.FailureTimes.Get(trace.Recompute)) {
+		t.Fatalf("partial rollback recompute %v not below full %v",
+			part.FailureTimes.Get(trace.Recompute), full.FailureTimes.Get(trace.Recompute))
+	}
+}
+
+func TestMiniMDCell(t *testing.T) {
+	opts := MiniMDOptions{Steps: 30, Interval: 10, AtomsPerRank: 100_000, Seed: 3}
+	pt := MiniMDCell(core.StrategyFenixKRVeloC, 4, opts)
+	if pt.Overhead.Get(trace.ForceCompute) <= 0 ||
+		pt.Overhead.Get(trace.Neighboring) <= 0 ||
+		pt.Overhead.Get(trace.Communicator) <= 0 {
+		t.Fatalf("missing section times: %v", pt.Overhead)
+	}
+	if pt.FailureCost() <= 0 {
+		t.Fatalf("failure cost %v", pt.FailureCost())
+	}
+	// Fenix keeps "Other" small vs the relaunch configuration.
+	rl := MiniMDCell(core.StrategyKRVeloC, 4, opts)
+	if !(pt.FailureTimes.Get(trace.Other) < rl.FailureTimes.Get(trace.Other)) {
+		t.Fatalf("Fenix Other %v not below relaunch %v",
+			pt.FailureTimes.Get(trace.Other), rl.FailureTimes.Get(trace.Other))
+	}
+}
+
+func TestWeakScaleSize(t *testing.T) {
+	s8 := weakScaleSize(8, 500_000)
+	s64 := weakScaleSize(64, 500_000)
+	if !(s64 > s8) {
+		t.Fatalf("weak scaling sizes %d, %d", s8, s64)
+	}
+	// Doubling ranks 8x should double the edge (cube root).
+	if s64 < s8*19/10 || s64 > s8*21/10 {
+		t.Fatalf("64-rank edge %d not ~2x 8-rank edge %d", s64, s8)
+	}
+}
+
+func TestFig7ViewCensus(t *testing.T) {
+	pts := Fig7ViewCensus(nil)
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Views != 61 || p.CheckpointedN != 39 || p.AliasN != 3 || p.SkippedN != 19 {
+			t.Fatalf("size %d census %d/%d/%d/%d", p.Size, p.Views, p.CheckpointedN, p.AliasN, p.SkippedN)
+		}
+		total := p.CheckpointedPct + p.AliasPct + p.SkippedPct
+		if total < 99.9 || total > 100.1 {
+			t.Fatalf("percentages sum to %v", total)
+		}
+	}
+}
+
+func TestComplexityReport(t *testing.T) {
+	c, err := ComplexityReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Views != 61 || c.Checkpointed != 39 || c.Aliases != 3 || c.Skipped != 19 {
+		t.Fatalf("views %d/%d/%d/%d", c.Views, c.Checkpointed, c.Aliases, c.Skipped)
+	}
+	if c.MPICallSites < 5 {
+		t.Fatalf("MPI call sites %d suspiciously low", c.MPICallSites)
+	}
+	if c.MPIFiles < 1 || c.TotalFiles < 4 {
+		t.Fatalf("files %d/%d", c.MPIFiles, c.TotalFiles)
+	}
+	if c.ResilienceLines <= 0 || c.ResilienceLines > 25 {
+		t.Fatalf("resilience integration lines %d, want small and positive", c.ResilienceLines)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	opts := fastOpts()
+	pt := HeatdisCell(core.StrategyFenixKRVeloC, 4, 64*MB, opts)
+	var b strings.Builder
+	RenderFig5(&b, "Figure 5 test", []HeatdisPoint{pt})
+	if !strings.Contains(b.String(), "fenix-kr-veloc") || !strings.Contains(b.String(), "Checkpoint Function") {
+		t.Fatalf("fig5 render missing content:\n%s", b.String())
+	}
+
+	mopts := MiniMDOptions{Steps: 20, Interval: 10, AtomsPerRank: 50_000, Seed: 3}
+	mpt := MiniMDCell(core.StrategyNone, 2, mopts)
+	b.Reset()
+	RenderFig6(&b, []MiniMDPoint{mpt})
+	if !strings.Contains(b.String(), "Force Compute") {
+		t.Fatal("fig6 render missing sections")
+	}
+
+	b.Reset()
+	RenderFig7(&b, Fig7ViewCensus([]int{100}))
+	if !strings.Contains(b.String(), "100^3") {
+		t.Fatal("fig7 render missing size")
+	}
+
+	c, err := ComplexityReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	RenderComplexity(&b, c)
+	if !strings.Contains(b.String(), "view objects captured") {
+		t.Fatal("complexity render missing content")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	opts := fastOpts()
+	pt := HeatdisCell(core.StrategyFenixKRVeloC, 4, 64*MB, opts)
+	var b strings.Builder
+	if err := WriteFig5CSV(&b, []HeatdisPoint{pt}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fenix-kr-veloc") || !strings.Contains(b.String(), "ok_checkpoint_function") {
+		t.Fatalf("fig5 csv missing content:\n%s", b.String())
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("fig5 csv has %d lines, want 2", lines)
+	}
+
+	mopts := MiniMDOptions{Steps: 20, Interval: 10, AtomsPerRank: 50_000, Seed: 3}
+	mpt := MiniMDCell(core.StrategyNone, 2, mopts)
+	b.Reset()
+	if err := WriteFig6CSV(&b, []MiniMDPoint{mpt}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ok_force_compute") {
+		t.Fatal("fig6 csv missing section column")
+	}
+
+	b.Reset()
+	if err := WriteFig7CSV(&b, Fig7ViewCensus([]int{100})); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "100") {
+		t.Fatal("fig7 csv missing data")
+	}
+}
+
+func TestStorageFootprintByStrategy(t *testing.T) {
+	// VeloC leaves persistent checkpoints in the PFS; IMR keeps them in
+	// rank memory and writes nothing persistent — the memory-for-speed
+	// trade the paper describes.
+	opts := fastOpts()
+	cfg := heatdisConfigForFootprint()
+	velocRes := runForFootprint(t, core.StrategyFenixKRVeloC, cfg, opts)
+	imrRes := runForFootprint(t, core.StrategyFenixIMR, cfg, opts)
+
+	if velocRes.Cluster.PFS().SimBytes() <= 0 {
+		t.Fatal("VeloC run left nothing in the PFS")
+	}
+	if imrRes.Cluster.PFS().SimBytes() != 0 {
+		t.Fatalf("IMR run wrote %d bytes to the PFS", imrRes.Cluster.PFS().SimBytes())
+	}
+}
+
+func heatdisConfigForFootprint() heatdis.Config {
+	return heatdis.Config{BytesPerRank: 64 * MB, Iterations: 30, CheckpointInterval: 10, ActualRows: 8, ActualCols: 16}
+}
+
+func runForFootprint(t *testing.T, strat core.Strategy, cfg heatdis.Config, opts HeatdisOptions) *core.Result {
+	t.Helper()
+	sink := heatdis.NewSink()
+	cc := core.Config{Strategy: strat, Spares: 2, CheckpointInterval: cfg.CheckpointInterval, CheckpointName: "fp"}
+	res := core.Run(mpi.JobConfig{Ranks: 6, Machine: opts.Machine, Seed: 3}, cc, heatdis.App(cfg, sink))
+	if res.Failed {
+		t.Fatalf("%v run failed", strat)
+	}
+	return res
+}

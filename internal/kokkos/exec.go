@@ -1,0 +1,143 @@
+package kokkos
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ExecSpace is a host execution space dispatching parallel patterns over a
+// fixed worker count. Results are deterministic: ranges are partitioned into
+// contiguous chunks and reduction partials are combined in chunk order
+// regardless of completion order.
+type ExecSpace struct {
+	workers int
+}
+
+// DefaultExec is the process-wide execution space sized to the host CPU.
+var DefaultExec = NewExecSpace(0)
+
+// NewExecSpace creates an execution space with the given concurrency;
+// workers <= 0 selects runtime.NumCPU().
+func NewExecSpace(workers int) *ExecSpace {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &ExecSpace{workers: workers}
+}
+
+// Workers returns the space's concurrency.
+func (e *ExecSpace) Workers() int { return e.workers }
+
+// chunks partitions [0,n) into at most e.workers contiguous ranges.
+func (e *ExecSpace) chunks(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	out := make([][2]int, 0, w)
+	base, rem := n/w, n%w
+	start := 0
+	for i := 0; i < w; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// ParallelFor applies f to every i in [0,n). f must only write state owned
+// by index i (the usual Kokkos requirement).
+func (e *ExecSpace) ParallelFor(n int, f func(i int)) {
+	cs := e.chunks(n)
+	if len(cs) <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for _, c := range cs {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(c[0], c[1])
+	}
+	wg.Wait()
+}
+
+// ParallelReduce sums f(i) over [0,n) deterministically: per-chunk partials
+// are accumulated in index order within each chunk and combined in chunk
+// order, so the result is bitwise reproducible for a given worker count.
+func (e *ExecSpace) ParallelReduce(n int, f func(i int) float64) float64 {
+	cs := e.chunks(n)
+	if len(cs) == 0 {
+		return 0
+	}
+	if len(cs) == 1 {
+		var acc float64
+		for i := 0; i < n; i++ {
+			acc += f(i)
+		}
+		return acc
+	}
+	partials := make([]float64, len(cs))
+	var wg sync.WaitGroup
+	for ci, c := range cs {
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			var acc float64
+			for i := lo; i < hi; i++ {
+				acc += f(i)
+			}
+			partials[ci] = acc
+		}(ci, c[0], c[1])
+	}
+	wg.Wait()
+	var acc float64
+	for _, p := range partials {
+		acc += p
+	}
+	return acc
+}
+
+// ParallelReduceMax returns the maximum of f(i) over [0,n), or 0 for an
+// empty range.
+func (e *ExecSpace) ParallelReduceMax(n int, f func(i int) float64) float64 {
+	cs := e.chunks(n)
+	if len(cs) == 0 {
+		return 0
+	}
+	partials := make([]float64, len(cs))
+	var wg sync.WaitGroup
+	for ci, c := range cs {
+		wg.Add(1)
+		go func(ci, lo, hi int) {
+			defer wg.Done()
+			acc := f(lo)
+			for i := lo + 1; i < hi; i++ {
+				if v := f(i); v > acc {
+					acc = v
+				}
+			}
+			partials[ci] = acc
+		}(ci, c[0], c[1])
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		if p > acc {
+			acc = p
+		}
+	}
+	return acc
+}

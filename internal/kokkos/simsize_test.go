@@ -1,0 +1,38 @@
+package kokkos
+
+import "testing"
+
+func TestSimBytesDefaultsToActual(t *testing.T) {
+	v := NewF64("x", 10)
+	if v.SimBytes() != v.SizeBytes() {
+		t.Fatalf("SimBytes %d != SizeBytes %d", v.SimBytes(), v.SizeBytes())
+	}
+	i := NewI32("y", 10)
+	if i.SimBytes() != 40 {
+		t.Fatalf("I32 SimBytes %d", i.SimBytes())
+	}
+}
+
+func TestSetSimBytesOverrides(t *testing.T) {
+	v := NewF64("x", 10)
+	v.SetSimBytes(1 << 30)
+	if v.SimBytes() != 1<<30 {
+		t.Fatalf("SimBytes = %d", v.SimBytes())
+	}
+	if v.SizeBytes() != 80 {
+		t.Fatal("SetSimBytes must not change actual size")
+	}
+	// Refs inherit the override (same header copy).
+	r := v.Ref("x2")
+	if r.SimBytes() != 1<<30 {
+		t.Fatalf("Ref SimBytes = %d", r.SimBytes())
+	}
+}
+
+func TestSetSimBytesI32(t *testing.T) {
+	v := NewI32("x", 4)
+	v.SetSimBytes(999)
+	if v.SimBytes() != 999 {
+		t.Fatalf("SimBytes = %d", v.SimBytes())
+	}
+}

@@ -1,0 +1,136 @@
+package kr
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fenix"
+	"repro/internal/mpi"
+	"repro/internal/veloc"
+)
+
+// blobRegion adapts the context's serialized view blob as a VeloC region.
+// Unlike veloc.SliceRegion it accepts restores of any length: a recovered
+// process restores before it has ever produced a blob of its own.
+type blobRegion struct {
+	b   *[]byte
+	sim *int
+}
+
+func (r blobRegion) Bytes() []byte { return *r.b }
+
+func (r blobRegion) Restore(data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	*r.b = cp
+	return nil
+}
+
+func (r blobRegion) SimBytes() int {
+	if *r.sim > 0 {
+		return *r.sim
+	}
+	return len(*r.b)
+}
+
+// VeloCBackend connects a Context to a veloc.Client. In Collective mode it
+// defers version selection to VeloC itself; in Single mode (the paper's
+// modification) it performs the globally-best-version reduction manually
+// over the communicator currently installed by the Context.
+type VeloCBackend struct {
+	client *veloc.Client
+	name   string
+	blob   []byte
+	sim    int
+}
+
+// NewVeloCBackend creates the backend. name distinguishes checkpoint sets
+// (VeloC checkpoint names).
+func NewVeloCBackend(client *veloc.Client, name string) *VeloCBackend {
+	b := &VeloCBackend{client: client, name: name}
+	client.Protect(0, blobRegion{&b.blob, &b.sim})
+	return b
+}
+
+// Client returns the underlying VeloC client.
+func (b *VeloCBackend) Client() *veloc.Client { return b.client }
+
+// Checkpoint persists blob as the given version via VeloC.
+func (b *VeloCBackend) Checkpoint(version int, blob []byte, simBytes int) error {
+	b.blob = blob
+	b.sim = simBytes
+	return b.client.Checkpoint(b.name, version)
+}
+
+// Restore retrieves the blob for version via VeloC.
+func (b *VeloCBackend) Restore(version int) ([]byte, error) {
+	if err := b.client.Restart(b.name, version); err != nil {
+		if errors.Is(err, veloc.ErrNoCheckpoint) {
+			return nil, fmt.Errorf("%w: version %d", ErrNoCheckpoint, version)
+		}
+		return nil, err
+	}
+	return b.blob, nil
+}
+
+// LatestVersion returns the newest version restorable at every rank.
+func (b *VeloCBackend) LatestVersion(comm *mpi.Comm) (int, error) {
+	var v int
+	var err error
+	if b.client.Mode() == veloc.Collective {
+		v, err = b.client.LatestVersion(b.name)
+	} else {
+		v, err = b.client.BestCommonVersion(b.name, comm)
+	}
+	if errors.Is(err, veloc.ErrNoCheckpoint) {
+		return 0, ErrNoCheckpoint
+	}
+	return v, err
+}
+
+// SetComm updates the client's communicator after a repair.
+func (b *VeloCBackend) SetComm(comm *mpi.Comm) { b.client.SetComm(comm) }
+
+// SetRank updates the client's logical rank identity.
+func (b *VeloCBackend) SetRank(rank int) { b.client.SetRank(rank) }
+
+// IMRBackend connects a Context to Fenix's in-memory redundancy store.
+// Restore is collective: all ranks of the resilient communicator must call
+// it together (the buddy protocol requires the partner's participation).
+type IMRBackend struct {
+	imr *fenix.IMR
+}
+
+// NewIMRBackend wraps a fenix.IMR handle.
+func NewIMRBackend(imr *fenix.IMR) *IMRBackend { return &IMRBackend{imr: imr} }
+
+// Checkpoint stores blob in memory locally and at the buddy rank.
+func (b *IMRBackend) Checkpoint(version int, blob []byte, simBytes int) error {
+	return b.imr.CheckpointSized(version, blob, simBytes)
+}
+
+// Restore retrieves blob for version (collective).
+func (b *IMRBackend) Restore(version int) ([]byte, error) {
+	blob, err := b.imr.Restore(version)
+	if errors.Is(err, fenix.ErrIMRNoCheckpoint) {
+		return nil, ErrNoCheckpoint
+	}
+	return blob, err
+}
+
+// LatestVersion returns the newest version restorable at every rank
+// (collective agreement).
+func (b *IMRBackend) LatestVersion(comm *mpi.Comm) (int, error) {
+	v, err := b.imr.LatestCommon()
+	if errors.Is(err, fenix.ErrIMRNoCheckpoint) {
+		return 0, ErrNoCheckpoint
+	}
+	return v, err
+}
+
+// SetComm is a no-op: the IMR handle always reads the current resilient
+// communicator from its Fenix context.
+func (b *IMRBackend) SetComm(comm *mpi.Comm) {}
+
+// SetRank is a no-op for the same reason.
+func (b *IMRBackend) SetRank(rank int) {}

@@ -1,0 +1,31 @@
+package kr_test
+
+import (
+	"fmt"
+
+	"repro/internal/kokkos"
+	"repro/internal/kr"
+)
+
+// CensusOf classifies a checkpoint region's captured views the way Kokkos
+// Resilience does: first sight of an allocation is checkpointed, later
+// sights are skipped, declared swap-space labels are aliases.
+func ExampleCensusOf() {
+	x := kokkos.NewF64("x", 1000)
+	v := kokkos.NewF64("v", 1000)
+	xSwap := kokkos.NewF64("x_swap", 1000)
+
+	capture := []kokkos.View{
+		x, v, xSwap,
+		x.Ref("x@force"), // duplicate capture through the force object
+		x.Ref("x@comm"),  // ... and through the comm object
+	}
+	census := kr.CensusOf(capture, map[string]bool{"x_swap": true})
+
+	ck, al, sk := census.Counts()
+	fmt.Printf("checkpointed=%d alias=%d skipped=%d\n", ck, al, sk)
+	fmt.Printf("serialized views: %d\n", len(census.CheckpointedViews()))
+	// Output:
+	// checkpointed=2 alias=1 skipped=2
+	// serialized views: 2
+}

@@ -1,0 +1,23 @@
+package kr
+
+import (
+	"testing"
+
+	"repro/internal/kokkos"
+)
+
+// FuzzDeserializeViews hardens the checkpoint blob parser: arbitrary
+// bytes must never panic, only error.
+func FuzzDeserializeViews(f *testing.F) {
+	a := kokkos.NewF64("a", 4)
+	b := kokkos.NewI32("b", 3)
+	f.Add(serializeViews([]kokkos.View{a, b}))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		x := kokkos.NewF64("a", 4)
+		y := kokkos.NewI32("b", 3)
+		_ = deserializeViews(blob, []kokkos.View{x, y}) // must not panic
+	})
+}

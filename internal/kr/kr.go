@@ -1,0 +1,304 @@
+// Package kr reproduces Kokkos Resilience, the control-flow resilience
+// layer of the paper's integrated system. Applications wrap each
+// checkpoint region (typically a loop body) in Checkpoint; the context
+// decides, per iteration, whether to execute the region, restore its data
+// from a checkpoint (recovery), and/or write a new checkpoint through the
+// configured data backend.
+//
+// The package includes the two modifications the paper contributes
+// (Section V):
+//
+//   - The VeloC backend can be initialized in non-collective (single) mode
+//     and performs the globally-best-checkpoint reduction manually over
+//     whatever communicator the context currently holds, making it
+//     compatible with Fenix's replaceable resilient communicator.
+//   - Context.Reset accepts a new communicator: it clears the checkpoint
+//     metadata cache (a checkpoint finished locally may not have finished
+//     globally), updates the cached rank ID in itself and in VeloC, and
+//     re-arms recovery — the operations Kokkos Resilience needs after a
+//     Fenix repair.
+//
+// View capture mirrors Kokkos Resilience's automatic detection: every view
+// reachable from the region is classified as checkpointed (first sight of
+// its allocation), skipped (duplicate capture of an allocation already
+// checkpointed), or alias (user-declared swap-space labels), reproducing
+// the census in the paper's Figure 7.
+package kr
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/kokkos"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// ErrNoCheckpoint is returned when recovery is requested but no version
+// exists.
+var ErrNoCheckpoint = errors.New("kr: no checkpoint available")
+
+// Backend is a data-resilience backend (VeloC or Fenix IMR).
+type Backend interface {
+	// Checkpoint persists blob as the given version. simBytes is the
+	// blob's size in the simulation's cost model (see kokkos.View.SimBytes).
+	Checkpoint(version int, blob []byte, simBytes int) error
+	// Restore retrieves the blob for version.
+	Restore(version int) ([]byte, error)
+	// LatestVersion returns the newest version restorable at every rank of
+	// comm, or ErrNoCheckpoint.
+	LatestVersion(comm *mpi.Comm) (int, error)
+	// SetComm installs a replacement communicator after a repair.
+	SetComm(comm *mpi.Comm)
+	// SetRank updates the logical rank identity (shrunk continuation).
+	SetRank(rank int)
+}
+
+// Config configures a Context.
+type Config struct {
+	// Interval checkpoints every Interval-th iteration (counting from 1:
+	// iterations Interval-1, 2*Interval-1, ... are checkpointed). Ignored
+	// if Filter is set.
+	Interval int
+	// Filter, if non-nil, decides which iterations to checkpoint.
+	Filter func(iter int) bool
+	// RestoreSurvivors controls whether ranks whose memory survived the
+	// failure restore checkpoint data during recovery. Setting it false
+	// enables the paper's partial-rollback strategy: survivors keep their
+	// in-progress data and only the recovered rank rolls back.
+	RestoreSurvivors bool
+	// Recovered reports whether this rank's memory was lost (Fenix role
+	// Recovered). Consulted only when RestoreSurvivors is false.
+	Recovered func() bool
+}
+
+func (c Config) shouldCheckpoint(iter int) bool {
+	if c.Filter != nil {
+		return c.Filter(iter)
+	}
+	if c.Interval <= 0 {
+		return false
+	}
+	return (iter+1)%c.Interval == 0
+}
+
+// Context is one rank's Kokkos Resilience handle.
+type Context struct {
+	p       *mpi.Proc
+	comm    *mpi.Comm
+	backend Backend
+	cfg     Config
+
+	latest          int // newest globally-available version; -1 if none
+	recoveryPending bool
+	aliases         map[string]bool
+	census          Census
+}
+
+// perRegionOverhead is the control-flow bookkeeping cost of one checkpoint
+// region invocation, in seconds; perViewOverhead is added per captured
+// view. These are the small costs that make KR "no or negligible overhead"
+// in Figure 5.
+const (
+	perRegionOverhead = 2e-5
+	perViewOverhead   = 1e-6
+)
+
+// MakeContext creates a context over comm using the given backend. It
+// queries the backend for existing checkpoints so that a relaunched
+// (fail-restart) process resumes transparently: LatestVersion tells the
+// application where to restart its loop.
+func MakeContext(p *mpi.Proc, comm *mpi.Comm, backend Backend, cfg Config) (*Context, error) {
+	if cfg.RestoreSurvivors && cfg.Recovered != nil {
+		return nil, errors.New("kr: Recovered callback only meaningful with RestoreSurvivors=false")
+	}
+	ctx := &Context{p: p, comm: comm, backend: backend, cfg: cfg, latest: -1, aliases: make(map[string]bool)}
+	p.ChargeTime(trace.ResilienceInit, perRegionOverhead)
+	v, err := backend.LatestVersion(comm)
+	switch {
+	case err == nil:
+		ctx.latest = v
+		ctx.recoveryPending = true
+	case errors.Is(err, ErrNoCheckpoint):
+		// Fresh start.
+	default:
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// Reset re-arms the context after a Fenix repair: install the new
+// communicator, propagate it (and the rank ID) to the backend, drop the
+// cached checkpoint metadata, and re-query the globally-best version.
+func (c *Context) Reset(newComm *mpi.Comm) error {
+	c.comm = newComm
+	c.backend.SetComm(newComm)
+	c.backend.SetRank(newComm.Rank(c.p))
+	c.latest = -1
+	c.recoveryPending = false
+	c.p.ChargeTime(trace.ResilienceInit, perRegionOverhead)
+	v, err := c.backend.LatestVersion(newComm)
+	switch {
+	case err == nil:
+		c.latest = v
+		c.recoveryPending = true
+		return nil
+	case errors.Is(err, ErrNoCheckpoint):
+		return nil
+	default:
+		return err
+	}
+}
+
+// LatestVersion returns the newest globally-available checkpoint version,
+// or -1 if none exists. After a failure the application restarts its loop
+// from this iteration (Figure 4).
+func (c *Context) LatestVersion() int { return c.latest }
+
+// RecoveryPending reports whether the next matching Checkpoint call will
+// restore instead of execute.
+func (c *Context) RecoveryPending() bool { return c.recoveryPending }
+
+// Comm returns the context's current communicator.
+func (c *Context) Comm() *mpi.Comm { return c.comm }
+
+// DeclareAliases marks `alias` as a user-declared alias of `primary`:
+// the alias view is known to contain the same data (e.g. the back buffer
+// of a swap pair) and is never checkpointed.
+func (c *Context) DeclareAliases(primary, alias string) {
+	_ = primary // recorded for documentation; exclusion is by alias label
+	c.aliases[alias] = true
+}
+
+// Checkpoint wraps one iteration of a checkpoint region: the analogue of
+// KokkosResilience::checkpoint(ctx, label, iter, lambda). views lists the
+// Kokkos views the region's lambda captures (the simulation's stand-in for
+// automatic capture detection). Behaviour per call:
+//
+//   - If recovery is pending and iter equals the restored version, the
+//     region body is skipped and the views are overwritten from the
+//     checkpoint (for survivors only if RestoreSurvivors).
+//   - Otherwise the body runs.
+//   - If the iteration matches the checkpoint filter, the captured views
+//     are serialized and handed to the data backend.
+func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body func() error) error {
+	cap := CensusOf(views, c.aliases)
+	c.census = cap
+	c.p.ChargeTime(trace.ResilienceInit, perRegionOverhead+perViewOverhead*float64(len(views)))
+
+	if c.recoveryPending && iter == c.latest {
+		c.recoveryPending = false
+		if c.cfg.RestoreSurvivors {
+			// Full rollback: every rank restores and the region body is
+			// skipped for this iteration (its effects are the restored
+			// data), keeping all ranks' communication aligned.
+			blob, err := c.backend.Restore(iter)
+			if err != nil {
+				return err
+			}
+			return deserializeViews(blob, cap.checkpointed)
+		}
+		// Partial rollback: only the recovered rank rolls its data back,
+		// then ALL ranks execute the body — survivors with their newer
+		// in-progress data, the recovered rank with checkpoint data — so
+		// collectives stay aligned while the solver re-converges.
+		if c.cfg.Recovered != nil && c.cfg.Recovered() {
+			blob, err := c.backend.Restore(iter)
+			if err != nil {
+				return err
+			}
+			if err := deserializeViews(blob, cap.checkpointed); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := body(); err != nil {
+		return err
+	}
+
+	if c.cfg.shouldCheckpoint(iter) {
+		blob := serializeViews(cap.checkpointed)
+		simBytes := 0
+		for _, v := range cap.checkpointed {
+			simBytes += v.SimBytes()
+		}
+		if err := c.backend.Checkpoint(iter, blob, simBytes); err != nil {
+			return err
+		}
+		c.latest = iter
+	}
+	return nil
+}
+
+// Census returns the view classification of the most recent Checkpoint
+// call (the data behind the paper's Figure 7).
+func (c *Context) Census() Census { return c.census }
+
+// serializeViews encodes views as: u32 count, then per view u32 label len,
+// label, u32 data len, data.
+func serializeViews(views []kokkos.View) []byte {
+	var out []byte
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(views)))
+	out = append(out, hdr[:]...)
+	for _, v := range views {
+		label := v.Label()
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(label)))
+		out = append(out, hdr[:]...)
+		out = append(out, label...)
+		data := v.Serialize()
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+		out = append(out, hdr[:]...)
+		out = append(out, data...)
+	}
+	return out
+}
+
+// deserializeViews restores blob into views, matching by label.
+func deserializeViews(blob []byte, views []kokkos.View) error {
+	byLabel := make(map[string]kokkos.View, len(views))
+	for _, v := range views {
+		byLabel[v.Label()] = v
+	}
+	if len(blob) < 4 {
+		return errors.New("kr: truncated checkpoint blob")
+	}
+	count := int(binary.LittleEndian.Uint32(blob))
+	off := 4
+	seen := 0
+	for i := 0; i < count; i++ {
+		if off+4 > len(blob) {
+			return errors.New("kr: truncated label header")
+		}
+		n := int(binary.LittleEndian.Uint32(blob[off:]))
+		off += 4
+		if off+n > len(blob) {
+			return errors.New("kr: truncated label")
+		}
+		label := string(blob[off : off+n])
+		off += n
+		if off+4 > len(blob) {
+			return errors.New("kr: truncated data header")
+		}
+		dn := int(binary.LittleEndian.Uint32(blob[off:]))
+		off += 4
+		if off+dn > len(blob) {
+			return errors.New("kr: truncated data")
+		}
+		v, ok := byLabel[label]
+		if !ok {
+			return fmt.Errorf("kr: checkpoint contains unknown view %q", label)
+		}
+		if err := v.Deserialize(blob[off : off+dn]); err != nil {
+			return err
+		}
+		off += dn
+		seen++
+	}
+	if seen != len(views) {
+		return fmt.Errorf("kr: checkpoint restored %d of %d views", seen, len(views))
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import "fmt"
+
+// Cart is a Cartesian process topology over a communicator
+// (MPI_Cart_create): ranks are mapped row-major onto an N-dimensional
+// grid, with optional periodicity per dimension. It is a pure naming layer
+// over the communicator — neighbor lookups translate to comm ranks.
+type Cart struct {
+	comm     *Comm
+	dims     []int
+	periodic []bool
+}
+
+// NewCart builds a topology over comm. The product of dims must equal the
+// communicator size.
+func NewCart(comm *Comm, dims []int, periodic []bool) (*Cart, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mpi: cart needs at least one dimension")
+	}
+	if len(periodic) != len(dims) {
+		return nil, fmt.Errorf("mpi: cart dims/periodic length mismatch %d vs %d", len(dims), len(periodic))
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("mpi: cart dimension %d invalid", d)
+		}
+		n *= d
+	}
+	if n != comm.Size() {
+		return nil, fmt.Errorf("mpi: cart grid %v holds %d ranks, comm has %d", dims, n, comm.Size())
+	}
+	return &Cart{
+		comm:     comm,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}, nil
+}
+
+// Dims returns the grid shape.
+func (c *Cart) Dims() []int { return append([]int(nil), c.dims...) }
+
+// Comm returns the underlying communicator.
+func (c *Cart) Comm() *Comm { return c.comm }
+
+// Coords returns the grid coordinates of comm rank r (MPI_Cart_coords).
+func (c *Cart) Coords(r int) []int {
+	if r < 0 || r >= c.comm.Size() {
+		panic(fmt.Sprintf("mpi: cart rank %d out of range", r))
+	}
+	out := make([]int, len(c.dims))
+	for i := len(c.dims) - 1; i >= 0; i-- {
+		out[i] = r % c.dims[i]
+		r /= c.dims[i]
+	}
+	return out
+}
+
+// Rank returns the comm rank at the given grid coordinates
+// (MPI_Cart_rank). Periodic dimensions wrap; non-periodic out-of-range
+// coordinates return -1 (MPI_PROC_NULL).
+func (c *Cart) Rank(coords []int) int {
+	if len(coords) != len(c.dims) {
+		panic(fmt.Sprintf("mpi: cart coords length %d, want %d", len(coords), len(c.dims)))
+	}
+	r := 0
+	for i, x := range coords {
+		d := c.dims[i]
+		if x < 0 || x >= d {
+			if !c.periodic[i] {
+				return -1
+			}
+			x = ((x % d) + d) % d
+		}
+		r = r*d + x
+	}
+	return r
+}
+
+// Shift returns the source and destination comm ranks for a displacement
+// along dimension dim (MPI_Cart_shift): src is the neighbor the caller
+// receives from, dst the one it sends to, -1 where the grid ends.
+func (c *Cart) Shift(rank, dim, disp int) (src, dst int) {
+	coords := c.Coords(rank)
+	up := append([]int(nil), coords...)
+	up[dim] += disp
+	down := append([]int(nil), coords...)
+	down[dim] -= disp
+	return c.Rank(down), c.Rank(up)
+}
+
+// BalancedDims factors n ranks into `ndims` near-equal grid dimensions
+// (MPI_Dims_create): largest factors first.
+func BalancedDims(n, ndims int) []int {
+	if ndims <= 0 || n <= 0 {
+		panic("mpi: BalancedDims needs positive arguments")
+	}
+	dims := make([]int, ndims)
+	for i := range dims {
+		dims[i] = 1
+	}
+	// Factorize n, then assign prime factors largest-first onto the
+	// currently smallest dimension, which keeps the grid near-cubic.
+	var factors []int
+	rem := n
+	for f := 2; f*f <= rem; {
+		if rem%f == 0 {
+			factors = append(factors, f)
+			rem /= f
+		} else {
+			f++
+		}
+	}
+	if rem > 1 {
+		factors = append(factors, rem)
+	}
+	for i := len(factors) - 1; i >= 0; i-- {
+		smallest := 0
+		for j := 1; j < ndims; j++ {
+			if dims[j] < dims[smallest] {
+				smallest = j
+			}
+		}
+		dims[smallest] *= factors[i]
+	}
+	// Sort descending for the conventional MPI_Dims_create output.
+	for i := 0; i < ndims; i++ {
+		for j := i + 1; j < ndims; j++ {
+			if dims[j] > dims[i] {
+				dims[i], dims[j] = dims[j], dims[i]
+			}
+		}
+	}
+	return dims
+}

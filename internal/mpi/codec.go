@@ -1,0 +1,51 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeF64 serializes a float64 slice to little-endian bytes.
+func EncodeF64(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeF64 deserializes little-endian bytes produced by EncodeF64.
+func DecodeF64(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64 payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// SendF64 sends a float64 slice to comm rank dst.
+func (c *Comm) SendF64(p *Proc, dst, tag int, data []float64) error {
+	return c.Send(p, dst, tag, EncodeF64(data))
+}
+
+// RecvF64 receives a float64 slice from comm rank src.
+func (c *Comm) RecvF64(p *Proc, src, tag int) ([]float64, error) {
+	b, err := c.Recv(p, src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeF64(b)
+}
+
+// SendrecvF64 performs a combined float64 send/receive.
+func (c *Comm) SendrecvF64(p *Proc, dst, sendTag int, data []float64, src, recvTag int) ([]float64, error) {
+	b, err := c.Sendrecv(p, dst, sendTag, EncodeF64(data), src, recvTag)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeF64(b)
+}

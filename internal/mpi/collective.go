@@ -1,0 +1,369 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// collKey identifies one collective operation instance: all members of a
+// communicator call collectives in the same order, so (comm id, sequence
+// number) names a unique rendezvous.
+type collKey struct {
+	comm int64
+	seq  int64
+}
+
+// arrival is one process's entry into a rendezvous.
+type arrival struct {
+	commRank  int
+	clock     float64
+	congested bool
+	payload   any
+	bytes     int
+}
+
+// rendezvous synchronizes one collective. Processes register their arrival
+// under world.mu; the rendezvous completes when every live member has
+// arrived (or, upon a failure, when every remaining live member has
+// arrived). Completion publishes the synchronized clock time, any error,
+// and the frozen set of dead members, then closes done.
+type rendezvous struct {
+	comm     *Comm
+	tolerant bool // Shrink/Agree: dead members do not poison the result
+	arrivals map[int]*arrival
+	done     chan struct{}
+
+	completed bool
+	err       error
+	syncTime  float64
+	deadAtEnd []int // world ranks dead at completion
+	result    any   // memoized collective result (e.g. the shrunk comm)
+}
+
+func (r *rendezvous) hasMember(worldRank int) bool {
+	_, ok := r.comm.index[worldRank]
+	return ok
+}
+
+// finishLocked publishes completion. Caller holds world.mu.
+func (r *rendezvous) finishLocked(syncTime float64) {
+	if r.completed {
+		return
+	}
+	r.completed = true
+	r.syncTime = syncTime
+	close(r.done)
+}
+
+// tryCompleteLocked completes the rendezvous if every live member has
+// arrived. Caller holds world.mu.
+func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
+	if r.completed {
+		return
+	}
+	var alive, dead []int
+	for _, wr := range r.comm.group {
+		if w.dead[wr] {
+			dead = append(dead, wr)
+		} else {
+			alive = append(alive, wr)
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	for _, wr := range alive {
+		if _, ok := r.arrivals[wr]; !ok {
+			return
+		}
+	}
+	r.deadAtEnd = dead
+	if !r.tolerant && len(dead) > 0 {
+		r.err = newFailedError(dead)
+	}
+	maxClock, congested, bytes := 0.0, false, 0
+	for _, a := range r.arrivals {
+		if a.clock > maxClock {
+			maxClock = a.clock
+		}
+		congested = congested || a.congested
+		if a.bytes > bytes {
+			bytes = a.bytes
+		}
+	}
+	cost := w.machine.CollectiveTime(len(alive), bytes)
+	if congested {
+		cost *= w.machine.CongestionFactor
+	}
+	end := maxClock + cost
+	if len(dead) > 0 {
+		// Failures only become observable after the detector fires.
+		if floor := w.detectionFloorLocked(dead); floor > end {
+			end = floor
+		}
+	}
+	delete(w.colls, key)
+	r.finishLocked(end)
+}
+
+// collective runs one rendezvous for the calling process and returns the
+// completed rendezvous. payload is this process's contribution; bytes is
+// its wire size for the cost model.
+func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rendezvous, error) {
+	commRank := c.checkMember(p, "collective")
+	// Tolerant collectives (Shrink/Agree) use a separate sequence space:
+	// after a failure, survivors reach them having executed different
+	// numbers of regular collectives, so they cannot share the counter.
+	seqSpace := c.id
+	if tolerant {
+		seqSpace = -c.id
+	}
+	seq := p.nextSeq(seqSpace)
+	if c.revoked.Load() && !tolerant {
+		return nil, p.failMPI(ErrRevoked)
+	}
+	key := collKey{comm: seqSpace, seq: seq}
+	start := p.clock.Now()
+
+	w := c.world
+	w.mu.Lock()
+	r, ok := w.colls[key]
+	if !ok {
+		r = &rendezvous{
+			comm:     c,
+			tolerant: tolerant,
+			arrivals: make(map[int]*arrival),
+			done:     make(chan struct{}),
+		}
+		w.colls[key] = r
+	}
+	if r.tolerant != tolerant {
+		w.mu.Unlock()
+		panic(fmt.Sprintf("mpi: mismatched collective kinds on comm %d seq %d", c.id, seq))
+	}
+	r.arrivals[p.rank] = &arrival{
+		commRank:  commRank,
+		clock:     start,
+		congested: p.node.CongestedAt(start),
+		payload:   payload,
+		bytes:     bytes,
+	}
+	w.tryCompleteLocked(key, r)
+	w.mu.Unlock()
+
+	<-r.done
+
+	p.clock.AdvanceTo(r.syncTime)
+	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+	if r.err != nil {
+		return nil, p.failMPI(r.err)
+	}
+	return r, nil
+}
+
+// orderedArrivals returns the rendezvous arrivals sorted by comm rank.
+// Safe after done is closed (arrivals are frozen).
+func (r *rendezvous) orderedArrivals() []*arrival {
+	out := make([]*arrival, 0, len(r.arrivals))
+	for cr := 0; cr < len(r.comm.group); cr++ {
+		if a, ok := r.arrivals[r.comm.group[cr]]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Barrier blocks until all live members arrive. It fails with FailedError
+// if any member has died.
+func (c *Comm) Barrier(p *Proc) error {
+	_, err := c.collective(p, false, nil, 0)
+	return err
+}
+
+// Bcast distributes root's buffer to every member and returns each
+// process's copy. Non-root callers pass nil (or their stale buffer, which
+// is ignored).
+func (c *Comm) Bcast(p *Proc, root int, data []byte) ([]byte, error) {
+	var payload any
+	bytes := 0
+	if c.Rank(p) == root {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		payload = cp
+		bytes = len(data)
+	}
+	r, err := c.collective(p, false, payload, bytes)
+	if err != nil {
+		return nil, err
+	}
+	rootW := c.WorldRank(root)
+	a, ok := r.arrivals[rootW]
+	if !ok || a.payload == nil {
+		return nil, p.failMPI(newFailedError([]int{rootW}))
+	}
+	src := a.payload.([]byte)
+	out := make([]byte, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// ReduceOp is a reduction operator for Allreduce/Reduce.
+type ReduceOp int
+
+const (
+	// OpSum adds contributions element-wise.
+	OpSum ReduceOp = iota
+	// OpMin takes the element-wise minimum.
+	OpMin
+	// OpMax takes the element-wise maximum.
+	OpMax
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMin:
+		return "min"
+	case OpMax:
+		return "max"
+	}
+	return fmt.Sprintf("ReduceOp(%d)", int(op))
+}
+
+func (op ReduceOp) apply(acc, v float64) float64 {
+	switch op {
+	case OpSum:
+		return acc + v
+	case OpMin:
+		return math.Min(acc, v)
+	case OpMax:
+		return math.Max(acc, v)
+	}
+	panic("mpi: unknown reduce op")
+}
+
+func reduceArrivals(r *rendezvous, op ReduceOp, n int) ([]float64, error) {
+	out := make([]float64, n)
+	first := true
+	for _, a := range r.orderedArrivals() {
+		vec := a.payload.([]float64)
+		if len(vec) != n {
+			return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(vec), n)
+		}
+		if first {
+			copy(out, vec)
+			first = false
+			continue
+		}
+		for i, v := range vec {
+			out[i] = op.apply(out[i], v)
+		}
+	}
+	return out, nil
+}
+
+// AllreduceF64 reduces data element-wise across all members with op and
+// returns the result at every member. Reduction order is deterministic
+// (comm rank order), so results are bitwise reproducible.
+func (c *Comm) AllreduceF64(p *Proc, data []float64, op ReduceOp) ([]float64, error) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r, err := c.collective(p, false, cp, 8*len(data))
+	if err != nil {
+		return nil, err
+	}
+	out, rerr := reduceArrivals(r, op, len(data))
+	if rerr != nil {
+		return nil, rerr
+	}
+	return out, nil
+}
+
+// ReduceF64 reduces to root; non-root members receive nil.
+func (c *Comm) ReduceF64(p *Proc, root int, data []float64, op ReduceOp) ([]float64, error) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r, err := c.collective(p, false, cp, 8*len(data))
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank(p) != root {
+		return nil, nil
+	}
+	return reduceArrivals(r, op, len(data))
+}
+
+// AllreduceInt reduces a single integer across members (exact for values up
+// to 2^53).
+func (c *Comm) AllreduceInt(p *Proc, v int, op ReduceOp) (int, error) {
+	out, err := c.AllreduceF64(p, []float64{float64(v)}, op)
+	if err != nil {
+		return 0, err
+	}
+	return int(out[0]), nil
+}
+
+// AllgatherB gathers each member's byte payload at every member, indexed by
+// comm rank.
+func (c *Comm) AllgatherB(p *Proc, data []byte) ([][]byte, error) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r, err := c.collective(p, false, cp, len(data))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(c.group))
+	for wr, a := range r.arrivals {
+		src := a.payload.([]byte)
+		buf := make([]byte, len(src))
+		copy(buf, src)
+		out[c.index[wr]] = buf
+	}
+	return out, nil
+}
+
+// Shrink creates a new communicator containing the surviving members,
+// densely re-ranked in old comm rank order (ULFM MPI_Comm_shrink). It is
+// fault-tolerant: it succeeds even when members have failed, and all
+// survivors agree on the membership of the result.
+func (c *Comm) Shrink(p *Proc) (*Comm, error) {
+	r, err := c.collective(p, true, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.result == nil {
+		deadSet := make(map[int]bool, len(r.deadAtEnd))
+		for _, wr := range r.deadAtEnd {
+			deadSet[wr] = true
+		}
+		var survivors []int
+		for _, wr := range c.group {
+			if !deadSet[wr] {
+				survivors = append(survivors, wr)
+			}
+		}
+		r.result = w.newCommLocked(survivors)
+	}
+	return r.result.(*Comm), nil
+}
+
+// Agree performs a fault-tolerant agreement on the bitwise AND of flag
+// across surviving members (ULFM MPI_Comm_agree). All survivors receive the
+// same value and the same view of acknowledged failures.
+func (c *Comm) Agree(p *Proc, flag uint32) (uint32, error) {
+	r, err := c.collective(p, true, flag, 4)
+	if err != nil {
+		return 0, err
+	}
+	out := ^uint32(0)
+	for _, a := range r.orderedArrivals() {
+		out &= a.payload.(uint32)
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package mpi
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// Comm is a communicator: an ordered group of world ranks with its own rank
+// numbering, message matching space, and revocation state. Comm values are
+// shared between the participating rank goroutines; all methods take the
+// calling Proc explicitly (the simulation analogue of the implicit calling
+// process in MPI).
+type Comm struct {
+	world   *World
+	id      int64
+	group   []int // comm rank -> world rank
+	index   map[int]int
+	revoked atomic.Bool
+}
+
+// Size returns the number of processes in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// ID returns the communicator's unique identifier (for tests and logs).
+func (c *Comm) ID() int64 { return c.id }
+
+// Rank returns p's rank within the communicator, or -1 if p is not a
+// member.
+func (c *Comm) Rank(p *Proc) int {
+	if r, ok := c.index[p.rank]; ok {
+		return r
+	}
+	return -1
+}
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int {
+	if commRank < 0 || commRank >= len(c.group) {
+		panic(fmt.Sprintf("mpi: comm rank %d out of range [0,%d)", commRank, len(c.group)))
+	}
+	return c.group[commRank]
+}
+
+// Group returns a copy of the comm-rank -> world-rank mapping.
+func (c *Comm) Group() []int {
+	cp := make([]int, len(c.group))
+	copy(cp, c.group)
+	return cp
+}
+
+// Revoked reports whether the communicator has been revoked.
+func (c *Comm) Revoked() bool { return c.revoked.Load() }
+
+func (c *Comm) checkMember(p *Proc, op string) int {
+	r := c.Rank(p)
+	if r < 0 {
+		panic(fmt.Sprintf("mpi: %s by non-member world rank %d on comm %d", op, p.rank, c.id))
+	}
+	return r
+}
+
+// Send transmits data to comm rank dst with the given tag. It is eager and
+// buffered: Send does not block waiting for the matching Recv. Send fails
+// with FailedError if the destination has died, or ErrRevoked after
+// revocation.
+func (c *Comm) Send(p *Proc, dst, tag int, data []byte) error {
+	return c.SendSized(p, dst, tag, data, len(data))
+}
+
+// SendSized is Send with the cost model charged for simBytes instead of the
+// real buffer length, used when a small real buffer stands in for
+// paper-scale data (see kokkos.View.SimBytes).
+func (c *Comm) SendSized(p *Proc, dst, tag int, data []byte, simBytes int) error {
+	c.checkMember(p, "Send")
+	if c.revoked.Load() {
+		return p.failMPI(ErrRevoked)
+	}
+	dstW := c.WorldRank(dst)
+	if c.world.isDead(dstW) {
+		p.waitForDetection([]int{dstW})
+		return p.failMPI(newFailedError([]int{dstW}))
+	}
+	cost := p.world.machine.TransferTime(simBytes) * p.congestionFactor()
+	p.clock.Advance(cost)
+	p.rec.Add(trace.AppMPI, cost)
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.world.procs[dstW].mail.deliver(
+		msgKey{comm: c.id, src: p.rank, tag: tag},
+		message{data: cp, arriveAt: p.clock.Now()},
+	)
+	return nil
+}
+
+// Recv blocks until a message with the given tag from comm rank src
+// arrives. It fails with FailedError if the sender dies before a matching
+// message is available, or ErrRevoked after revocation.
+func (c *Comm) Recv(p *Proc, src, tag int) ([]byte, error) {
+	c.checkMember(p, "Recv")
+	srcW := c.WorldRank(src)
+	start := p.clock.Now()
+	key := msgKey{comm: c.id, src: srcW, tag: tag}
+	msg, err := p.mail.receive(key, func() error {
+		if c.revoked.Load() {
+			return ErrRevoked
+		}
+		if c.world.isDead(srcW) {
+			return newFailedError([]int{srcW})
+		}
+		return nil
+	})
+	if err != nil {
+		if IsProcessFailure(err) {
+			p.waitForDetection([]int{srcW})
+		}
+		// Account the blocked time up to failure detection.
+		p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+		return nil, p.failMPI(err)
+	}
+	p.clock.AdvanceTo(msg.arriveAt)
+	recvOverhead := p.world.machine.NetLatency * p.congestionFactor()
+	p.clock.Advance(recvOverhead)
+	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+	return msg.data, nil
+}
+
+// Sendrecv performs a combined send to dst and receive from src, the idiom
+// used by halo exchanges and buddy checkpointing. Sends are buffered, so
+// paired Sendrecv calls cannot deadlock.
+func (c *Comm) Sendrecv(p *Proc, dst, sendTag int, data []byte, src, recvTag int) ([]byte, error) {
+	if err := c.Send(p, dst, sendTag, data); err != nil {
+		return nil, err
+	}
+	return c.Recv(p, src, recvTag)
+}
+
+// SendrecvSized is Sendrecv with the send cost charged for simBytes.
+func (c *Comm) SendrecvSized(p *Proc, dst, sendTag int, data []byte, simBytes, src, recvTag int) ([]byte, error) {
+	if err := c.SendSized(p, dst, sendTag, data, simBytes); err != nil {
+		return nil, err
+	}
+	return c.Recv(p, src, recvTag)
+}
+
+// Revoke marks the communicator revoked at all processes (ULFM
+// MPI_Comm_revoke): every pending and future operation on it fails with
+// ErrRevoked, except Shrink and Agree. Revocation is what turns one rank's
+// local failure knowledge into a single global control-flow exit point.
+func (c *Comm) Revoke(p *Proc) {
+	c.checkMember(p, "Revoke")
+	if c.revoked.Swap(true) {
+		return
+	}
+	// Propagation cost: a reliable broadcast across the comm.
+	cost := p.world.machine.CollectiveTime(len(c.group), 4)
+	p.clock.Advance(cost)
+	p.rec.Add(trace.AppMPI, cost)
+
+	c.world.mu.Lock()
+	for key, rv := range c.world.colls {
+		// Tolerant collectives (Shrink/Agree) survive revocation, as in
+		// ULFM; only regular operations are poisoned.
+		if rv.comm == c && !rv.tolerant && !rv.completed {
+			rv.err = ErrRevoked
+			rv.finishLocked(p.clock.Now())
+			delete(c.world.colls, key)
+		}
+	}
+	c.world.mu.Unlock()
+	for _, wr := range c.group {
+		c.world.procs[wr].mail.wakeAll()
+	}
+}
+
+// Split partitions the communicator by color (MPI_Comm_split): members
+// passing the same color form a new communicator, ordered by key (ties
+// broken by old comm rank). Members passing a negative color receive nil
+// (MPI_UNDEFINED). Split is collective.
+func (c *Comm) Split(p *Proc, color, key int) (*Comm, error) {
+	payload := [2]int{color, key}
+	r, err := c.collective(p, false, payload, 8)
+	if err != nil {
+		return nil, err
+	}
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.result == nil {
+		// Build all sub-communicators once, deterministically.
+		type member struct{ color, key, oldRank, worldRank int }
+		var members []member
+		for wr, a := range r.arrivals {
+			pl := a.payload.([2]int)
+			members = append(members, member{pl[0], pl[1], c.index[wr], wr})
+		}
+		// Sort by (color, key, old rank).
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if b.color < a.color || (b.color == a.color && (b.key < a.key || (b.key == a.key && b.oldRank < a.oldRank))) {
+					members[i], members[j] = members[j], members[i]
+				}
+			}
+		}
+		comms := make(map[int]*Comm)
+		var groups = make(map[int][]int)
+		for _, m := range members {
+			if m.color < 0 {
+				continue
+			}
+			groups[m.color] = append(groups[m.color], m.worldRank)
+		}
+		// Deterministic creation order: ascending color.
+		var colors []int
+		for col := range groups {
+			colors = append(colors, col)
+		}
+		for i := 0; i < len(colors); i++ {
+			for j := i + 1; j < len(colors); j++ {
+				if colors[j] < colors[i] {
+					colors[i], colors[j] = colors[j], colors[i]
+				}
+			}
+		}
+		for _, col := range colors {
+			comms[col] = w.newCommLocked(groups[col])
+		}
+		r.result = comms
+	}
+	comms := r.result.(map[int]*Comm)
+	if color < 0 {
+		return nil, nil
+	}
+	return comms[color], nil
+}
+
+// FailedRanks returns the comm ranks currently known to have failed, in
+// comm rank order (ULFM MPI_Comm_failure_ack + get_acked).
+func (c *Comm) FailedRanks(p *Proc) []int {
+	c.checkMember(p, "FailedRanks")
+	c.world.mu.Lock()
+	defer c.world.mu.Unlock()
+	var out []int
+	for cr, wr := range c.group {
+		if c.world.dead[wr] {
+			out = append(out, cr)
+		}
+	}
+	return out
+}

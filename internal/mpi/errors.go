@@ -1,0 +1,55 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// FailedError is the simulation's MPI_ERR_PROC_FAILED: an operation could
+// not complete because one or more participating processes have failed.
+// WorldRanks lists the failed processes by world rank, sorted ascending.
+type FailedError struct {
+	WorldRanks []int
+}
+
+func (e *FailedError) Error() string {
+	return fmt.Sprintf("mpi: process failure detected (world ranks %v)", e.WorldRanks)
+}
+
+// ErrRevoked is the simulation's MPI_ERR_REVOKED: the communicator has been
+// revoked and no further point-to-point or collective operations may use it.
+var ErrRevoked = errors.New("mpi: communicator revoked")
+
+// IsProcessFailure reports whether err indicates a process failure
+// (MPI_ERR_PROC_FAILED in ULFM terms).
+func IsProcessFailure(err error) bool {
+	var fe *FailedError
+	return errors.As(err, &fe)
+}
+
+// IsRevoked reports whether err indicates a revoked communicator.
+func IsRevoked(err error) bool { return errors.Is(err, ErrRevoked) }
+
+// IsULFMError reports whether err is either of the two ULFM error classes —
+// the conditions Fenix's error handler intercepts.
+func IsULFMError(err error) bool { return IsProcessFailure(err) || IsRevoked(err) }
+
+func newFailedError(ranks []int) *FailedError {
+	cp := make([]int, len(ranks))
+	copy(cp, ranks)
+	sort.Ints(cp)
+	return &FailedError{WorldRanks: cp}
+}
+
+// processKilled is the panic payload used to unwind a rank goroutine whose
+// process has been killed by failure injection. The launcher recovers it.
+type processKilled struct{ rank int }
+
+// jobAborted is the panic payload used under fail-restart semantics: a rank
+// observed a peer failure and the MPI runtime aborts the whole job (the
+// behaviour of a default, non-ULFM MPI).
+type jobAborted struct {
+	rank  int
+	cause error
+}

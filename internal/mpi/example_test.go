@@ -1,0 +1,71 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+	"repro/internal/sim"
+)
+
+// A minimal MPI program: 4 ranks allreduce their ranks and rank 0 reports.
+func Example() {
+	machine := sim.DefaultMachine()
+	machine.NoiseAmplitude = 0
+	res := mpi.RunJob(mpi.JobConfig{Ranks: 4, Machine: machine, Seed: 1}, func(p *mpi.Proc) error {
+		comm := p.World().CommWorld()
+		sum, err := comm.AllreduceInt(p, p.Rank(), mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			fmt.Println("sum of ranks:", sum)
+		}
+		return nil
+	})
+	fmt.Println("failed:", res.Failed)
+	// Output:
+	// sum of ranks: 6
+	// failed: false
+}
+
+// ULFM semantics: a failure surfaces as an error at the surviving ranks,
+// which can revoke, shrink, and continue on the smaller communicator.
+func ExampleComm_Shrink() {
+	machine := sim.DefaultMachine()
+	machine.NoiseAmplitude = 0
+	cl := cluster.New(3, machine)
+	w := mpi.NewWorld(cl, 3, 1, false, 1, 0)
+	c := w.CommWorld()
+
+	var mu sync.Mutex
+	var survivors []int
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(p *mpi.Proc) {
+			defer wg.Done()
+			defer func() { recover() }() // absorb the injected exit
+			if p.Rank() == 1 {
+				p.Exit() // simulate a process failure
+			}
+			if err := c.Barrier(p); mpi.IsProcessFailure(err) {
+				c.Revoke(p)
+				shrunk, err := c.Shrink(p)
+				if err != nil {
+					return
+				}
+				mu.Lock()
+				survivors = append(survivors, shrunk.Rank(p))
+				mu.Unlock()
+			}
+		}(w.Proc(i))
+	}
+	wg.Wait()
+	sort.Ints(survivors)
+	fmt.Println("survivor ranks in shrunk comm:", survivors)
+	// Output:
+	// survivor ranks in shrunk comm: [0 1]
+}

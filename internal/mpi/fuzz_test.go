@@ -1,0 +1,22 @@
+package mpi
+
+import "testing"
+
+// FuzzDecodeF64 hardens the float codec against arbitrary byte lengths.
+func FuzzDecodeF64(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeF64([]float64{1, 2, 3}))
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := DecodeF64(b)
+		if err == nil && len(v) != len(b)/8 {
+			t.Fatalf("decoded %d values from %d bytes", len(v), len(b))
+		}
+		if err == nil {
+			// Round trip.
+			if got := EncodeF64(v); len(got) != len(b) {
+				t.Fatalf("re-encode length %d != %d", len(got), len(b))
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import "fmt"
+
+// This file adds the rooted collectives Gather and Scatter plus
+// AllgatherF64, rounding out the collective set the evaluation
+// applications and examples draw on.
+
+// GatherB gathers each member's byte payload at root, indexed by comm
+// rank; non-root members receive nil.
+func (c *Comm) GatherB(p *Proc, root int, data []byte) ([][]byte, error) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	r, err := c.collective(p, false, cp, len(data))
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank(p) != root {
+		return nil, nil
+	}
+	out := make([][]byte, len(c.group))
+	for wr, a := range r.arrivals {
+		src := a.payload.([]byte)
+		buf := make([]byte, len(src))
+		copy(buf, src)
+		out[c.index[wr]] = buf
+	}
+	return out, nil
+}
+
+// ScatterB distributes root's per-rank chunks: chunks[i] goes to comm rank
+// i. Non-root members pass nil. Every member receives its chunk.
+func (c *Comm) ScatterB(p *Proc, root int, chunks [][]byte) ([]byte, error) {
+	var payload any
+	bytes := 0
+	if c.Rank(p) == root {
+		cp := make([][]byte, len(chunks))
+		for i, ch := range chunks {
+			cp[i] = make([]byte, len(ch))
+			copy(cp[i], ch)
+			if len(ch) > bytes {
+				bytes = len(ch)
+			}
+		}
+		payload = cp
+	}
+	r, err := c.collective(p, false, payload, bytes)
+	if err != nil {
+		return nil, err
+	}
+	rootW := c.WorldRank(root)
+	a, ok := r.arrivals[rootW]
+	if !ok || a.payload == nil {
+		return nil, p.failMPI(newFailedError([]int{rootW}))
+	}
+	all := a.payload.([][]byte)
+	me := c.Rank(p)
+	if me >= len(all) {
+		return nil, nil
+	}
+	out := make([]byte, len(all[me]))
+	copy(out, all[me])
+	return out, nil
+}
+
+// AlltoallB performs a full exchange: every member provides one chunk per
+// destination rank (chunks[i] goes to comm rank i) and receives one chunk
+// from every source rank (result[j] came from comm rank j).
+func (c *Comm) AlltoallB(p *Proc, chunks [][]byte) ([][]byte, error) {
+	if len(chunks) != c.Size() {
+		return nil, fmt.Errorf("mpi: alltoall needs %d chunks, got %d", c.Size(), len(chunks))
+	}
+	cp := make([][]byte, len(chunks))
+	total := 0
+	for i, ch := range chunks {
+		cp[i] = make([]byte, len(ch))
+		copy(cp[i], ch)
+		total += len(ch)
+	}
+	r, err := c.collective(p, false, cp, total)
+	if err != nil {
+		return nil, err
+	}
+	me := c.Rank(p)
+	out := make([][]byte, c.Size())
+	for wr, a := range r.arrivals {
+		src := a.payload.([][]byte)
+		buf := make([]byte, len(src[me]))
+		copy(buf, src[me])
+		out[c.index[wr]] = buf
+	}
+	return out, nil
+}
+
+// ReduceScatterF64 reduces data element-wise across all members, then
+// scatters equal blocks of the result: member i receives elements
+// [i*blk, (i+1)*blk) of the reduction, where blk = len(data)/size.
+// len(data) must be a multiple of the communicator size.
+func (c *Comm) ReduceScatterF64(p *Proc, data []float64, op ReduceOp) ([]float64, error) {
+	if len(data)%c.Size() != 0 {
+		return nil, fmt.Errorf("mpi: reduce-scatter length %d not a multiple of comm size %d", len(data), c.Size())
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	r, err := c.collective(p, false, cp, 8*len(data))
+	if err != nil {
+		return nil, err
+	}
+	full, rerr := reduceArrivals(r, op, len(data))
+	if rerr != nil {
+		return nil, rerr
+	}
+	blk := len(data) / c.Size()
+	me := c.Rank(p)
+	out := make([]float64, blk)
+	copy(out, full[me*blk:(me+1)*blk])
+	return out, nil
+}
+
+// AllgatherF64 gathers each member's float64 payload at every member,
+// indexed by comm rank.
+func (c *Comm) AllgatherF64(p *Proc, data []float64) ([][]float64, error) {
+	raw, err := c.AllgatherB(p, EncodeF64(data))
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(raw))
+	for i, b := range raw {
+		v, err := DecodeF64(b)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// RankFunc is the body of one MPI process, the analogue of main() in an
+// MPI program. It is invoked once per rank per launch.
+type RankFunc func(p *Proc) error
+
+// JobConfig describes one simulated `mpirun` invocation.
+type JobConfig struct {
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// RanksPerNode controls placement; defaults to 1 (the paper's Heatdis
+	// configuration runs one rank per node).
+	RanksPerNode int
+	// Machine is the cost model; defaults to sim.DefaultMachine.
+	Machine *sim.Machine
+	// Cluster, if non-nil, is reused (and persists scratch/PFS state);
+	// otherwise a cluster just large enough for the job is created.
+	Cluster *cluster.Cluster
+	// FailRestart selects classic checkpoint/restart semantics: any process
+	// failure aborts the job, which is then relaunched up to MaxRestarts
+	// times. When false, failures surface as ULFM errors for Fenix.
+	FailRestart bool
+	// MaxRestarts bounds relaunches under FailRestart.
+	MaxRestarts int
+	// Seed makes per-rank compute jitter deterministic.
+	Seed uint64
+}
+
+func (cfg *JobConfig) normalize() {
+	if cfg.Ranks <= 0 {
+		panic("mpi: JobConfig.Ranks must be positive")
+	}
+	if cfg.RanksPerNode <= 0 {
+		cfg.RanksPerNode = 1
+	}
+	if cfg.Machine == nil {
+		cfg.Machine = sim.DefaultMachine()
+	}
+}
+
+// Nodes returns the number of nodes the job occupies.
+func (cfg JobConfig) Nodes() int {
+	cfg.normalize()
+	n := (cfg.Ranks + cfg.RanksPerNode - 1) / cfg.RanksPerNode
+	return n
+}
+
+// JobResult is the outcome of a job: wall time as the paper's `time mpirun`
+// would report it (including launch, teardown, and relaunch overheads),
+// per-rank category times summed across launches, and final errors.
+type JobResult struct {
+	// WallTime is the virtual end-to-end job duration in seconds.
+	WallTime float64
+	// Launches counts job launches (1 for a failure-free run).
+	Launches int
+	// PerRank holds each rank's category times summed across launches.
+	PerRank []trace.Times
+	// Failed reports whether the job ultimately ended in an unrecovered
+	// failure.
+	Failed bool
+	// RankErrs holds the per-rank errors from the final launch.
+	RankErrs []error
+	// Cluster is the cluster the job ran on (exposes PFS/scratch state for
+	// inspection by tests and the harness).
+	Cluster *cluster.Cluster
+}
+
+// Err returns the first non-nil rank error, if any.
+func (r *JobResult) Err() error {
+	for _, e := range r.RankErrs {
+		if e != nil {
+			return e
+		}
+	}
+	if r.Failed {
+		return errors.New("mpi: job failed")
+	}
+	return nil
+}
+
+// MeanTimes returns the across-rank mean of each category, the aggregation
+// the paper's stacked bars use.
+func (r *JobResult) MeanTimes() trace.Times {
+	var sum trace.Times
+	for _, t := range r.PerRank {
+		sum = sum.Add(t)
+	}
+	return sum.Scale(1 / float64(len(r.PerRank)))
+}
+
+// rankOutcome classifies how one rank goroutine ended.
+type rankOutcome struct {
+	err      error
+	killed   bool
+	aborted  bool
+	panicked any // programmer panic, re-raised on the caller's goroutine
+}
+
+// RunJob launches the job and runs f as every rank's body, relaunching
+// under FailRestart semantics when a failure occurs. It blocks until the
+// job completes and returns the aggregated result.
+func RunJob(cfg JobConfig, f RankFunc) *JobResult {
+	cfg.normalize()
+	nodes := cfg.Nodes()
+	cl := cfg.Cluster
+	if cl == nil {
+		cl = cluster.New(nodes, cfg.Machine)
+	}
+
+	res := &JobResult{
+		PerRank: make([]trace.Times, cfg.Ranks),
+		Cluster: cl,
+	}
+	jobTime := 0.0
+
+	for attempt := 0; ; attempt++ {
+		start := jobTime + cfg.Machine.LaunchTime(nodes)
+		w := NewWorld(cl, cfg.Ranks, cfg.RanksPerNode, cfg.FailRestart, cfg.Seed+uint64(attempt)*1e9, start)
+		res.Launches++
+
+		outcomes := runRanks(w, f)
+		for _, o := range outcomes {
+			if o.panicked != nil {
+				panic(o.panicked)
+			}
+		}
+
+		anyKilled, anyAborted := false, false
+		res.RankErrs = make([]error, cfg.Ranks)
+		endTime := start
+		for i, o := range outcomes {
+			res.PerRank[i] = res.PerRank[i].Add(w.procs[i].rec.Snapshot())
+			res.RankErrs[i] = o.err
+			anyKilled = anyKilled || o.killed
+			anyAborted = anyAborted || o.aborted
+			if t := w.procs[i].clock.Now(); t > endTime {
+				endTime = t
+			}
+		}
+		jobTime = endTime
+
+		failed := anyKilled || anyAborted
+		if !failed {
+			res.WallTime = jobTime
+			return res
+		}
+		if !cfg.FailRestart {
+			// ULFM semantics: a killed rank alone does not fail the job —
+			// if the surviving ranks completed cleanly, Fenix recovered it.
+			for _, o := range outcomes {
+				if o.err != nil || o.aborted {
+					res.Failed = true
+				}
+			}
+			res.WallTime = jobTime
+			return res
+		}
+		if attempt >= cfg.MaxRestarts {
+			res.Failed = true
+			res.WallTime = jobTime
+			return res
+		}
+		// Fail-restart: tear down and relaunch. Node scratch and PFS state
+		// persist (same allocation), as with VeloC restarting in place.
+		jobTime += cfg.Machine.TeardownTime(nodes)
+	}
+}
+
+// runRanks executes one launch: a goroutine per rank, recovering the
+// processKilled/jobAborted unwinds used for failure simulation.
+func runRanks(w *World, f RankFunc) []rankOutcome {
+	outcomes := make([]rankOutcome, len(w.procs))
+	var wg sync.WaitGroup
+	for i := range w.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				switch v := r.(type) {
+				case processKilled:
+					outcomes[p.rank].killed = true
+				case jobAborted:
+					outcomes[p.rank].aborted = true
+					outcomes[p.rank].err = v.cause
+					// The aborting runtime kills this process too, so
+					// peers blocked on it are released.
+					w.markDead(p.rank)
+				default:
+					// A programmer error: record it for re-raising on the
+					// caller's goroutine, and mark this rank dead so peers
+					// blocked on it are released rather than deadlocking.
+					outcomes[p.rank].panicked = fmt.Sprintf("mpi: rank %d panicked: %v", p.rank, r)
+					w.markDead(p.rank)
+				}
+			}()
+			outcomes[p.rank].err = f(p)
+		}(w.procs[i])
+	}
+	wg.Wait()
+	return outcomes
+}

@@ -1,0 +1,77 @@
+package mpi
+
+import "sync"
+
+// msgKey addresses a mailbox queue: messages are matched by communicator,
+// sending world rank, and tag, as in MPI point-to-point matching.
+type msgKey struct {
+	comm int64
+	src  int
+	tag  int
+}
+
+// message is an in-flight point-to-point payload. arriveAt is the virtual
+// time at which the message is available at the receiver.
+type message struct {
+	data     []byte
+	arriveAt float64
+}
+
+// mailbox is a process's incoming message store. Senders enqueue without
+// blocking (eager protocol); receivers block on the condition variable
+// until a matching message arrives, the sender dies, or the communicator
+// is revoked.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    map[msgKey][]message
+}
+
+func (m *mailbox) init() {
+	m.cond = sync.NewCond(&m.mu)
+	m.q = make(map[msgKey][]message)
+}
+
+// deliver enqueues a message and wakes any blocked receivers.
+func (m *mailbox) deliver(key msgKey, msg message) {
+	m.mu.Lock()
+	m.q[key] = append(m.q[key], msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// wakeAll wakes all blocked receivers so they re-check failure/revocation
+// state.
+func (m *mailbox) wakeAll() { m.cond.Broadcast() }
+
+// receive blocks until a message matching key is available or giveUp
+// returns a non-nil error (sender died, communicator revoked). giveUp is
+// evaluated while holding the mailbox lock; state changes that could make
+// it fire (markDead, Revoke) broadcast the condition variable only after
+// publishing their state, so wakeups are never lost.
+func (m *mailbox) receive(key msgKey, giveUp func() error) (message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.q[key]; len(q) > 0 {
+			msg := q[0]
+			if len(q) == 1 {
+				delete(m.q, key)
+			} else {
+				m.q[key] = q[1:]
+			}
+			return msg, nil
+		}
+		if err := giveUp(); err != nil {
+			return message{}, err
+		}
+		m.cond.Wait()
+	}
+}
+
+// pending reports the number of queued messages for key (for tests).
+func (m *mailbox) pending(key msgKey) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.q[key])
+}

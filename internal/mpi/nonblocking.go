@@ -1,0 +1,135 @@
+package mpi
+
+import (
+	"errors"
+
+	"repro/internal/trace"
+)
+
+// This file adds nonblocking point-to-point operations (MPI_Isend /
+// MPI_Irecv / MPI_Wait). In the virtual-time model a nonblocking send
+// posts the message immediately and records the time at which the NIC
+// would be done with it; Wait only charges the portion of that transfer
+// not already hidden behind subsequent computation — reproducing
+// communication/computation overlap.
+
+// Request is a pending nonblocking operation handle.
+type Request struct {
+	p    *Proc
+	comm *Comm
+
+	// send-side
+	isSend     bool
+	completeAt float64
+
+	// recv-side
+	key msgKey
+	src int // world rank
+
+	done bool
+	data []byte
+	err  error
+}
+
+var errRequestReused = errors.New("mpi: Wait called twice on the same request")
+
+// Isend posts a buffered nonblocking send to comm rank dst. The message
+// becomes available to the receiver after the full transfer time, but the
+// sender is free immediately; Wait settles any un-hidden transfer cost.
+func (c *Comm) Isend(p *Proc, dst, tag int, data []byte) (*Request, error) {
+	return c.IsendSized(p, dst, tag, data, len(data))
+}
+
+// IsendSized is Isend with the cost model charged for simBytes.
+func (c *Comm) IsendSized(p *Proc, dst, tag int, data []byte, simBytes int) (*Request, error) {
+	c.checkMember(p, "Isend")
+	if c.revoked.Load() {
+		return nil, p.failMPI(ErrRevoked)
+	}
+	dstW := c.WorldRank(dst)
+	if c.world.isDead(dstW) {
+		p.waitForDetection([]int{dstW})
+		return nil, p.failMPI(newFailedError([]int{dstW}))
+	}
+	cost := p.world.machine.TransferTime(simBytes) * p.congestionFactor()
+	// Post overhead only; the transfer itself proceeds in the background.
+	post := p.world.machine.NetLatency
+	p.clock.Advance(post)
+	p.rec.Add(trace.AppMPI, post)
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	arrive := p.clock.Now() + cost
+	c.world.procs[dstW].mail.deliver(
+		msgKey{comm: c.id, src: p.rank, tag: tag},
+		message{data: cp, arriveAt: arrive},
+	)
+	return &Request{p: p, comm: c, isSend: true, completeAt: arrive}, nil
+}
+
+// Irecv posts a nonblocking receive for a message from comm rank src with
+// the given tag. The data is produced by Wait.
+func (c *Comm) Irecv(p *Proc, src, tag int) (*Request, error) {
+	c.checkMember(p, "Irecv")
+	srcW := c.WorldRank(src)
+	return &Request{
+		p:    p,
+		comm: c,
+		key:  msgKey{comm: c.id, src: srcW, tag: tag},
+		src:  srcW,
+	}, nil
+}
+
+// Wait completes the request: for sends it settles any transfer time not
+// hidden behind computation executed since the post; for receives it
+// blocks until the message arrives and returns the payload.
+func (r *Request) Wait() ([]byte, error) {
+	if r.done {
+		return nil, errRequestReused
+	}
+	r.done = true
+	p := r.p
+
+	if r.isSend {
+		waited := p.clock.AdvanceTo(r.completeAt)
+		p.rec.Add(trace.AppMPI, waited)
+		return nil, nil
+	}
+
+	start := p.clock.Now()
+	msg, err := p.mail.receive(r.key, func() error {
+		if r.comm.revoked.Load() {
+			return ErrRevoked
+		}
+		if p.world.isDead(r.src) {
+			return newFailedError([]int{r.src})
+		}
+		return nil
+	})
+	if err != nil {
+		if IsProcessFailure(err) {
+			p.waitForDetection([]int{r.src})
+		}
+		p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+		return nil, p.failMPI(err)
+	}
+	p.clock.AdvanceTo(msg.arriveAt)
+	p.clock.Advance(p.world.machine.NetLatency)
+	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+	return msg.data, nil
+}
+
+// WaitAll completes all requests in order and returns the first error.
+// Received payloads are returned positionally (nil for sends).
+func WaitAll(reqs []*Request) ([][]byte, error) {
+	out := make([][]byte, len(reqs))
+	var firstErr error
+	for i, r := range reqs {
+		data, err := r.Wait()
+		out[i] = data
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}

@@ -1,0 +1,343 @@
+package mpi
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestIsendIrecvRoundTrip(t *testing.T) {
+	w := testWorld(2)
+	c := w.CommWorld()
+	payload := []byte("nonblocking payload")
+	runWorld(w, func(p *Proc) error {
+		if p.Rank() == 0 {
+			req, err := c.Isend(p, 1, 5, payload)
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		req, err := c.Irecv(p, 0, 5)
+		if err != nil {
+			return err
+		}
+		got, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("got %q", got)
+		}
+		return nil
+	})
+}
+
+func TestIsendOverlapsComputation(t *testing.T) {
+	// A sender that computes after Isend hides the transfer: its Wait is
+	// nearly free. A blocking Send charges the transfer up front.
+	size := 1 << 24 // 16 MB -> ~2ms transfer
+
+	blocking := testWorld(2)
+	runWorld(blocking, func(p *Proc) error {
+		if p.Rank() == 0 {
+			if err := blocking.CommWorld().Send(p, 1, 0, make([]byte, size)); err != nil {
+				return err
+			}
+			p.ComputeExact(1e7) // 5 ms of compute after the send
+			return nil
+		}
+		_, err := blocking.CommWorld().Recv(p, 0, 0)
+		return err
+	})
+
+	overlapped := testWorld(2)
+	runWorld(overlapped, func(p *Proc) error {
+		if p.Rank() == 0 {
+			req, err := overlapped.CommWorld().Isend(p, 1, 0, make([]byte, size))
+			if err != nil {
+				return err
+			}
+			p.ComputeExact(1e7) // compute while the transfer proceeds
+			_, err = req.Wait()
+			return err
+		}
+		_, err := overlapped.CommWorld().Recv(p, 0, 0)
+		return err
+	})
+
+	tb := blocking.Proc(0).Now()
+	to := overlapped.Proc(0).Now()
+	if to >= tb {
+		t.Fatalf("overlapped sender (%v) not faster than blocking (%v)", to, tb)
+	}
+	// The overlapped sender's MPI time is just post+settle overhead.
+	if mpiT := overlapped.Proc(0).Recorder().Get(trace.AppMPI); mpiT > 1e-4 {
+		t.Fatalf("overlapped sender charged %v MPI time", mpiT)
+	}
+}
+
+func TestIrecvFromDeadRankFails(t *testing.T) {
+	w := testWorld(2)
+	c := w.CommWorld()
+	errs := runWorld(w, func(p *Proc) error {
+		if p.Rank() == 1 {
+			p.Exit()
+		}
+		req, err := c.Irecv(p, 1, 0)
+		if err != nil {
+			return err
+		}
+		_, err = req.Wait()
+		return err
+	})
+	if !IsProcessFailure(errs[0]) {
+		t.Fatalf("err = %v", errs[0])
+	}
+}
+
+func TestIsendToDeadRankFails(t *testing.T) {
+	w := testWorld(2)
+	c := w.CommWorld()
+	errs := runWorld(w, func(p *Proc) error {
+		if p.Rank() == 1 {
+			p.Exit()
+		}
+		for !w.isDead(1) {
+		}
+		_, err := c.Isend(p, 1, 0, []byte{1})
+		return err
+	})
+	if !IsProcessFailure(errs[0]) {
+		t.Fatalf("err = %v", errs[0])
+	}
+}
+
+func TestRequestDoubleWait(t *testing.T) {
+	w := testWorld(2)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		if p.Rank() == 0 {
+			req, err := c.Isend(p, 1, 0, []byte{1})
+			if err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err != nil {
+				return err
+			}
+			if _, err := req.Wait(); err == nil {
+				t.Error("second Wait succeeded")
+			}
+			return nil
+		}
+		_, err := c.Recv(p, 0, 0)
+		return err
+	})
+}
+
+func TestWaitAll(t *testing.T) {
+	w := testWorld(3)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		if p.Rank() == 0 {
+			var reqs []*Request
+			for dst := 1; dst <= 2; dst++ {
+				r, err := c.Isend(p, dst, 0, []byte{byte(dst)})
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, r)
+			}
+			_, err := WaitAll(reqs)
+			return err
+		}
+		r, err := c.Irecv(p, 0, 0)
+		if err != nil {
+			return err
+		}
+		out, err := WaitAll([]*Request{r})
+		if err != nil {
+			return err
+		}
+		if out[0][0] != byte(p.Rank()) {
+			t.Errorf("rank %d got %v", p.Rank(), out[0])
+		}
+		return nil
+	})
+}
+
+func TestGatherAtRoot(t *testing.T) {
+	w := testWorld(3)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		out, err := c.GatherB(p, 1, []byte{byte(p.Rank() * 3)})
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 1 {
+			for i, b := range out {
+				if b[0] != byte(i*3) {
+					t.Errorf("gather[%d] = %d", i, b[0])
+				}
+			}
+		} else if out != nil {
+			t.Errorf("non-root got %v", out)
+		}
+		return nil
+	})
+}
+
+func TestScatterFromRoot(t *testing.T) {
+	w := testWorld(3)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		var chunks [][]byte
+		if p.Rank() == 0 {
+			chunks = [][]byte{{10}, {11}, {12}}
+		}
+		got, err := c.ScatterB(p, 0, chunks)
+		if err != nil {
+			return err
+		}
+		if got[0] != byte(10+p.Rank()) {
+			t.Errorf("rank %d got %d", p.Rank(), got[0])
+		}
+		return nil
+	})
+}
+
+func TestScatterChunkIsolation(t *testing.T) {
+	w := testWorld(2)
+	c := w.CommWorld()
+	src := [][]byte{{1}, {2}}
+	runWorld(w, func(p *Proc) error {
+		var chunks [][]byte
+		if p.Rank() == 0 {
+			chunks = src
+		}
+		got, err := c.ScatterB(p, 0, chunks)
+		if err != nil {
+			return err
+		}
+		got[0] = 99 // must not alias root's buffers
+		return nil
+	})
+	if src[0][0] != 1 || src[1][0] != 2 {
+		t.Fatal("scatter aliased root chunks")
+	}
+}
+
+func TestAllgatherF64(t *testing.T) {
+	w := testWorld(3)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		out, err := c.AllgatherF64(p, []float64{float64(p.Rank()) + 0.5})
+		if err != nil {
+			return err
+		}
+		want := [][]float64{{0.5}, {1.5}, {2.5}}
+		if !reflect.DeepEqual(out, want) {
+			t.Errorf("allgather = %v", out)
+		}
+		return nil
+	})
+}
+
+func TestGatherFailsOnDeadMember(t *testing.T) {
+	w := testWorld(3)
+	c := w.CommWorld()
+	errs := runWorld(w, func(p *Proc) error {
+		if p.Rank() == 2 {
+			p.Exit()
+		}
+		_, err := c.GatherB(p, 0, []byte{1})
+		return err
+	})
+	if !IsProcessFailure(errs[0]) || !IsProcessFailure(errs[1]) {
+		t.Fatalf("errs = %v", errs[:2])
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	w := testWorld(3)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		// chunks[i] = [10*me + i]
+		chunks := make([][]byte, 3)
+		for i := range chunks {
+			chunks[i] = []byte{byte(10*p.Rank() + i)}
+		}
+		out, err := c.AlltoallB(p, chunks)
+		if err != nil {
+			return err
+		}
+		// out[j] came from rank j and is j's chunk for me.
+		for j, b := range out {
+			want := byte(10*j + p.Rank())
+			if b[0] != want {
+				t.Errorf("rank %d out[%d] = %d, want %d", p.Rank(), j, b[0], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAlltoallWrongChunkCount(t *testing.T) {
+	w := testWorld(2)
+	c := w.CommWorld()
+	errs := make([]error, 2)
+	runWorld(w, func(p *Proc) error {
+		if p.Rank() == 0 {
+			_, err := c.AlltoallB(p, [][]byte{{1}})
+			errs[0] = err
+			// Recover the collective schedule for rank 1's matching call.
+			_, err2 := c.AlltoallB(p, [][]byte{{1}, {2}})
+			return err2
+		}
+		_, err := c.AlltoallB(p, [][]byte{{3}, {4}})
+		return err
+	})
+	if errs[0] == nil {
+		t.Fatal("wrong chunk count accepted")
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	w := testWorld(2)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		// Rank r contributes [r+1, r+1, r+1, r+1]; sum = [3,3,3,3];
+		// each rank gets a block of 2.
+		data := []float64{float64(p.Rank() + 1), float64(p.Rank() + 1), float64(p.Rank() + 1), float64(p.Rank() + 1)}
+		out, err := c.ReduceScatterF64(p, data, OpSum)
+		if err != nil {
+			return err
+		}
+		if len(out) != 2 || out[0] != 3 || out[1] != 3 {
+			t.Errorf("rank %d reduce-scatter = %v", p.Rank(), out)
+		}
+		return nil
+	})
+}
+
+func TestReduceScatterBadLength(t *testing.T) {
+	w := testWorld(3)
+	c := w.CommWorld()
+	var mu sync.Mutex
+	errCount := 0
+	runWorld(w, func(p *Proc) error {
+		if _, err := c.ReduceScatterF64(p, []float64{1, 2}, OpSum); err != nil {
+			mu.Lock()
+			errCount++
+			mu.Unlock()
+		}
+		return nil
+	})
+	if errCount != 3 {
+		t.Fatalf("bad length accepted at %d ranks", 3-errCount)
+	}
+}

@@ -1,0 +1,141 @@
+package mpi
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Proc is one simulated MPI process: a goroutine with a virtual clock, a
+// node placement, a mailbox for point-to-point messages, and a per-category
+// time recorder. A Proc is owned by its rank goroutine; only the mailbox
+// and world-level failure state are shared.
+type Proc struct {
+	world *World
+	rank  int
+	node  *cluster.Node
+	clock *sim.Clock
+	rec   *trace.Recorder
+	rng   *sim.RNG
+
+	mail    mailbox
+	collSeq map[int64]int64
+	exited  bool
+}
+
+func newProc(w *World, rank int, node *cluster.Node, rng *sim.RNG, startTime float64) *Proc {
+	p := &Proc{
+		world:   w,
+		rank:    rank,
+		node:    node,
+		clock:   sim.NewClockAt(startTime),
+		rec:     trace.NewRecorder(),
+		rng:     rng,
+		collSeq: make(map[int64]int64),
+	}
+	p.mail.init()
+	return p
+}
+
+// Rank returns the process's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.Size() }
+
+// World returns the enclosing world.
+func (p *Proc) World() *World { return p.world }
+
+// Node returns the compute node hosting this process.
+func (p *Proc) Node() *cluster.Node { return p.node }
+
+// Machine returns the cost model.
+func (p *Proc) Machine() *sim.Machine { return p.world.machine }
+
+// Clock returns the process's virtual clock.
+func (p *Proc) Clock() *sim.Clock { return p.clock }
+
+// Recorder returns the process's time recorder.
+func (p *Proc) Recorder() *trace.Recorder { return p.rec }
+
+// RNG returns the process's deterministic random stream.
+func (p *Proc) RNG() *sim.RNG { return p.rng }
+
+// Now returns the current virtual time (MPI_Wtime).
+func (p *Proc) Now() float64 { return p.clock.Now() }
+
+// Compute charges `units` of application work to the clock, with the
+// machine's noise jitter applied, attributed to AppCompute (or the active
+// section/recompute redirection).
+func (p *Proc) Compute(units float64) {
+	d := p.world.machine.ComputeTime(units) * p.rng.Jitter(p.world.machine.NoiseAmplitude)
+	p.clock.Advance(d)
+	p.rec.Add(trace.AppCompute, d)
+}
+
+// ComputeExact charges `units` of work with no jitter, for deterministic
+// unit tests.
+func (p *Proc) ComputeExact(units float64) {
+	d := p.world.machine.ComputeTime(units)
+	p.clock.Advance(d)
+	p.rec.Add(trace.AppCompute, d)
+}
+
+// ChargeTime advances the clock by d seconds attributed to category c.
+func (p *Proc) ChargeTime(c trace.Category, d float64) {
+	p.clock.Advance(d)
+	p.rec.Add(c, d)
+}
+
+// Exit kills this process, modeling a rank failure (the paper injects
+// failures by a rank exiting early). It marks the process dead so peers
+// observe the failure, then unwinds the rank goroutine; the launcher
+// recovers the unwind. Exit never returns.
+func (p *Proc) Exit() {
+	p.exited = true
+	p.world.markDead(p.rank)
+	panic(processKilled{rank: p.rank})
+}
+
+// Exited reports whether this process has been killed.
+func (p *Proc) Exited() bool { return p.exited }
+
+// waitForDetection advances the clock to the failure-detection floor of
+// the given dead world ranks: peers cannot act on a failure before the
+// detector (heartbeat timeout) reports it.
+func (p *Proc) waitForDetection(ranks []int) {
+	p.clock.AdvanceTo(p.world.detectionFloor(ranks))
+}
+
+// congestionFactor returns the MPI cost multiplier in effect right now for
+// this process: >1 while its node's asynchronous checkpoint flush is in
+// flight.
+func (p *Proc) congestionFactor() float64 {
+	if p.node.CongestedAt(p.clock.Now()) {
+		return p.world.machine.CongestionFactor
+	}
+	return 1
+}
+
+// failMPI funnels every MPI error through the world's failure disposition:
+// under fail-restart semantics a process failure aborts the whole job
+// (panic recovered by the launcher); under ULFM semantics the error is
+// returned for the process resilience layer to handle.
+func (p *Proc) failMPI(err error) error {
+	if err == nil {
+		return nil
+	}
+	if p.world.abortOnFailure && IsULFMError(err) {
+		panic(jobAborted{rank: p.rank, cause: err})
+	}
+	return err
+}
+
+// nextSeq returns the process's next collective sequence number on comm id.
+// Collectives must be called in the same order by all participants, as in
+// MPI.
+func (p *Proc) nextSeq(comm int64) int64 {
+	s := p.collSeq[comm]
+	p.collSeq[comm] = s + 1
+	return s
+}

@@ -1,0 +1,201 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// collect runs an allreduce over ranks' generated vectors and compares
+// against a sequential reference reduction.
+func allreduceMatchesReference(vals [][]float64, op ReduceOp) bool {
+	n := len(vals)
+	if n == 0 {
+		return true
+	}
+	width := len(vals[0])
+	for _, v := range vals {
+		if len(v) != width {
+			return true // skip ragged inputs
+		}
+	}
+	// Sequential reference in rank order.
+	ref := make([]float64, width)
+	copy(ref, vals[0])
+	for r := 1; r < n; r++ {
+		for i, x := range vals[r] {
+			ref[i] = op.apply(ref[i], x)
+		}
+	}
+
+	w := testWorld(n)
+	c := w.CommWorld()
+	results := make([][]float64, n)
+	errs := runWorld(w, func(p *Proc) error {
+		out, err := c.AllreduceF64(p, vals[p.Rank()], op)
+		if err != nil {
+			return err
+		}
+		results[p.Rank()] = out
+		return nil
+	})
+	for _, e := range errs {
+		if e != nil {
+			return false
+		}
+	}
+	for _, got := range results {
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func clampVals(a, b, c []float64, width int) [][]float64 {
+	clamp := func(v []float64) []float64 {
+		out := make([]float64, width)
+		for i := 0; i < width && i < len(v); i++ {
+			x := v[i]
+			if math.IsNaN(x) {
+				x = 0
+			}
+			out[i] = x
+		}
+		return out
+	}
+	return [][]float64{clamp(a), clamp(b), clamp(c)}
+}
+
+func TestAllreduceSumProperty(t *testing.T) {
+	f := func(a, b, c []float64) bool {
+		return allreduceMatchesReference(clampVals(a, b, c, 5), OpSum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMinMaxProperty(t *testing.T) {
+	fMin := func(a, b, c []float64) bool {
+		return allreduceMatchesReference(clampVals(a, b, c, 3), OpMin)
+	}
+	fMax := func(a, b, c []float64) bool {
+		return allreduceMatchesReference(clampVals(a, b, c, 3), OpMax)
+	}
+	if err := quick.Check(fMin, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(fMax, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastProperty(t *testing.T) {
+	// Any payload from any root reaches every rank intact.
+	f := func(payload []byte, rootSeed uint8) bool {
+		const n = 4
+		root := int(rootSeed) % n
+		w := testWorld(n)
+		c := w.CommWorld()
+		ok := true
+		runWorld(w, func(p *Proc) error {
+			var in []byte
+			if c.Rank(p) == root {
+				in = payload
+			}
+			got, err := c.Bcast(p, root, in)
+			if err != nil {
+				ok = false
+				return err
+			}
+			if len(got) != len(payload) {
+				ok = false
+				return nil
+			}
+			for i := range payload {
+				if got[i] != payload[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatterInverseProperty(t *testing.T) {
+	// Scatter then gather reproduces the root's chunk list.
+	f := func(a, b, c byte) bool {
+		const n = 3
+		chunks := [][]byte{{a}, {b}, {c}}
+		w := testWorld(n)
+		comm := w.CommWorld()
+		ok := true
+		runWorld(w, func(p *Proc) error {
+			var in [][]byte
+			if p.Rank() == 0 {
+				in = chunks
+			}
+			mine, err := comm.ScatterB(p, 0, in)
+			if err != nil {
+				ok = false
+				return err
+			}
+			back, err := comm.GatherB(p, 0, mine)
+			if err != nil {
+				ok = false
+				return err
+			}
+			if p.Rank() == 0 {
+				for i := range chunks {
+					if back[i][0] != chunks[i][0] {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotonicityUnderTraffic(t *testing.T) {
+	// Property: virtual clocks never move backwards regardless of message
+	// pattern.
+	w := testWorld(4)
+	c := w.CommWorld()
+	runWorld(w, func(p *Proc) error {
+		last := p.Now()
+		check := func() error {
+			if p.Now() < last {
+				t.Errorf("rank %d clock went backwards: %v -> %v", p.Rank(), last, p.Now())
+			}
+			last = p.Now()
+			return nil
+		}
+		for i := 0; i < 20; i++ {
+			dst := (p.Rank() + 1) % 4
+			src := (p.Rank() + 3) % 4
+			if _, err := c.Sendrecv(p, dst, 0, []byte{byte(i)}, src, 0); err != nil {
+				return err
+			}
+			check()
+			if _, err := c.AllreduceInt(p, i, OpSum); err != nil {
+				return err
+			}
+			check()
+			p.Compute(1e5)
+			check()
+		}
+		return nil
+	})
+}

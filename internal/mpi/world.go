@@ -1,0 +1,224 @@
+// Package mpi is a simulated message-passing runtime with ULFM-style fault
+// tolerance, standing in for MPI + MPI-ULFM on the paper's Cray XC40.
+//
+// Each rank is a goroutine owning a virtual clock. Point-to-point messages
+// and collectives synchronize clocks according to the sim.Machine cost
+// model. Process failure is injected by a rank calling Proc.Exit; all peers
+// subsequently observe FailedError from operations involving the failed
+// rank, exactly as ULFM raises MPI_ERR_PROC_FAILED. Communicators support
+// Revoke, Shrink, and Agree, the ULFM primitives Fenix is built on.
+//
+// Two failure dispositions are supported, selected per job:
+//
+//   - fail-restart (abortOnFailure): any observed failure aborts the whole
+//     job, and the launcher may relaunch it — classic checkpoint/restart.
+//   - ULFM (the default): failures surface as errors for the process
+//     resilience layer (Fenix) to handle online.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// World is one launch of an MPI job: a fixed set of processes and the
+// global failure state. A World is created by RunJob; tests may construct
+// one directly with NewWorld.
+type World struct {
+	cluster        *cluster.Cluster
+	machine        *sim.Machine
+	procs          []*Proc
+	abortOnFailure bool
+
+	mu     sync.Mutex
+	dead   []bool
+	deadAt []float64 // virtual death time per rank (valid where dead)
+	nComm  int64
+	colls  map[collKey]*rendezvous
+	nDead  int
+	deadLs []int // world ranks, in failure order
+	hooks  []func(worldRank int)
+
+	commWorld *Comm
+}
+
+// RegisterDeathHook installs f to be called (outside the world lock) each
+// time a process fails. The process-resilience layer uses this to re-check
+// its repair rendezvous when a failure occurs mid-recovery.
+func (w *World) RegisterDeathHook(f func(worldRank int)) {
+	w.mu.Lock()
+	w.hooks = append(w.hooks, f)
+	w.mu.Unlock()
+}
+
+// NewWorld creates a world of `ranks` processes placed round-robin across
+// the cluster's nodes with `ranksPerNode` ranks per node. Every process
+// clock starts at startTime (the virtual time at which the job launch
+// completed). abortOnFailure selects fail-restart semantics.
+func NewWorld(cl *cluster.Cluster, ranks, ranksPerNode int, abortOnFailure bool, seed uint64, startTime float64) *World {
+	if ranks <= 0 {
+		panic("mpi: rank count must be positive")
+	}
+	if ranksPerNode <= 0 {
+		ranksPerNode = 1
+	}
+	w := &World{
+		cluster:        cl,
+		machine:        cl.Machine(),
+		abortOnFailure: abortOnFailure,
+		dead:           make([]bool, ranks),
+		deadAt:         make([]float64, ranks),
+		colls:          make(map[collKey]*rendezvous),
+	}
+	root := sim.NewRNG(seed)
+	w.procs = make([]*Proc, ranks)
+	for i := range w.procs {
+		node := cl.Node((i / ranksPerNode) % cl.Size())
+		w.procs[i] = newProc(w, i, node, root.Split(uint64(i)), startTime)
+	}
+	w.commWorld = w.newCommLocked(identityGroup(ranks))
+	return w
+}
+
+func identityGroup(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// Size returns the number of processes in the world.
+func (w *World) Size() int { return len(w.procs) }
+
+// Machine returns the cost model.
+func (w *World) Machine() *sim.Machine { return w.machine }
+
+// Cluster returns the underlying cluster.
+func (w *World) Cluster() *cluster.Cluster { return w.cluster }
+
+// Proc returns process i (world rank i).
+func (w *World) Proc(i int) *Proc {
+	if i < 0 || i >= len(w.procs) {
+		panic(fmt.Sprintf("mpi: proc %d out of range [0,%d)", i, len(w.procs)))
+	}
+	return w.procs[i]
+}
+
+// CommWorld returns the communicator spanning all processes
+// (MPI_COMM_WORLD).
+func (w *World) CommWorld() *Comm { return w.commWorld }
+
+// NewComm creates a communicator over the given world ranks. It is the
+// simulation analogue of MPI_Comm_create and is used by Fenix to build the
+// resilient communicator excluding spare ranks.
+func (w *World) NewComm(group []int) *Comm {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.newCommLocked(group)
+}
+
+func (w *World) newCommLocked(group []int) *Comm {
+	cp := make([]int, len(group))
+	copy(cp, group)
+	idx := make(map[int]int, len(cp))
+	for i, r := range cp {
+		if r < 0 || r >= len(w.procs) {
+			panic(fmt.Sprintf("mpi: comm group rank %d out of world range", r))
+		}
+		if _, dup := idx[r]; dup {
+			panic(fmt.Sprintf("mpi: duplicate rank %d in comm group", r))
+		}
+		idx[r] = i
+	}
+	w.nComm++
+	return &Comm{world: w, id: w.nComm, group: cp, index: idx}
+}
+
+// isDead reports whether world rank r has failed.
+func (w *World) isDead(r int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dead[r]
+}
+
+// DeadRanks returns the failed world ranks in failure order.
+func (w *World) DeadRanks() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cp := make([]int, len(w.deadLs))
+	copy(cp, w.deadLs)
+	return cp
+}
+
+// AliveCount returns the number of live processes.
+func (w *World) AliveCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.procs) - w.nDead
+}
+
+// detectionFloor returns the earliest virtual time at which the failure of
+// the given world ranks is observable: death time plus the machine's
+// failure-detection latency (heartbeat timeout).
+func (w *World) detectionFloor(ranks []int) float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.detectionFloorLocked(ranks)
+}
+
+func (w *World) detectionFloorLocked(ranks []int) float64 {
+	var floor float64
+	for _, r := range ranks {
+		if w.dead[r] && w.deadAt[r] > floor {
+			floor = w.deadAt[r]
+		}
+	}
+	return floor + w.machine.FailureDetectionLatency
+}
+
+// markDead records the failure of world rank r, completes every pending
+// collective that involves it (waiters observe FailedError), and wakes all
+// blocked receivers so they can re-check failure state. It must be called
+// from rank r's own goroutine (the dying process), whose clock stamps the
+// death time.
+func (w *World) markDead(r int) {
+	w.mu.Lock()
+	if w.dead[r] {
+		w.mu.Unlock()
+		return
+	}
+	w.dead[r] = true
+	w.deadAt[r] = w.procs[r].clock.Now()
+	w.nDead++
+	w.deadLs = append(w.deadLs, r)
+	for key, rv := range w.colls {
+		if rv.hasMember(r) {
+			w.tryCompleteLocked(key, rv)
+		}
+	}
+	hooks := make([]func(int), len(w.hooks))
+	copy(hooks, w.hooks)
+	w.mu.Unlock()
+	for _, p := range w.procs {
+		p.mail.wakeAll()
+	}
+	for _, h := range hooks {
+		h(r)
+	}
+}
+
+// deadMembersLocked returns the subset of group that has failed. Caller
+// holds w.mu.
+func (w *World) deadMembersLocked(group []int) []int {
+	var out []int
+	for _, r := range group {
+		if w.dead[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

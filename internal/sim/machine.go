@@ -1,0 +1,148 @@
+package sim
+
+import "math"
+
+// Machine is the cost model for the simulated cluster. All rates are in
+// bytes/second (bandwidths) or seconds (latencies); compute throughput is in
+// abstract work units/second, where applications define their own unit (e.g.
+// one stencil cell update, one pairwise force evaluation).
+//
+// The default values are calibrated loosely against the paper's platform —
+// a Cray XC40 with 32-core Haswell nodes and a Lustre parallel file system —
+// to reproduce the relative magnitudes in Figures 5 and 6, not the absolute
+// numbers.
+type Machine struct {
+	// ComputeRate is application work units per second per rank.
+	ComputeRate float64
+
+	// NetLatency is the one-way point-to-point message latency in seconds.
+	NetLatency float64
+	// NetBandwidth is the per-link point-to-point bandwidth in bytes/second.
+	NetBandwidth float64
+
+	// MemBandwidth is the node-local memory copy bandwidth in bytes/second,
+	// used for checkpoint scratch copies.
+	MemBandwidth float64
+
+	// PFSAggregateBandwidth is the total write bandwidth of the parallel
+	// file system in bytes/second. It is shared by all concurrent writers,
+	// modeling the fixed number of filesystem management nodes the paper
+	// identifies as the VeloC flush bottleneck.
+	PFSAggregateBandwidth float64
+	// PFSPerClientBandwidth caps a single node's PFS write stream.
+	PFSPerClientBandwidth float64
+	// PFSReadBandwidth is the per-client read bandwidth for restarts.
+	PFSReadBandwidth float64
+	// PFSLatency is the fixed per-operation file system latency in seconds.
+	PFSLatency float64
+
+	// CongestionFactor multiplies MPI communication costs on a node whose
+	// asynchronous checkpoint flush is in flight. The paper observes VeloC's
+	// background writes delaying application MPI calls; this factor models
+	// that contention.
+	CongestionFactor float64
+
+	// LaunchBase and LaunchPerNode model the cost of `mpirun` job startup:
+	// total = LaunchBase + LaunchPerNode*nodes. Charged on every (re)launch.
+	LaunchBase    float64
+	LaunchPerNode float64
+	// TeardownBase and TeardownPerNode model job shutdown after a failure
+	// under fail-restart semantics.
+	TeardownBase    float64
+	TeardownPerNode float64
+
+	// CollectiveLatency is the per-hop latency of tree-based collectives in
+	// seconds; a P-rank collective costs ceil(log2(P)) hops.
+	CollectiveLatency float64
+
+	// FenixRepairBase and FenixRepairPerRank model the cost of Fenix
+	// communicator repair (failure propagation, agreement, spare
+	// substitution) after a process failure.
+	FenixRepairBase    float64
+	FenixRepairPerRank float64
+
+	// FailureDetectionLatency is the delay between a process dying and its
+	// peers being able to observe the failure (heartbeat timeout in a real
+	// ULFM failure detector). Operations that would report the failure
+	// block until death time + this latency.
+	FailureDetectionLatency float64
+
+	// NoiseAmplitude scales per-rank compute-time jitter as a fraction of
+	// the nominal cost (OS noise / performance variability). The paper notes
+	// this variability partially hides asynchronous checkpoint congestion at
+	// larger node counts.
+	NoiseAmplitude float64
+}
+
+// DefaultMachine returns the cost model used by all experiments unless a
+// test overrides specific fields.
+func DefaultMachine() *Machine {
+	return &Machine{
+		ComputeRate:             2.0e9,  // work units (e.g. cell updates) per second
+		NetLatency:              2e-6,   // 2 us
+		NetBandwidth:            8.0e9,  // 8 GB/s per link (Aries-class)
+		MemBandwidth:            5.0e10, // 50 GB/s memcpy
+		PFSAggregateBandwidth:   6.0e9,  // 6 GB/s Lustre aggregate
+		PFSPerClientBandwidth:   1.5e9,  // 1.5 GB/s per client stream
+		PFSReadBandwidth:        1.5e9,
+		PFSLatency:              5e-4,
+		CongestionFactor:        2.5,
+		LaunchBase:              2.0,
+		LaunchPerNode:           0.05,
+		TeardownBase:            1.0,
+		TeardownPerNode:         0.02,
+		CollectiveLatency:       3e-6,
+		FenixRepairBase:         0.25,
+		FenixRepairPerRank:      0.002,
+		FailureDetectionLatency: 0.05,
+		NoiseAmplitude:          0.02,
+	}
+}
+
+// ComputeTime returns the virtual time to execute the given number of work
+// units on one rank.
+func (m *Machine) ComputeTime(units float64) float64 {
+	if units <= 0 {
+		return 0
+	}
+	return units / m.ComputeRate
+}
+
+// TransferTime returns the virtual time for a point-to-point message of the
+// given size in bytes, before congestion adjustment.
+func (m *Machine) TransferTime(bytes int) float64 {
+	return m.NetLatency + float64(bytes)/m.NetBandwidth
+}
+
+// MemcpyTime returns the virtual time for a node-local copy of the given
+// size, e.g. a VeloC scratch checkpoint.
+func (m *Machine) MemcpyTime(bytes int) float64 {
+	return float64(bytes) / m.MemBandwidth
+}
+
+// CollectiveTime returns the virtual time for a tree collective across p
+// ranks moving the given payload per rank.
+func (m *Machine) CollectiveTime(p, bytes int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	hops := math.Ceil(math.Log2(float64(p)))
+	return hops * (m.CollectiveLatency + float64(bytes)/m.NetBandwidth)
+}
+
+// LaunchTime returns the virtual cost of starting an MPI job on n nodes.
+func (m *Machine) LaunchTime(nodes int) float64 {
+	return m.LaunchBase + m.LaunchPerNode*float64(nodes)
+}
+
+// TeardownTime returns the virtual cost of tearing down a failed job on n
+// nodes prior to relaunch.
+func (m *Machine) TeardownTime(nodes int) float64 {
+	return m.TeardownBase + m.TeardownPerNode*float64(nodes)
+}
+
+// RepairTime returns the virtual cost of a Fenix communicator repair across
+// p ranks.
+func (m *Machine) RepairTime(p int) float64 {
+	return m.FenixRepairBase + m.FenixRepairPerRank*float64(p)
+}

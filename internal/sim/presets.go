@@ -1,0 +1,51 @@
+package sim
+
+// Machine presets: named calibrations for platforms of interest. The
+// default (Cray XC40 class) drives all paper reproductions; the others
+// exist for sensitivity studies — e.g. how the VeloC-vs-IMR trade-off
+// shifts on a commodity cluster with a weak parallel file system, or on an
+// exascale-class machine with a fast burst-buffer tier.
+
+// MachineXC40 is the paper's platform class: Aries-class interconnect,
+// Lustre PFS. Identical to DefaultMachine.
+func MachineXC40() *Machine { return DefaultMachine() }
+
+// MachineCommodity models a commodity Ethernet cluster with an NFS-class
+// file system: high latency, thin PFS, strong congestion coupling.
+func MachineCommodity() *Machine {
+	m := DefaultMachine()
+	m.NetLatency = 50e-6
+	m.NetBandwidth = 1.25e9 // 10 GbE
+	m.PFSAggregateBandwidth = 1.0e9
+	m.PFSPerClientBandwidth = 0.5e9
+	m.PFSReadBandwidth = 0.5e9
+	m.PFSLatency = 5e-3
+	m.CongestionFactor = 4.0
+	m.CollectiveLatency = 60e-6
+	m.LaunchBase = 5.0
+	m.LaunchPerNode = 0.1
+	return m
+}
+
+// MachineExascale models a newer system with a node-local burst buffer
+// standing in for scratch and a much fatter parallel store.
+func MachineExascale() *Machine {
+	m := DefaultMachine()
+	m.ComputeRate = 2.0e10
+	m.NetLatency = 1e-6
+	m.NetBandwidth = 25e9
+	m.MemBandwidth = 2e11
+	m.PFSAggregateBandwidth = 50e9
+	m.PFSPerClientBandwidth = 5e9
+	m.PFSReadBandwidth = 5e9
+	m.CongestionFactor = 1.5
+	m.CollectiveLatency = 1.5e-6
+	return m
+}
+
+// Presets maps preset names to constructors, for command-line selection.
+var Presets = map[string]func() *Machine{
+	"xc40":      MachineXC40,
+	"commodity": MachineCommodity,
+	"exascale":  MachineExascale,
+}

@@ -1,0 +1,47 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64). It is
+// used for per-rank compute-noise jitter and synthetic workload
+// initialization. Unlike math/rand it is trivially splittable per rank so
+// experiments are reproducible regardless of goroutine scheduling.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent generator for a sub-stream (e.g. one rank).
+func (r *RNG) Split(stream uint64) *RNG {
+	return NewRNG(r.state ^ (stream+1)*0x9E3779B97F4A7C15)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns a multiplicative noise factor in [1-amp, 1+amp].
+func (r *RNG) Jitter(amp float64) float64 {
+	if amp <= 0 {
+		return 1
+	}
+	return 1 + amp*(2*r.Float64()-1)
+}

@@ -1,0 +1,39 @@
+package veloc
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/mpi"
+)
+
+// FuzzDeserialize hardens the checkpoint blob parser against arbitrary
+// bytes (e.g. a torn PFS write): it must error, never panic.
+func FuzzDeserialize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 0, 0, 0, 1, 0, 0, 0, 9, 0, 0, 0})
+	// A valid blob as seed.
+	cl := cluster.New(1, quietMachine())
+	w := mpi.NewWorld(cl, 1, 1, false, 1, 0)
+	c, err := New(w.Proc(0), Config{Mode: Single})
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf := []byte("seed region")
+	c.Protect(0, SliceRegion{&buf})
+	valid, _ := c.serialize()
+	f.Add(valid)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		cl := cluster.New(1, quietMachine())
+		w := mpi.NewWorld(cl, 1, 1, false, 1, 0)
+		cc, err := New(w.Proc(0), Config{Mode: Single})
+		if err != nil {
+			t.Skip()
+		}
+		b := make([]byte, 11)
+		cc.Protect(0, SliceRegion{&b})
+		_ = cc.deserialize(blob) // must not panic
+	})
+}

@@ -1,0 +1,422 @@
+// Package veloc is a simulation of the VeloC asynchronous multi-level
+// checkpoint/restart runtime. As in VeloC, applications (or the Kokkos
+// Resilience layer acting on their behalf) register protected memory
+// regions; Checkpoint synchronously copies them into node-local scratch
+// (a memory-mapped folder in the paper's configuration) and then flushes
+// them to the parallel file system asynchronously via the per-node server.
+// The server is modeled analytically by cluster.Node.FlushAsync: the flush
+// occupies a virtual-time window that throttles the shared PFS and congests
+// the node's MPI traffic, which is exactly the behaviour the paper's
+// Figures 5 and 6 attribute to VeloC.
+//
+// Two modes mirror Section V of the paper:
+//
+//   - Collective: the classic VeloC configuration. Restart version
+//     selection is a collective over the communicator, automatically
+//     finding the best globally-available checkpoint. This mode cannot
+//     tolerate the communicator being replaced after a process failure.
+//   - Single (non-collective): each rank manages versions locally; the
+//     caller performs the globally-best-version reduction manually. This is
+//     the mode Fenix integration requires.
+package veloc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Mode selects collective or non-collective (single) operation.
+type Mode int
+
+const (
+	// Collective coordinates version selection across the communicator.
+	Collective Mode = iota
+	// Single operates per-rank with no internal communication.
+	Single
+)
+
+func (m Mode) String() string {
+	if m == Collective {
+		return "collective"
+	}
+	return "single"
+}
+
+// ErrNoCheckpoint is returned when no usable checkpoint version exists.
+var ErrNoCheckpoint = errors.New("veloc: no checkpoint available")
+
+// Region is a protected memory region: it can produce its current contents
+// and restore itself from checkpointed bytes.
+// SimBytes is the region's size in the simulation's cost model — equal to
+// len(Bytes()) unless a small real buffer stands in for paper-scale data
+// (see kokkos.View.SimBytes).
+type Region interface {
+	Bytes() []byte
+	Restore([]byte) error
+	SimBytes() int
+}
+
+// SliceRegion adapts a byte slice pointer as a Region.
+type SliceRegion struct{ Buf *[]byte }
+
+// Bytes returns a copy of the current slice contents.
+func (r SliceRegion) Bytes() []byte {
+	cp := make([]byte, len(*r.Buf))
+	copy(cp, *r.Buf)
+	return cp
+}
+
+// Restore overwrites the slice contents.
+func (r SliceRegion) Restore(b []byte) error {
+	if len(b) != len(*r.Buf) {
+		return fmt.Errorf("veloc: region expects %d bytes, got %d", len(*r.Buf), len(b))
+	}
+	copy(*r.Buf, b)
+	return nil
+}
+
+// SimBytes returns the real slice length.
+func (r SliceRegion) SimBytes() int { return len(*r.Buf) }
+
+// Config configures a Client.
+type Config struct {
+	// Mode selects collective or single operation.
+	Mode Mode
+	// Comm is the communicator used for collective version selection;
+	// required in Collective mode, ignored in Single mode.
+	Comm *mpi.Comm
+	// Rank is the logical rank identity used in checkpoint file names. It
+	// defaults to the comm rank (Collective) or world rank (Single). After
+	// a Fenix repair, a replacement process adopts its predecessor's
+	// logical rank so it finds the predecessor's checkpoints.
+	Rank int
+	// RankSet reports whether Rank was explicitly provided (a zero Rank is
+	// valid).
+	RankSet bool
+}
+
+// Client is one process's VeloC handle.
+type Client struct {
+	p       *mpi.Proc
+	mode    Mode
+	comm    *mpi.Comm
+	rank    int
+	regions map[int]Region
+	ids     []int
+}
+
+// initCost is the virtual cost of VeloC client initialization (connecting
+// to the active backend server on the node), in seconds.
+const initCost = 5e-3
+
+// New creates a VeloC client for process p. It charges the resilience
+// initialization cost to p's clock.
+func New(p *mpi.Proc, cfg Config) (*Client, error) {
+	c := &Client{p: p, mode: cfg.Mode, comm: cfg.Comm, regions: make(map[int]Region)}
+	switch cfg.Mode {
+	case Collective:
+		if cfg.Comm == nil {
+			return nil, errors.New("veloc: collective mode requires a communicator")
+		}
+		c.rank = cfg.Comm.Rank(p)
+	case Single:
+		c.rank = p.Rank()
+	default:
+		return nil, fmt.Errorf("veloc: unknown mode %d", int(cfg.Mode))
+	}
+	if cfg.RankSet {
+		c.rank = cfg.Rank
+	}
+	if c.rank < 0 {
+		return nil, errors.New("veloc: calling process not in communicator")
+	}
+	p.ChargeTime(trace.ResilienceInit, initCost)
+	return c, nil
+}
+
+// Mode returns the client's operating mode.
+func (c *Client) Mode() Mode { return c.mode }
+
+// Rank returns the logical rank used in checkpoint naming.
+func (c *Client) Rank() int { return c.rank }
+
+// SetRank updates the logical rank, used when continuing with a shrunk
+// communicator after running out of spares.
+func (c *Client) SetRank(r int) { c.rank = r }
+
+// SetComm replaces the communicator used for collective operations after a
+// Fenix repair.
+func (c *Client) SetComm(comm *mpi.Comm) { c.comm = comm }
+
+// Protect registers region r under the given id (VELOC_Mem_protect).
+// Re-registering an id replaces the region.
+func (c *Client) Protect(id int, r Region) {
+	if _, ok := c.regions[id]; !ok {
+		c.ids = append(c.ids, id)
+		sort.Ints(c.ids)
+	}
+	c.regions[id] = r
+}
+
+// Unprotect removes the region registered under id.
+func (c *Client) Unprotect(id int) {
+	if _, ok := c.regions[id]; !ok {
+		return
+	}
+	delete(c.regions, id)
+	for i, v := range c.ids {
+		if v == id {
+			c.ids = append(c.ids[:i], c.ids[i+1:]...)
+			break
+		}
+	}
+}
+
+// Protected returns the number of registered regions.
+func (c *Client) Protected() int { return len(c.regions) }
+
+func dataKey(name string, version, rank int) string {
+	return fmt.Sprintf("veloc/%s/v%d/rank%d", name, version, rank)
+}
+
+func metaKey(name string, rank int) string {
+	return fmt.Sprintf("veloc/%s/meta/rank%d", name, rank)
+}
+
+func encodeVersion(v int) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+	return b
+}
+
+func decodeVersion(b []byte) (int, bool) {
+	if len(b) != 8 {
+		return 0, false
+	}
+	return int(binary.LittleEndian.Uint64(b)), true
+}
+
+// ErrCorrupt indicates a checkpoint whose integrity checksum does not
+// match its contents.
+var ErrCorrupt = errors.New("veloc: checkpoint integrity check failed")
+
+// blob layout: u32 crc32 (IEEE, over the rest), u32 count, then per
+// region: u32 id, u32 len, bytes. The CRC mirrors VeloC's checkpoint
+// integrity verification. The second return is the cost-model size of the
+// checkpoint.
+func (c *Client) serialize() ([]byte, int) {
+	size := 8
+	simSize := 8
+	contents := make(map[int][]byte, len(c.ids))
+	for _, id := range c.ids {
+		b := c.regions[id].Bytes()
+		contents[id] = b
+		size += 8 + len(b)
+		simSize += 8 + c.regions[id].SimBytes()
+	}
+	out := make([]byte, 4, size)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(c.ids)))
+	out = append(out, hdr[:]...)
+	for _, id := range c.ids {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(id))
+		out = append(out, hdr[:]...)
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(contents[id])))
+		out = append(out, hdr[:]...)
+		out = append(out, contents[id]...)
+	}
+	binary.LittleEndian.PutUint32(out[:4], crc32.ChecksumIEEE(out[4:]))
+	return out, simSize
+}
+
+func (c *Client) deserialize(blob []byte) error {
+	if len(blob) < 8 {
+		return errors.New("veloc: truncated checkpoint blob")
+	}
+	if crc32.ChecksumIEEE(blob[4:]) != binary.LittleEndian.Uint32(blob) {
+		return ErrCorrupt
+	}
+	count := int(binary.LittleEndian.Uint32(blob[4:]))
+	off := 8
+	for i := 0; i < count; i++ {
+		if off+8 > len(blob) {
+			return errors.New("veloc: truncated checkpoint region header")
+		}
+		id := int(binary.LittleEndian.Uint32(blob[off:]))
+		n := int(binary.LittleEndian.Uint32(blob[off+4:]))
+		off += 8
+		if off+n > len(blob) {
+			return errors.New("veloc: truncated checkpoint region data")
+		}
+		r, ok := c.regions[id]
+		if !ok {
+			return fmt.Errorf("veloc: checkpoint contains unregistered region %d", id)
+		}
+		if err := r.Restore(blob[off : off+n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// Checkpoint writes version `version` of checkpoint `name`
+// (VELOC_Checkpoint). The synchronous part — serializing the protected
+// regions into node-local scratch — is charged to the CheckpointFunc
+// category; the flush to the PFS proceeds asynchronously on the node's
+// server and only manifests as later congestion and file availability.
+func (c *Client) Checkpoint(name string, version int) error {
+	if len(c.regions) == 0 {
+		return errors.New("veloc: checkpoint with no protected regions")
+	}
+	blob, simSize := c.serialize()
+	node := c.p.Node()
+
+	cost := node.ScratchWriteSized(dataKey(name, version, c.rank), blob, simSize)
+	node.ScratchWrite(metaKey(name, c.rank), encodeVersion(version))
+	c.p.ChargeTime(trace.CheckpointFunc, cost)
+
+	if _, err := node.FlushAsync(dataKey(name, version, c.rank), dataKey(name, version, c.rank), c.p.Now()); err != nil {
+		return err
+	}
+	// Publish the PFS meta entry; its availability follows the data flush.
+	c.p.World().Cluster().PFS().Write(metaKey(name, c.rank), encodeVersion(version), c.p.Now())
+	return nil
+}
+
+// localLatest returns the newest version visible to this rank without
+// communication: the scratch copy if present, else the PFS meta entry.
+func (c *Client) localLatest(name string) (int, bool) {
+	if b, _, ok := c.p.Node().ScratchRead(metaKey(name, c.rank)); ok {
+		if v, ok := decodeVersion(b); ok {
+			return v, true
+		}
+	}
+	if b, _, ok := c.p.World().Cluster().PFS().Read(metaKey(name, c.rank), c.p.Now()); ok {
+		if v, ok := decodeVersion(b); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// LatestVersion returns the newest restorable version of `name`. In
+// Collective mode this is the best checkpoint available at every rank of
+// the communicator (an all-reduce minimum, as VeloC's collective restart
+// performs internally); in Single mode it is the local view only, and the
+// caller is responsible for the global reduction (see BestCommonVersion).
+func (c *Client) LatestVersion(name string) (int, error) {
+	local, ok := c.localLatest(name)
+	if c.mode == Single {
+		if !ok {
+			return 0, ErrNoCheckpoint
+		}
+		return local, nil
+	}
+	v := -1
+	if ok {
+		v = local
+	}
+	global, err := c.comm.AllreduceInt(c.p, v, mpi.OpMin)
+	if err != nil {
+		return 0, err
+	}
+	if global < 0 {
+		return 0, ErrNoCheckpoint
+	}
+	return global, nil
+}
+
+// BestCommonVersion performs the manual globally-best-version reduction
+// over comm for a Single-mode client — the extra step the paper's Fenix
+// integration adds to the application (Section V).
+func (c *Client) BestCommonVersion(name string, comm *mpi.Comm) (int, error) {
+	v := -1
+	if local, ok := c.localLatest(name); ok {
+		v = local
+	}
+	global, err := comm.AllreduceInt(c.p, v, mpi.OpMin)
+	if err != nil {
+		return 0, err
+	}
+	if global < 0 {
+		return 0, ErrNoCheckpoint
+	}
+	return global, nil
+}
+
+// Restart restores the protected regions from version `version` of `name`
+// (VELOC_Restart). Ranks with a scratch copy restore node-locally; others
+// (typically a replacement process on a spare node) read from the PFS,
+// waiting out any still-running flush. Time is charged to DataRecovery.
+func (c *Client) Restart(name string, version int) error {
+	key := dataKey(name, version, c.rank)
+	if blob, cost, ok := c.p.Node().ScratchRead(key); ok {
+		c.p.ChargeTime(trace.DataRecovery, cost)
+		return c.deserialize(blob)
+	}
+	blob, ready, ok := c.p.World().Cluster().PFS().Read(key, c.p.Now())
+	if !ok {
+		return fmt.Errorf("%w: %s version %d (rank %d)", ErrNoCheckpoint, name, version, c.rank)
+	}
+	waited := c.p.Clock().AdvanceTo(ready)
+	c.p.Recorder().Add(trace.DataRecovery, waited)
+	return c.deserialize(blob)
+}
+
+// RestartLatest restores the newest available version and returns it.
+func (c *Client) RestartLatest(name string) (int, error) {
+	v, err := c.LatestVersion(name)
+	if err != nil {
+		return 0, err
+	}
+	return v, c.Restart(name, v)
+}
+
+// Drop removes version `version` of `name` from both scratch and the PFS
+// for this rank (VELOC_Checkpoint_delete). Dropping the latest version
+// also rolls the meta entries back if an older version remains is NOT
+// attempted: VeloC's own GC only ever removes superseded versions, which
+// is the supported use here.
+func (c *Client) Drop(name string, version int) {
+	key := dataKey(name, version, c.rank)
+	c.p.Node().ScratchDelete(key)
+	c.p.World().Cluster().PFS().Delete(key)
+}
+
+// GCBefore drops every version older than `keepFrom`, bounding storage the
+// way VeloC's watchdog prunes superseded checkpoints. It scans versions
+// downward from keepFrom-1 until a missing one, so it assumes the
+// application checkpoints at monotonically increasing versions.
+func (c *Client) GCBefore(name string, keepFrom int) {
+	pfs := c.p.World().Cluster().PFS()
+	for v := keepFrom - 1; v >= 0; v-- {
+		key := dataKey(name, v, c.rank)
+		_, inPFS := pfs.Exists(key)
+		_, _, inScratch := c.p.Node().ScratchRead(key)
+		if !inPFS && !inScratch {
+			if v < keepFrom-1 {
+				break // past the contiguous run of existing versions
+			}
+			continue
+		}
+		c.Drop(name, v)
+	}
+}
+
+// Available reports whether version `version` of `name` is restorable by
+// this rank from scratch or the PFS.
+func (c *Client) Available(name string, version int) bool {
+	key := dataKey(name, version, c.rank)
+	if _, _, ok := c.p.Node().ScratchRead(key); ok {
+		return true
+	}
+	_, ok := c.p.World().Cluster().PFS().Exists(key)
+	return ok
+}
