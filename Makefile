@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race check figures clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The observability layer is exercised from many rank goroutines; keep it
+# (and everything else) race-clean.
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+figures:
+	$(GO) run ./cmd/figures
+
+clean:
+	$(GO) clean ./...

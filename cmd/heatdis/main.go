@@ -11,14 +11,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps/heatdis"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// writeObs exports the observability recorder's event log and metrics
+// snapshot. A path of "-" selects stdout; an empty path skips that output.
+func writeObs(rec *obs.Recorder, eventsPath, metricsPath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return fn(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(eventsPath, rec.WriteJSONL); err != nil {
+		return err
+	}
+	return write(metricsPath, rec.Registry().WritePrometheus)
+}
 
 func main() {
 	strategyName := flag.String("strategy", "fenix-kr-veloc", "resilience strategy: none, veloc, kr-veloc, fenix-veloc, fenix-kr-veloc, fenix-imr, partial-rollback")
@@ -34,6 +62,8 @@ func main() {
 	decomp := flag.String("decomp", "1d", "domain decomposition: 1d (row slabs) or 2d (Cartesian blocks)")
 	machinePreset := flag.String("machine", "xc40", "machine preset: xc40, commodity, exascale")
 	seed := flag.Uint64("seed", 42, "jitter seed")
+	eventsPath := flag.String("events", "", `write the structured resilience event log as JSONL to this path ("-" for stdout)`)
+	metricsPath := flag.String("metrics", "", `write the metrics snapshot in Prometheus text format to this path ("-" for stdout)`)
 	flag.Parse()
 
 	strategy, err := core.ParseStrategy(*strategyName)
@@ -90,7 +120,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown decomposition %q\n", *decomp)
 		os.Exit(2)
 	}
-	res := core.Run(mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed}, cc, app)
+	var rec *obs.Recorder
+	if *eventsPath != "" || *metricsPath != "" {
+		rec = obs.New()
+	}
+	res := core.Run(mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed, Obs: rec}, cc, app)
 
 	fmt.Printf("strategy=%s ranks=%d data=%dMB launches=%d wall=%.3fs failed=%v\n",
 		strategy, *ranks, *dataMB, res.Launches, res.WallTime, res.Failed)
@@ -103,6 +137,12 @@ func main() {
 	}
 	if r, ok := sink.Get(0); ok {
 		fmt.Printf("rank 0: iterations=%d residual=%.6f checksum=%.6g\n", r.Iterations, r.Delta, r.Checksum)
+	}
+	if rec != nil {
+		if err := writeObs(rec, *eventsPath, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if res.Failed {
 		os.Exit(1)

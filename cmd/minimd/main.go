@@ -11,14 +11,42 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/apps/minimd"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// writeObs exports the observability recorder's event log and metrics
+// snapshot. A path of "-" selects stdout; an empty path skips that output.
+func writeObs(rec *obs.Recorder, eventsPath, metricsPath string) error {
+	write := func(path string, fn func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		if path == "-" {
+			return fn(os.Stdout)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(eventsPath, rec.WriteJSONL); err != nil {
+		return err
+	}
+	return write(metricsPath, rec.Registry().WritePrometheus)
+}
 
 func main() {
 	strategyName := flag.String("strategy", "fenix-kr-veloc", "resilience strategy")
@@ -31,6 +59,8 @@ func main() {
 	failRank := flag.Int("fail-rank", 1, "logical rank to kill")
 	machinePreset := flag.String("machine", "xc40", "machine preset: xc40, commodity, exascale")
 	seed := flag.Uint64("seed", 43, "jitter seed")
+	eventsPath := flag.String("events", "", `write the structured resilience event log as JSONL to this path ("-" for stdout)`)
+	metricsPath := flag.String("metrics", "", `write the metrics snapshot in Prometheus text format to this path ("-" for stdout)`)
 	flag.Parse()
 
 	strategy, err := core.ParseStrategy(*strategyName)
@@ -66,7 +96,11 @@ func main() {
 	}
 
 	sink := minimd.NewSink()
-	res := core.Run(mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed}, cc, minimd.App(cfg, sink))
+	var rec *obs.Recorder
+	if *eventsPath != "" || *metricsPath != "" {
+		rec = obs.New()
+	}
+	res := core.Run(mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed, Obs: rec}, cc, minimd.App(cfg, sink))
 
 	fmt.Printf("strategy=%s ranks=%d size=%d^3 (%d atoms/rank simulated) launches=%d wall=%.3fs failed=%v\n",
 		strategy, *ranks, *size, cfg.SimAtomsPerRank(*ranks), res.Launches, res.WallTime, res.Failed)
@@ -80,6 +114,12 @@ func main() {
 	}
 	if r, ok := sink.Get(0); ok {
 		fmt.Printf("rank 0: steps=%d T=%.4f PE=%.4f checksum=%.6g\n", r.Steps, r.Temp, r.PE, r.Checksum)
+	}
+	if rec != nil {
+		if err := writeObs(rec, *eventsPath, *metricsPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if res.Failed {
 		os.Exit(1)

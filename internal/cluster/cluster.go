@@ -123,6 +123,15 @@ func (n *Node) ScratchRead(key string) (data []byte, cost float64, ok bool) {
 	return cp, n.machine.MemcpyTime(s.simBytes), true
 }
 
+// ScratchSimBytesOf returns the cost-model size of the scratch entry under
+// key, or ok=false if absent.
+func (n *Node) ScratchSimBytesOf(key string) (simBytes int, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.scratch[key]
+	return s.simBytes, ok
+}
+
 // ScratchDelete removes key from scratch storage.
 func (n *Node) ScratchDelete(key string) {
 	n.mu.Lock()
@@ -198,6 +207,21 @@ func (n *Node) CongestedAt(t float64) bool {
 		}
 	}
 	return false
+}
+
+// InFlightAt returns the number of asynchronous flushes from this node
+// still in flight at virtual time t (the flush queue depth the
+// observability layer samples).
+func (n *Node) InFlightAt(t float64) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	depth := 0
+	for _, w := range n.flushes {
+		if w.contains(t) {
+			depth++
+		}
+	}
+	return depth
 }
 
 // LastFlushEnd returns the latest flush completion time recorded on this
@@ -299,6 +323,15 @@ func (p *PFS) Read(key string, start float64) (data []byte, ready float64, ok bo
 	copy(cp, f.data)
 	ready = begin + p.machine.PFSLatency + float64(f.simBytes)/p.machine.PFSReadBandwidth
 	return cp, ready, true
+}
+
+// SimBytesOf returns the cost-model size of the file under key, or
+// ok=false if absent.
+func (p *PFS) SimBytesOf(key string) (simBytes int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.files[key]
+	return f.simBytes, ok
 }
 
 // Exists reports whether key is present (regardless of availability time)

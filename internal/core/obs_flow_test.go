@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// TestObsFailureEventOrdering runs the integrated stack with an injected
+// failure and asserts the observability stream tells the recovery story in
+// causal order: failure injection → detection → revoke → Fenix rebuild →
+// spare activation → checkpoint restore → recompute.
+func TestObsFailureEventOrdering(t *testing.T) {
+	rec := obs.New()
+	sink := newSink()
+	failIter := 18 // ~95% between the last two checkpoints (interval 5)
+	cfg := Config{
+		Strategy:           StrategyFenixKRVeloC,
+		Spares:             1,
+		CheckpointInterval: 5,
+		CheckpointName:     "mini",
+		Failures:           []*FailurePlan{{Slot: 1, Iteration: failIter}},
+	}
+	job := mpi.JobConfig{Ranks: tRanks + 1, Machine: quietMachine(), Seed: 7, Obs: rec}
+	res := Run(job, cfg, miniApp(tIters, tVecLen, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("run failed: %v", res.Err())
+	}
+
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+
+	// The sorted log must be non-decreasing in (time, seq), and every name
+	// must come from the documented taxonomy.
+	known := map[string]bool{}
+	for _, n := range obs.EventNames() {
+		known[n] = true
+	}
+	for i, e := range events {
+		if !known[e.Name] {
+			t.Errorf("undocumented event name %q", e.Name)
+		}
+		if i > 0 {
+			prev := events[i-1]
+			if e.Time < prev.Time || (e.Time == prev.Time && e.Seq < prev.Seq) {
+				t.Fatalf("event %d out of order: (%v,%d) after (%v,%d)", i, e.Time, e.Seq, prev.Time, prev.Seq)
+			}
+		}
+	}
+
+	// Index of the first occurrence of each name in the ordered stream.
+	first := map[string]int{}
+	count := map[string]int{}
+	for i, e := range events {
+		if _, ok := first[e.Name]; !ok {
+			first[e.Name] = i
+		}
+		count[e.Name]++
+	}
+	need := func(name string) int {
+		t.Helper()
+		i, ok := first[name]
+		if !ok {
+			t.Fatalf("event %s never emitted", name)
+		}
+		return i
+	}
+
+	// Recovery-only events must not predate the failure, so their first
+	// occurrences order the whole episode.
+	chain := []string{
+		obs.EvFailureInjected,
+		obs.EvFailureDetected,
+		obs.EvRevoke,
+		obs.EvFenixRebuild,
+		obs.EvKRRestoreBegin,
+		obs.EvVeloCRestart,
+		obs.EvKRRestoreEnd,
+	}
+	for i := 1; i < len(chain); i++ {
+		if need(chain[i-1]) >= need(chain[i]) {
+			t.Errorf("causal order violated: %s (index %d) should precede %s (index %d)",
+				chain[i-1], first[chain[i-1]], chain[i], first[chain[i]])
+		}
+	}
+	if need(obs.EvRecomputeBegin) <= need(obs.EvFenixRebuild) {
+		t.Errorf("recompute (index %d) should follow the rebuild (index %d)",
+			first[obs.EvRecomputeBegin], first[obs.EvFenixRebuild])
+	}
+	if count[obs.EvRecomputeEnd] == 0 {
+		t.Error("no recompute_end events")
+	}
+
+	// The spare's promotion must be visible and carry the failed slot.
+	promoted := false
+	for _, e := range events {
+		if e.Name != obs.EvFenixRoleChange {
+			continue
+		}
+		attrs := map[string]any{}
+		for _, a := range e.Attrs {
+			attrs[a.Key] = a.Value
+		}
+		if attrs["to"] == "recovered" {
+			promoted = true
+			if attrs["logical_rank"] != 1 {
+				t.Errorf("recovered rank adopted logical rank %v, want 1", attrs["logical_rank"])
+			}
+			if e.Time < events[first[obs.EvFenixRebuild]].Time {
+				t.Error("spare promotion predates the rebuild")
+			}
+		}
+	}
+	if !promoted {
+		t.Error("no spare→recovered role change observed")
+	}
+
+	// Counters must agree with the story the events tell.
+	reg := rec.Registry()
+	for name, want := range map[string]float64{
+		obs.MFailuresInjected: 1,
+		obs.MFailuresSurvived: 1,
+		obs.MRebuilds:         1,
+		obs.MSparesActivated:  1,
+		obs.MJobLaunches:      1,
+	} {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	if got := reg.CounterValue(obs.MFailuresDetected); got < 1 {
+		t.Errorf("%s = %v, want >= 1", obs.MFailuresDetected, got)
+	}
+	layer := obs.L("layer", "veloc")
+	// 4 ranks checkpoint at iterations 4, 9, 14 before the failure and
+	// re-checkpoint at 19 after recovery.
+	if got := reg.CounterValue(obs.MCheckpoints, layer); got < 12 {
+		t.Errorf("%s = %v, want >= 12", obs.MCheckpoints, got)
+	}
+	if got := reg.CounterValue(obs.MCheckpointBytes, layer); got <= 0 {
+		t.Errorf("%s = %v, want > 0", obs.MCheckpointBytes, got)
+	}
+	if got := reg.CounterValue(obs.MRestores, layer); got < 1 {
+		t.Errorf("%s = %v, want >= 1", obs.MRestores, got)
+	}
+	if got := reg.CounterValue(obs.MRecomputeIters); got < 1 {
+		t.Errorf("%s = %v, want >= 1", obs.MRecomputeIters, got)
+	}
+	if events[first[obs.EvVeloCRestart]].Time >= events[len(events)-1].Time {
+		t.Error("restart is the last event; expected recompute and job end after it")
+	}
+}
+
+// TestObsDisabledRunsClean checks a job with no recorder still runs (the
+// nil no-op path through every instrumentation site).
+func TestObsDisabledRunsClean(t *testing.T) {
+	res, _ := runStrategy(t, StrategyFenixKRVeloC, 1, &FailurePlan{Slot: 1, Iteration: 18})
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("uninstrumented run failed: %v", res.Err())
+	}
+}

@@ -75,6 +75,7 @@ func runRank(p *mpi.Proc, cfg *Config, prog *progress, app App) error {
 		if err != nil {
 			return err
 		}
+		s.noteStart()
 		return app(s)
 	}
 
@@ -85,6 +86,7 @@ func runRank(p *mpi.Proc, cfg *Config, prog *progress, app App) error {
 			return err
 		}
 		held = s
+		s.noteStart()
 		return app(s)
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/kokkos"
 	"repro/internal/kr"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/veloc"
 )
 
@@ -103,6 +104,16 @@ type Session struct {
 	Store map[string]any
 }
 
+// noteStart records the session (re-)entry in the observability stream:
+// once per plain session, and once per entry into the Fenix-protected body
+// (so recoveries show up as fresh session_start events with the new role).
+func (s *Session) noteStart() {
+	s.p.Event(obs.LayerCore, obs.EvSessionStart,
+		obs.KV("strategy", s.cfg.Strategy.String()),
+		obs.KV("role", s.role.String()),
+		obs.KV("logical_rank", s.Rank()))
+}
+
 // Proc returns the underlying MPI process.
 func (s *Session) Proc() *mpi.Proc { return s.p }
 
@@ -182,6 +193,9 @@ func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body f
 	slot := s.Rank()
 	for _, fp := range s.cfg.Failures {
 		if fp.matches(slot, iter) {
+			s.p.Event(obs.LayerCore, obs.EvFailureInjected,
+				obs.KV("slot", slot), obs.KV("iter", iter))
+			s.p.Obs().Registry().Counter(obs.MFailuresInjected).Inc()
 			s.p.Exit()
 		}
 	}
@@ -195,6 +209,15 @@ func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body f
 		}
 		s.p.Recorder().SetRecompute(re)
 		defer s.p.Recorder().SetRecompute(false)
+		if re {
+			s.p.Event(obs.LayerCore, obs.EvRecomputeBegin,
+				obs.KV("slot", slot), obs.KV("iter", iter))
+			s.p.Obs().Registry().Counter(obs.MRecomputeIters).Inc()
+			defer func() {
+				s.p.Event(obs.LayerCore, obs.EvRecomputeEnd,
+					obs.KV("slot", slot), obs.KV("iter", iter))
+			}()
+		}
 	}
 	var err error
 	switch {

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -312,6 +313,8 @@ func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
 	if !isSpare {
 		rt.mu.Unlock()
 		p.ChargeTime(trace.ResilienceInit, initCost+p.Machine().CollectiveTime(rt.world.Size(), 8))
+		p.Event(obs.LayerFenix, obs.EvFenixInit,
+			obs.KV("role", "member"), obs.KV("logical_rank", comm.Rank(p)), obs.KV("spares", rt.cfg.Spares))
 		return &Context{p: p, rt: rt, role: RoleInitial, comm: comm, logicalRank: comm.Rank(p)}, true, nil
 	}
 
@@ -328,6 +331,7 @@ func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
 	}
 	rt.mu.Unlock()
 	p.ChargeTime(trace.ResilienceInit, initCost+p.Machine().CollectiveTime(rt.world.Size(), 8))
+	p.Event(obs.LayerFenix, obs.EvFenixInit, obs.KV("role", "spare"), obs.KV("spares", rt.cfg.Spares))
 
 	act := <-ch
 	if act.ctx == nil {
@@ -335,6 +339,10 @@ func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
 	}
 	p.Clock().AdvanceTo(act.syncTime)
 	p.Recorder().AddRaw(trace.ResilienceInit, act.repairCost)
+	p.Event(obs.LayerFenix, obs.EvFenixRoleChange,
+		obs.KV("from", "spare"), obs.KV("to", RoleRecovered.String()),
+		obs.KV("logical_rank", act.ctx.logicalRank), obs.KV("generation", act.ctx.gen))
+	p.Obs().Registry().Counter(obs.MSparesActivated).Inc()
 	return act.ctx, true, nil
 }
 
@@ -388,6 +396,9 @@ func (rt *runtime) recover(ctx *Context) error {
 	ctx.role = RoleSurvivor
 	ctx.gen = r.gen + 1
 	ctx.logicalRank = r.newComm.Rank(p)
+	p.Event(obs.LayerFenix, obs.EvFenixRoleChange,
+		obs.KV("from", "member"), obs.KV("to", RoleSurvivor.String()),
+		obs.KV("logical_rank", ctx.logicalRank), obs.KV("generation", ctx.gen))
 	return nil
 }
 
@@ -490,6 +501,19 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 	r.newComm = newComm
 	r.newSlots = newSlots
 	r.syncTime = syncTime
+
+	// One world-level rebuild record per completed repair (rank -1: the
+	// repair is a collective outcome, not one rank's act), stamped with the
+	// post-repair synchronization time.
+	if rec := rt.world.Obs(); rec.Enabled() {
+		rec.Emit(syncTime, -1, obs.LayerFenix, obs.EvFenixRebuild,
+			obs.KV("generation", rt.gen),
+			obs.KV("replaced", len(activated)),
+			obs.KV("shrunk", len(shrunkOut)),
+			obs.KV("size", len(newSlots)))
+		rec.Registry().Counter(obs.MRebuilds).Inc()
+		rec.Registry().Counter(obs.MFailuresSurvived).Add(float64(len(activated) + len(shrunkOut)))
+	}
 
 	// Activate the substituted spares.
 	for _, slot := range activated {

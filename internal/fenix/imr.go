@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -116,11 +117,20 @@ func (im *IMR) CheckpointSized(v int, blob []byte, simBytes int) error {
 
 	// Buddy exchange; the comm charges AppMPI, which we reattribute.
 	before := p.Recorder().Get(trace.AppMPI)
+	start := p.Now()
 	theirs, err := ctx.Comm().SendrecvSized(p, buddy, imrTag, blob, simBytes, buddy, imrTag)
 	if err != nil {
 		return err
 	}
 	p.Recorder().Move(trace.AppMPI, trace.CheckpointFunc, p.Recorder().Get(trace.AppMPI)-before)
+	p.Event(obs.LayerFenix, obs.EvFenixIMRExchange,
+		obs.KV("version", v), obs.KV("buddy", buddy), obs.KV("bytes", simBytes))
+	if reg := p.Obs().Registry(); reg != nil {
+		layer := obs.L("layer", "imr")
+		reg.Counter(obs.MCheckpoints, layer).Inc()
+		reg.Counter(obs.MCheckpointBytes, layer).Add(float64(simBytes))
+		reg.Histogram(obs.MCheckpointSyncSeconds, obs.TimeBuckets, layer).Observe(copyCost + (p.Now() - start))
+	}
 
 	mine := im.slotStore(me)
 	rt := ctx.rt
@@ -224,6 +234,17 @@ func (im *IMR) Restore(v int) ([]byte, error) {
 	mySimAtBuddy := int(binary.LittleEndian.Uint64(flags[1:]))
 
 	before := p.Recorder().Get(trace.AppMPI)
+	restoreStart := p.Now()
+	noteRestore := func(simBytes int, source string) {
+		p.Event(obs.LayerFenix, obs.EvFenixIMRRestore, obs.KV("version", v),
+			obs.KV("bytes", simBytes), obs.KV("source", source))
+		if reg := p.Obs().Registry(); reg != nil {
+			layer := obs.L("layer", "imr")
+			reg.Counter(obs.MRestores, layer).Inc()
+			reg.Counter(obs.MRestoreBytes, layer).Add(float64(simBytes))
+			reg.Histogram(obs.MRestoreSeconds, obs.TimeBuckets, layer).Observe(p.Now() - restoreStart)
+		}
+	}
 	defer func() {
 		p.Recorder().Move(trace.AppMPI, trace.DataRecovery, p.Recorder().Get(trace.AppMPI)-before)
 	}()
@@ -252,6 +273,7 @@ func (im *IMR) Restore(v int) ([]byte, error) {
 		}
 		out := make([]byte, len(local))
 		copy(out, local)
+		noteRestore(localSim, "local")
 		return out, nil
 	}
 
@@ -275,5 +297,6 @@ func (im *IMR) Restore(v int) ([]byte, error) {
 	s.own[v] = imrBlob{data: cp, simBytes: mySimAtBuddy}
 	gcVersions(s.own, rt.imrKeep)
 	rt.mu.Unlock()
+	noteRestore(mySimAtBuddy, "buddy")
 	return blob, nil
 }

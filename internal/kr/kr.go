@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/kokkos"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -115,11 +116,13 @@ func MakeContext(p *mpi.Proc, comm *mpi.Comm, backend Backend, cfg Config) (*Con
 	}
 	ctx := &Context{p: p, comm: comm, backend: backend, cfg: cfg, latest: -1, aliases: make(map[string]bool)}
 	p.ChargeTime(trace.ResilienceInit, perRegionOverhead)
+	p.Event(obs.LayerKR, obs.EvKRInit, obs.KV("comm_size", comm.Size()))
 	v, err := backend.LatestVersion(comm)
 	switch {
 	case err == nil:
 		ctx.latest = v
 		ctx.recoveryPending = true
+		p.Event(obs.LayerKR, obs.EvKRRecoveryArmed, obs.KV("version", v))
 	case errors.Is(err, ErrNoCheckpoint):
 		// Fresh start.
 	default:
@@ -138,11 +141,13 @@ func (c *Context) Reset(newComm *mpi.Comm) error {
 	c.latest = -1
 	c.recoveryPending = false
 	c.p.ChargeTime(trace.ResilienceInit, perRegionOverhead)
+	c.p.Event(obs.LayerKR, obs.EvKRReset, obs.KV("comm_size", newComm.Size()))
 	v, err := c.backend.LatestVersion(newComm)
 	switch {
 	case err == nil:
 		c.latest = v
 		c.recoveryPending = true
+		c.p.Event(obs.LayerKR, obs.EvKRRecoveryArmed, obs.KV("version", v))
 		return nil
 	case errors.Is(err, ErrNoCheckpoint):
 		return nil
@@ -186,6 +191,7 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 	cap := CensusOf(views, c.aliases)
 	c.census = cap
 	c.p.ChargeTime(trace.ResilienceInit, perRegionOverhead+perViewOverhead*float64(len(views)))
+	c.p.Obs().Registry().Counter(obs.MKRRegions).Inc()
 
 	if c.recoveryPending && iter == c.latest {
 		c.recoveryPending = false
@@ -193,17 +199,8 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 			// Full rollback: every rank restores and the region body is
 			// skipped for this iteration (its effects are the restored
 			// data), keeping all ranks' communication aligned.
-			blob, err := c.backend.Restore(iter)
-			if err != nil {
-				return err
-			}
-			return deserializeViews(blob, cap.checkpointed)
-		}
-		// Partial rollback: only the recovered rank rolls its data back,
-		// then ALL ranks execute the body — survivors with their newer
-		// in-progress data, the recovered rank with checkpoint data — so
-		// collectives stay aligned while the solver re-converges.
-		if c.cfg.Recovered != nil && c.cfg.Recovered() {
+			c.p.Event(obs.LayerKR, obs.EvKRRestoreBegin,
+				obs.KV("label", label), obs.KV("version", iter), obs.KV("views", len(cap.checkpointed)))
 			blob, err := c.backend.Restore(iter)
 			if err != nil {
 				return err
@@ -211,6 +208,26 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 			if err := deserializeViews(blob, cap.checkpointed); err != nil {
 				return err
 			}
+			c.p.Event(obs.LayerKR, obs.EvKRRestoreEnd,
+				obs.KV("label", label), obs.KV("version", iter))
+			return nil
+		}
+		// Partial rollback: only the recovered rank rolls its data back,
+		// then ALL ranks execute the body — survivors with their newer
+		// in-progress data, the recovered rank with checkpoint data — so
+		// collectives stay aligned while the solver re-converges.
+		if c.cfg.Recovered != nil && c.cfg.Recovered() {
+			c.p.Event(obs.LayerKR, obs.EvKRRestoreBegin,
+				obs.KV("label", label), obs.KV("version", iter), obs.KV("views", len(cap.checkpointed)))
+			blob, err := c.backend.Restore(iter)
+			if err != nil {
+				return err
+			}
+			if err := deserializeViews(blob, cap.checkpointed); err != nil {
+				return err
+			}
+			c.p.Event(obs.LayerKR, obs.EvKRRestoreEnd,
+				obs.KV("label", label), obs.KV("version", iter))
 		}
 	}
 
@@ -224,10 +241,15 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 		for _, v := range cap.checkpointed {
 			simBytes += v.SimBytes()
 		}
+		c.p.Event(obs.LayerKR, obs.EvKRCheckpointBegin,
+			obs.KV("label", label), obs.KV("version", iter),
+			obs.KV("views", len(cap.checkpointed)), obs.KV("bytes", simBytes))
 		if err := c.backend.Checkpoint(iter, blob, simBytes); err != nil {
 			return err
 		}
 		c.latest = iter
+		c.p.Event(obs.LayerKR, obs.EvKRCheckpointEnd,
+			obs.KV("label", label), obs.KV("version", iter), obs.KV("bytes", simBytes))
 	}
 	return nil
 }

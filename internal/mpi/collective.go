@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -336,7 +337,6 @@ func (c *Comm) Shrink(p *Proc) (*Comm, error) {
 	}
 	w := c.world
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if r.result == nil {
 		deadSet := make(map[int]bool, len(r.deadAtEnd))
 		for _, wr := range r.deadAtEnd {
@@ -350,7 +350,13 @@ func (c *Comm) Shrink(p *Proc) (*Comm, error) {
 		}
 		r.result = w.newCommLocked(survivors)
 	}
-	return r.result.(*Comm), nil
+	shrunk := r.result.(*Comm)
+	w.mu.Unlock()
+	// Emitted by every participant (rank attribute distinguishes them).
+	p.Event(obs.LayerMPI, obs.EvShrink,
+		obs.KV("comm", c.id), obs.KV("from_size", len(c.group)), obs.KV("to_size", shrunk.Size()))
+	p.world.obs.Registry().Counter(obs.MShrinks).Inc()
+	return shrunk, nil
 }
 
 // Agree performs a fault-tolerant agreement on the bitwise AND of flag
@@ -365,5 +371,8 @@ func (c *Comm) Agree(p *Proc, flag uint32) (uint32, error) {
 	for _, a := range r.orderedArrivals() {
 		out &= a.payload.(uint32)
 	}
+	p.Event(obs.LayerMPI, obs.EvAgree,
+		obs.KV("comm", c.id), obs.KV("participants", len(r.arrivals)), obs.KV("failed", len(r.deadAtEnd)))
+	p.world.obs.Registry().Counter(obs.MAgreements).Inc()
 	return out, nil
 }

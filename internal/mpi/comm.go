@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -154,6 +155,8 @@ func (c *Comm) Revoke(p *Proc) {
 	if c.revoked.Swap(true) {
 		return
 	}
+	p.Event(obs.LayerMPI, obs.EvRevoke, obs.KV("comm", c.id), obs.KV("size", len(c.group)))
+	p.world.obs.Registry().Counter(obs.MRevokes).Inc()
 	// Propagation cost: a reliable broadcast across the comm.
 	cost := p.world.machine.CollectiveTime(len(c.group), 4)
 	p.clock.Advance(cost)

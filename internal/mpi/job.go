@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -34,6 +35,10 @@ type JobConfig struct {
 	MaxRestarts int
 	// Seed makes per-rank compute jitter deterministic.
 	Seed uint64
+	// Obs, if non-nil, receives structured observability events and
+	// metrics from every layer of every launch (see internal/obs). Nil
+	// disables recording at near-zero cost.
+	Obs *obs.Recorder
 }
 
 func (cfg *JobConfig) normalize() {
@@ -126,7 +131,11 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 	for attempt := 0; ; attempt++ {
 		start := jobTime + cfg.Machine.LaunchTime(nodes)
 		w := NewWorld(cl, cfg.Ranks, cfg.RanksPerNode, cfg.FailRestart, cfg.Seed+uint64(attempt)*1e9, start)
+		w.SetObs(cfg.Obs)
 		res.Launches++
+		cfg.Obs.Emit(start, -1, obs.LayerMPI, obs.EvJobLaunch,
+			obs.KV("attempt", attempt), obs.KV("ranks", cfg.Ranks), obs.KV("nodes", nodes))
+		cfg.Obs.Registry().Counter(obs.MJobLaunches).Inc()
 
 		outcomes := runRanks(w, f)
 		for _, o := range outcomes {
@@ -149,9 +158,15 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 		}
 		jobTime = endTime
 
+		emitEnd := func() {
+			cfg.Obs.Emit(res.WallTime, -1, obs.LayerMPI, obs.EvJobEnd,
+				obs.KV("launches", res.Launches), obs.KV("failed", res.Failed),
+				obs.KV("wall_seconds", res.WallTime))
+		}
 		failed := anyKilled || anyAborted
 		if !failed {
 			res.WallTime = jobTime
+			emitEnd()
 			return res
 		}
 		if !cfg.FailRestart {
@@ -163,11 +178,13 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 				}
 			}
 			res.WallTime = jobTime
+			emitEnd()
 			return res
 		}
 		if attempt >= cfg.MaxRestarts {
 			res.Failed = true
 			res.WallTime = jobTime
+			emitEnd()
 			return res
 		}
 		// Fail-restart: tear down and relaunch. Node scratch and PFS state

@@ -1,7 +1,10 @@
 package mpi
 
 import (
+	"errors"
+
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -21,6 +24,11 @@ type Proc struct {
 	mail    mailbox
 	collSeq map[int64]int64
 	exited  bool
+
+	// obsDead tracks which failed world ranks this process has already
+	// emitted mpi.failure_detected for, so each failure is observed once
+	// per rank. Owned by the rank goroutine; no lock needed.
+	obsDead map[int]bool
 }
 
 func newProc(w *World, rank int, node *cluster.Node, rng *sim.RNG, startTime float64) *Proc {
@@ -60,6 +68,16 @@ func (p *Proc) Recorder() *trace.Recorder { return p.rec }
 
 // RNG returns the process's deterministic random stream.
 func (p *Proc) RNG() *sim.RNG { return p.rng }
+
+// Obs returns the job's observability recorder (nil when the run is
+// uninstrumented; all recorder methods are nil-safe).
+func (p *Proc) Obs() *obs.Recorder { return p.world.obs }
+
+// Event emits a structured observability event stamped with this process's
+// world rank and current virtual time. It is a no-op without a recorder.
+func (p *Proc) Event(layer, name string, attrs ...obs.Attr) {
+	p.world.obs.Emit(p.clock.Now(), p.rank, layer, name, attrs...)
+}
 
 // Now returns the current virtual time (MPI_Wtime).
 func (p *Proc) Now() float64 { return p.clock.Now() }
@@ -125,10 +143,37 @@ func (p *Proc) failMPI(err error) error {
 	if err == nil {
 		return nil
 	}
+	p.noteFailures(err)
 	if p.world.abortOnFailure && IsULFMError(err) {
 		panic(jobAborted{rank: p.rank, cause: err})
 	}
 	return err
+}
+
+// noteFailures emits mpi.failure_detected for failed ranks this process
+// has not yet observed. Every MPI error funnels through failMPI, so this
+// is the single place failure observation becomes visible to the event
+// stream, deduplicated per (observer, failed rank).
+func (p *Proc) noteFailures(err error) {
+	rec := p.world.obs
+	if rec == nil {
+		return
+	}
+	var fe *FailedError
+	if !errors.As(err, &fe) {
+		return
+	}
+	for _, wr := range fe.WorldRanks {
+		if p.obsDead[wr] {
+			continue
+		}
+		if p.obsDead == nil {
+			p.obsDead = make(map[int]bool)
+		}
+		p.obsDead[wr] = true
+		p.Event(obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", wr))
+		rec.Registry().Counter(obs.MFailuresDetected).Inc()
+	}
 }
 
 // nextSeq returns the process's next collective sequence number on comm id.

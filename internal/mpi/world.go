@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -32,6 +33,10 @@ type World struct {
 	machine        *sim.Machine
 	procs          []*Proc
 	abortOnFailure bool
+	// obs, when non-nil, receives structured observability events from
+	// every layer running on this world. Set once before ranks start (via
+	// SetObs); read-only afterwards.
+	obs *obs.Recorder
 
 	mu     sync.Mutex
 	dead   []bool
@@ -90,6 +95,14 @@ func identityGroup(n int) []int {
 	}
 	return g
 }
+
+// SetObs installs the observability recorder. It must be called before any
+// rank goroutine starts (RunJob does this); a nil recorder disables
+// recording.
+func (w *World) SetObs(r *obs.Recorder) { w.obs = r }
+
+// Obs returns the world's observability recorder (possibly nil).
+func (w *World) Obs() *obs.Recorder { return w.obs }
 
 // Size returns the number of processes in the world.
 func (w *World) Size() int { return len(w.procs) }
@@ -191,6 +204,9 @@ func (w *World) markDead(r int) {
 		w.mu.Unlock()
 		return
 	}
+	// Emitted from the dying rank's own goroutine, so its clock stamps the
+	// virtual death time (the recorder has its own lock).
+	w.procs[r].Event(obs.LayerMPI, obs.EvRankExit)
 	w.dead[r] = true
 	w.deadAt[r] = w.procs[r].clock.Now()
 	w.nDead++

@@ -1,0 +1,113 @@
+package obs
+
+// Layer names, used as the Event.Layer field and as the "layer" metric
+// label where a metric is shared between data backends.
+const (
+	LayerMPI   = "mpi"
+	LayerFenix = "fenix"
+	LayerKR    = "kr"
+	LayerVeloC = "veloc"
+	LayerCore  = "core"
+)
+
+// Event names. The authoritative documentation — which layer emits each
+// event, when, and with which attributes — is OBSERVABILITY.md at the
+// repository root; a test cross-checks that every name below appears
+// there, and the integration test cross-checks that instrumented runs emit
+// only names from this list.
+const (
+	// mpi: job lifecycle and ULFM failure propagation.
+	EvJobLaunch       = "mpi.job_launch"
+	EvJobEnd          = "mpi.job_end"
+	EvRankExit        = "mpi.rank_exit"
+	EvFailureDetected = "mpi.failure_detected"
+	EvRevoke          = "mpi.revoke"
+	EvShrink          = "mpi.shrink"
+	EvAgree           = "mpi.agree"
+
+	// fenix: process-resilience lifecycle.
+	EvFenixInit        = "fenix.init"
+	EvFenixRebuild     = "fenix.rebuild"
+	EvFenixRoleChange  = "fenix.role_change"
+	EvFenixIMRExchange = "fenix.imr_exchange"
+	EvFenixIMRRestore  = "fenix.imr_restore"
+
+	// kr: control-flow checkpoint regions.
+	EvKRInit            = "kr.init"
+	EvKRRecoveryArmed   = "kr.recovery_armed"
+	EvKRReset           = "kr.reset"
+	EvKRCheckpointBegin = "kr.checkpoint_begin"
+	EvKRCheckpointEnd   = "kr.checkpoint_commit"
+	EvKRRestoreBegin    = "kr.restore_begin"
+	EvKRRestoreEnd      = "kr.restore_commit"
+
+	// veloc: data layer (scratch copy + asynchronous flush).
+	EvVeloCInit       = "veloc.init"
+	EvVeloCCheckpoint = "veloc.checkpoint"
+	EvVeloCFlushBegin = "veloc.flush_begin"
+	EvVeloCFlushEnd   = "veloc.flush_end"
+	EvVeloCRestart    = "veloc.restart"
+
+	// core: integrated-session lifecycle.
+	EvSessionStart    = "core.session_start"
+	EvFailureInjected = "core.failure_injected"
+	EvRecomputeBegin  = "core.recompute_begin"
+	EvRecomputeEnd    = "core.recompute_end"
+)
+
+// EventNames returns every defined event name, the machine-readable form
+// of the taxonomy in OBSERVABILITY.md.
+func EventNames() []string {
+	return []string{
+		EvJobLaunch, EvJobEnd, EvRankExit, EvFailureDetected, EvRevoke, EvShrink, EvAgree,
+		EvFenixInit, EvFenixRebuild, EvFenixRoleChange, EvFenixIMRExchange, EvFenixIMRRestore,
+		EvKRInit, EvKRRecoveryArmed, EvKRReset, EvKRCheckpointBegin, EvKRCheckpointEnd,
+		EvKRRestoreBegin, EvKRRestoreEnd,
+		EvVeloCInit, EvVeloCCheckpoint, EvVeloCFlushBegin, EvVeloCFlushEnd, EvVeloCRestart,
+		EvSessionStart, EvFailureInjected, EvRecomputeBegin, EvRecomputeEnd,
+	}
+}
+
+// Metric names recorded by the built-in instrumentation (the metrics
+// catalogue in OBSERVABILITY.md). Metrics shared between data layers carry
+// a layer label (veloc or imr).
+const (
+	MJobLaunches      = "job_launches_total"
+	MFailuresInjected = "failures_injected_total"
+	MFailuresDetected = "failures_detected_total"
+	MFailuresSurvived = "failures_survived_total"
+	MRevokes          = "mpi_revokes_total"
+	MShrinks          = "mpi_shrinks_total"
+	MAgreements       = "mpi_agreements_total"
+
+	MRebuilds        = "fenix_rebuilds_total"
+	MSparesActivated = "fenix_spares_activated_total"
+
+	MCheckpoints           = "checkpoints_total"        // label: layer
+	MCheckpointBytes       = "checkpoint_bytes_total"   // label: layer
+	MCheckpointSyncSeconds = "checkpoint_sync_seconds"  // histogram; label: layer
+	MRestores              = "restores_total"           // label: layer
+	MRestoreBytes          = "restore_bytes_total"      // label: layer
+	MRestoreSeconds        = "restore_seconds"          // histogram; label: layer
+	MKRRegions             = "kr_regions_total"
+
+	MFlushes        = "veloc_flushes_total"
+	MFlushSeconds   = "veloc_flush_seconds" // histogram
+	MFlushQueueDepth = "veloc_flush_queue_depth" // gauge, sampled at checkpoint time
+
+	MRecomputeIters = "recompute_iterations_total"
+)
+
+// MetricNames returns every metric name the built-in instrumentation may
+// record.
+func MetricNames() []string {
+	return []string{
+		MJobLaunches, MFailuresInjected, MFailuresDetected, MFailuresSurvived,
+		MRevokes, MShrinks, MAgreements,
+		MRebuilds, MSparesActivated,
+		MCheckpoints, MCheckpointBytes, MCheckpointSyncSeconds,
+		MRestores, MRestoreBytes, MRestoreSeconds, MKRRegions,
+		MFlushes, MFlushSeconds, MFlushQueueDepth,
+		MRecomputeIters,
+	}
+}

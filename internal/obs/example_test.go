@@ -1,0 +1,76 @@
+package obs_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Recording a failure-recovery sequence and exporting it as JSONL. In a
+// real run the recorder is injected via mpi.JobConfig.Obs and every layer
+// emits through mpi.Proc.Event; here we emit directly.
+func ExampleRecorder() {
+	rec := obs.New()
+	rec.Emit(1.00, 0, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 1))
+	rec.Emit(1.00, 0, obs.LayerMPI, obs.EvRevoke, obs.KV("comm", 2), obs.KV("size", 4))
+	rec.Emit(1.25, -1, obs.LayerFenix, obs.EvFenixRebuild,
+		obs.KV("generation", 1), obs.KV("replaced", 1), obs.KV("shrunk", 0), obs.KV("size", 4))
+
+	rec.WriteJSONL(os.Stdout)
+	// Output:
+	// {"t":1,"rank":0,"layer":"mpi","event":"mpi.failure_detected","attrs":{"failed_rank":1}}
+	// {"t":1,"rank":0,"layer":"mpi","event":"mpi.revoke","attrs":{"comm":2,"size":4}}
+	// {"t":1.25,"rank":-1,"layer":"fenix","event":"fenix.rebuild","attrs":{"generation":1,"replaced":1,"shrunk":0,"size":4}}
+}
+
+// Counting and timing checkpoints, then exporting the snapshot in
+// Prometheus text exposition format.
+func ExampleRegistry() {
+	reg := obs.NewRegistry()
+	layer := obs.L("layer", "veloc")
+	for i := 0; i < 3; i++ {
+		reg.Counter(obs.MCheckpoints, layer).Inc()
+		reg.Counter(obs.MCheckpointBytes, layer).Add(64 << 20)
+	}
+	reg.Gauge(obs.MFlushQueueDepth).Set(2)
+
+	reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # TYPE checkpoint_bytes_total counter
+	// checkpoint_bytes_total{layer="veloc"} 2.01326592e+08
+	// # TYPE checkpoints_total counter
+	// checkpoints_total{layer="veloc"} 3
+	// # TYPE veloc_flush_queue_depth gauge
+	// veloc_flush_queue_depth 2
+}
+
+// Histograms bucket observations under Prometheus le semantics: each
+// bucket counts samples at or below its bound, cumulatively.
+func ExampleHistogram() {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("restore_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.004, 0.05, 0.07, 2.5} {
+		h.Observe(v)
+	}
+	reg.WritePrometheus(os.Stdout)
+	// Output:
+	// # TYPE restore_seconds histogram
+	// restore_seconds_bucket{le="0.01"} 1
+	// restore_seconds_bucket{le="0.1"} 3
+	// restore_seconds_bucket{le="1"} 3
+	// restore_seconds_bucket{le="+Inf"} 4
+	// restore_seconds_sum 2.624
+	// restore_seconds_count 4
+}
+
+// A nil recorder is the disabled default: every method is a no-op, so
+// instrumentation sites cost a nil check when observability is off.
+func ExampleRecorder_Enabled() {
+	var rec *obs.Recorder // what an uninstrumented job carries
+	rec.Emit(1, 0, obs.LayerMPI, obs.EvRevoke)
+	rec.Registry().Counter(obs.MRevokes).Inc()
+	fmt.Println(rec.Enabled(), rec.Len())
+	// Output:
+	// false 0
+}

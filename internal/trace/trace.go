@@ -3,6 +3,10 @@
 // second a rank spends is attributed to exactly one category; the harness
 // derives "Other" as the gap between job wall time and the accounted
 // categories (matching the paper's `time mpirun` minus in-app timers).
+//
+// trace answers "where did the time go" as aggregates; the ordered record
+// of what happened (failure detection, repair, restore, recompute) is the
+// complementary internal/obs event log.
 package trace
 
 import (

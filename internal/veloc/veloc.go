@@ -28,6 +28,7 @@ import (
 	"sort"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -137,6 +138,8 @@ func New(p *mpi.Proc, cfg Config) (*Client, error) {
 		return nil, errors.New("veloc: calling process not in communicator")
 	}
 	p.ChargeTime(trace.ResilienceInit, initCost)
+	p.Event(obs.LayerVeloC, obs.EvVeloCInit,
+		obs.KV("mode", c.mode.String()), obs.KV("logical_rank", c.rank))
 	return c, nil
 }
 
@@ -281,9 +284,32 @@ func (c *Client) Checkpoint(name string, version int) error {
 	cost := node.ScratchWriteSized(dataKey(name, version, c.rank), blob, simSize)
 	node.ScratchWrite(metaKey(name, c.rank), encodeVersion(version))
 	c.p.ChargeTime(trace.CheckpointFunc, cost)
+	c.p.Event(obs.LayerVeloC, obs.EvVeloCCheckpoint,
+		obs.KV("name", name), obs.KV("version", version),
+		obs.KV("bytes", simSize), obs.KV("scratch_seconds", cost))
 
-	if _, err := node.FlushAsync(dataKey(name, version, c.rank), dataKey(name, version, c.rank), c.p.Now()); err != nil {
+	now := c.p.Now()
+	c.p.Event(obs.LayerVeloC, obs.EvVeloCFlushBegin,
+		obs.KV("name", name), obs.KV("version", version), obs.KV("bytes", simSize))
+	end, err := node.FlushAsync(dataKey(name, version, c.rank), dataKey(name, version, c.rank), now)
+	if err != nil {
 		return err
+	}
+	if rec := c.p.Obs(); rec.Enabled() {
+		// The flush completes asynchronously on the node's server; the end
+		// event is stamped with its virtual completion time, ahead of the
+		// emitting rank's clock.
+		rec.Emit(end, c.p.Rank(), obs.LayerVeloC, obs.EvVeloCFlushEnd,
+			obs.KV("name", name), obs.KV("version", version),
+			obs.KV("bytes", simSize), obs.KV("seconds", end-now))
+		reg := rec.Registry()
+		layer := obs.L("layer", "veloc")
+		reg.Counter(obs.MCheckpoints, layer).Inc()
+		reg.Counter(obs.MCheckpointBytes, layer).Add(float64(simSize))
+		reg.Histogram(obs.MCheckpointSyncSeconds, obs.TimeBuckets, layer).Observe(cost)
+		reg.Counter(obs.MFlushes).Inc()
+		reg.Histogram(obs.MFlushSeconds, obs.TimeBuckets).Observe(end - now)
+		reg.Gauge(obs.MFlushQueueDepth).Set(float64(node.InFlightAt(now)))
 	}
 	// Publish the PFS meta entry; its availability follows the data flush.
 	c.p.World().Cluster().PFS().Write(metaKey(name, c.rank), encodeVersion(version), c.p.Now())
@@ -357,17 +383,43 @@ func (c *Client) BestCommonVersion(name string, comm *mpi.Comm) (int, error) {
 // waiting out any still-running flush. Time is charged to DataRecovery.
 func (c *Client) Restart(name string, version int) error {
 	key := dataKey(name, version, c.rank)
+	// noteRestart records the restore with the cost-model size stored
+	// alongside the checkpoint, matching the units of
+	// checkpoint_bytes_total (the region's own SimBytes is unreliable on a
+	// recovered process that has never checkpointed).
+	noteRestart := func(source string, seconds float64, simBytes int) {
+		c.p.Event(obs.LayerVeloC, obs.EvVeloCRestart,
+			obs.KV("name", name), obs.KV("version", version),
+			obs.KV("source", source), obs.KV("seconds", seconds), obs.KV("bytes", simBytes))
+		if reg := c.p.Obs().Registry(); reg != nil {
+			layer := obs.L("layer", "veloc")
+			reg.Counter(obs.MRestores, layer).Inc()
+			reg.Counter(obs.MRestoreBytes, layer).Add(float64(simBytes))
+			reg.Histogram(obs.MRestoreSeconds, obs.TimeBuckets, layer).Observe(seconds)
+		}
+	}
 	if blob, cost, ok := c.p.Node().ScratchRead(key); ok {
 		c.p.ChargeTime(trace.DataRecovery, cost)
-		return c.deserialize(blob)
+		if err := c.deserialize(blob); err != nil {
+			return err
+		}
+		sim, _ := c.p.Node().ScratchSimBytesOf(key)
+		noteRestart("scratch", cost, sim)
+		return nil
 	}
-	blob, ready, ok := c.p.World().Cluster().PFS().Read(key, c.p.Now())
+	pfs := c.p.World().Cluster().PFS()
+	blob, ready, ok := pfs.Read(key, c.p.Now())
 	if !ok {
 		return fmt.Errorf("%w: %s version %d (rank %d)", ErrNoCheckpoint, name, version, c.rank)
 	}
 	waited := c.p.Clock().AdvanceTo(ready)
 	c.p.Recorder().Add(trace.DataRecovery, waited)
-	return c.deserialize(blob)
+	if err := c.deserialize(blob); err != nil {
+		return err
+	}
+	sim, _ := pfs.SimBytesOf(key)
+	noteRestart("pfs", waited, sim)
+	return nil
 }
 
 // RestartLatest restores the newest available version and returns it.
@@ -380,10 +432,9 @@ func (c *Client) RestartLatest(name string) (int, error) {
 }
 
 // Drop removes version `version` of `name` from both scratch and the PFS
-// for this rank (VELOC_Checkpoint_delete). Dropping the latest version
-// also rolls the meta entries back if an older version remains is NOT
-// attempted: VeloC's own GC only ever removes superseded versions, which
-// is the supported use here.
+// for this rank (VELOC_Checkpoint_delete). Rolling the meta entries back
+// when the latest version is dropped is NOT attempted: VeloC's own GC
+// only ever removes superseded versions, which is the supported use here.
 func (c *Client) Drop(name string, version int) {
 	key := dataKey(name, version, c.rank)
 	c.p.Node().ScratchDelete(key)
