@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check figures clean
+.PHONY: all build vet test race check figures report clean
 
 all: check
 
@@ -22,6 +22,14 @@ check: build vet race
 
 figures:
 	$(GO) run ./cmd/figures
+
+# Run a failure-injected Heatdis cell with event streaming and print its
+# recovery-timeline report.
+report:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/heatdis -ranks 8 -data-mb 64 -iters 30 -interval 5 \
+		-fail -stream -events "$$tmp/events.jsonl" && \
+	$(GO) run ./cmd/obsreport "$$tmp/events.jsonl"
 
 clean:
 	$(GO) clean ./...

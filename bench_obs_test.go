@@ -1,0 +1,86 @@
+// Observability-overhead benchmarks: the same failure-injected Heatdis
+// cell with recording disabled (nil recorder), enabled, and enabled with
+// incremental JSONL streaming. Comparing ns/op across the three isolates
+// the host-side cost of the instrumentation; events/op sizes the log.
+//
+// Run with: go test -bench 'BenchmarkHeatdisObs' -benchtime 10x .
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// benchObsCell runs one failure-injected Heatdis job (8 ranks + 1 spare,
+// 64 MB/rank, 6 checkpoint generations, kill at iteration 28) with the
+// given recorder and stream sink.
+func benchObsCell(b *testing.B, rec *obs.Recorder, stream io.Writer) *core.Result {
+	b.Helper()
+	const (
+		ranks    = 8
+		iters    = 30
+		interval = 5
+	)
+	cfg := heatdis.Config{
+		BytesPerRank:       64 << 20,
+		Iterations:         iters,
+		CheckpointInterval: interval,
+	}
+	cc := core.Config{
+		Strategy:           core.StrategyFenixKRVeloC,
+		Spares:             1,
+		CheckpointInterval: interval,
+		CheckpointName:     "heatdis",
+		Failures:           []*core.FailurePlan{{Slot: 1, Iteration: 28}},
+	}
+	res := core.Run(mpi.JobConfig{
+		Ranks: ranks + 1, Machine: sim.DefaultMachine(), Seed: 42,
+		Obs: rec, ObsStream: stream,
+	}, cc, heatdis.App(cfg, heatdis.NewSink()))
+	if res.Failed || res.Err() != nil {
+		b.Fatalf("heatdis cell failed: %v", res.Err())
+	}
+	return res
+}
+
+// BenchmarkHeatdisObsOff is the baseline: the nil-recorder no-op path
+// through every instrumentation site.
+func BenchmarkHeatdisObsOff(b *testing.B) {
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res = benchObsCell(b, nil, nil)
+	}
+	b.ReportMetric(res.WallTime, "virtwall_s")
+}
+
+// BenchmarkHeatdisObsOn records the full event log and metrics in memory.
+func BenchmarkHeatdisObsOn(b *testing.B) {
+	var rec *obs.Recorder
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		rec = obs.New()
+		res = benchObsCell(b, rec, nil)
+	}
+	b.ReportMetric(res.WallTime, "virtwall_s")
+	b.ReportMetric(float64(rec.Len()), "events/op")
+}
+
+// BenchmarkHeatdisObsStream additionally streams the log as JSONL through
+// the reorder window while the job runs (the long-run export mode).
+func BenchmarkHeatdisObsStream(b *testing.B) {
+	var rec *obs.Recorder
+	for i := 0; i < b.N; i++ {
+		rec = obs.New()
+		benchObsCell(b, rec, io.Discard)
+	}
+	b.ReportMetric(float64(rec.StreamWritten()), "events/op")
+	if rec.StreamLate() != 0 {
+		b.Fatalf("%d events overflowed the reorder window", rec.StreamLate())
+	}
+}

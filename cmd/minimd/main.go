@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +62,9 @@ func main() {
 	seed := flag.Uint64("seed", 43, "jitter seed")
 	eventsPath := flag.String("events", "", `write the structured resilience event log as JSONL to this path ("-" for stdout)`)
 	metricsPath := flag.String("metrics", "", `write the metrics snapshot in Prometheus text format to this path ("-" for stdout)`)
+	streamEvents := flag.Bool("stream", false, "stream the -events JSONL incrementally during the run instead of writing it at the end")
+	obsWindow := flag.Float64("obs-window", 0, "reorder window in virtual seconds for -stream (0 selects the default)")
+	ringCap := flag.Int("ring", 0, "bound the in-memory event log to the newest N events (0 = unbounded; combine with -stream to keep the full export)")
 	flag.Parse()
 
 	strategy, err := core.ParseStrategy(*strategyName)
@@ -99,8 +103,36 @@ func main() {
 	var rec *obs.Recorder
 	if *eventsPath != "" || *metricsPath != "" {
 		rec = obs.New()
+		rec.SetRingCapacity(*ringCap)
 	}
-	res := core.Run(mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed, Obs: rec}, cc, minimd.App(cfg, sink))
+	job := mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed, Obs: rec}
+
+	// -stream exports the event log incrementally through the reorder
+	// window while the job runs; the post-hoc export is then skipped.
+	postHocEvents := *eventsPath
+	var streamBuf *bufio.Writer
+	var streamFile *os.File
+	if *streamEvents {
+		if *eventsPath == "" {
+			fmt.Fprintln(os.Stderr, "-stream requires -events")
+			os.Exit(2)
+		}
+		w := io.Writer(os.Stdout)
+		if *eventsPath != "-" {
+			f, err := os.Create(*eventsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			streamFile, w = f, f
+		}
+		streamBuf = bufio.NewWriter(w)
+		job.ObsStream = streamBuf
+		job.ObsWindow = *obsWindow
+		postHocEvents = ""
+	}
+
+	res := core.Run(job, cc, minimd.App(cfg, sink))
 
 	fmt.Printf("strategy=%s ranks=%d size=%d^3 (%d atoms/rank simulated) launches=%d wall=%.3fs failed=%v\n",
 		strategy, *ranks, *size, cfg.SimAtomsPerRank(*ranks), res.Launches, res.WallTime, res.Failed)
@@ -116,7 +148,20 @@ func main() {
 		fmt.Printf("rank 0: steps=%d T=%.4f PE=%.4f checksum=%.6g\n", r.Steps, r.Temp, r.PE, r.Checksum)
 	}
 	if rec != nil {
-		if err := writeObs(rec, *eventsPath, *metricsPath); err != nil {
+		if streamBuf != nil {
+			err := rec.FlushStream()
+			if err == nil {
+				err = streamBuf.Flush()
+			}
+			if err == nil && streamFile != nil {
+				err = streamFile.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "streaming events:", err)
+				os.Exit(1)
+			}
+		}
+		if err := writeObs(rec, postHocEvents, *metricsPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,105 @@
+// Command obsreport analyzes a resilience events JSONL file (the output
+// of the -events flag on cmd/heatdis and cmd/minimd, or of
+// obs.Recorder.WriteJSONL/StreamJSONL) and prints the recovery-timeline
+// breakdown the paper's evaluation reports: one span per repaired failure
+// episode, segmented into detection / communicator repair / rebuild /
+// state restoration / recompute phases, plus per-generation
+// checkpoint/flush accounting.
+//
+// Examples:
+//
+//	heatdis -fail -events events.jsonl && obsreport events.jsonl
+//	obsreport -json events.jsonl            # machine-readable report
+//	obsreport -baseline free.jsonl events.jsonl   # overhead deltas
+//	heatdis -fail -events - | obsreport -   # read from stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs/analyze"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "obsreport:", err)
+	os.Exit(1)
+}
+
+func readReport(path string) (*analyze.Report, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := analyze.ReadJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Analyze(events)
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report instead of the table")
+	baselinePath := flag.String("baseline", "", "events JSONL of a baseline run; appends overhead deltas (run - baseline)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: obsreport [-json] [-baseline base.jsonl] <events.jsonl | ->\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	rep, err := readReport(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut && *baselinePath == "" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var delta *analyze.Delta
+	if *baselinePath != "" {
+		base, err := readReport(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		d := analyze.Diff(rep, base)
+		delta = &d
+	}
+
+	if *jsonOut {
+		out := struct {
+			Report *analyze.Report `json:"report"`
+			Delta  *analyze.Delta  `json:"delta,omitempty"`
+		}{rep, delta}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fail(err)
+	}
+	if delta != nil {
+		if err := delta.WriteTable(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package analyze
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// evb builds ordered event logs for tests; times are chosen binary-exact
+// so phase assertions can compare with ==.
+type evb struct {
+	seq    uint64
+	events []obs.Event
+}
+
+func (b *evb) add(t float64, rank int, layer, name string, attrs ...obs.Attr) {
+	b.seq++
+	b.events = append(b.events, obs.Event{
+		Seq: b.seq, Time: t, Rank: rank, Layer: layer, Name: name, Attrs: attrs,
+	})
+}
+
+// fenixEpisode emits a complete single-failure recovery at binary-exact
+// times:
+//
+//	3.0     failure injected (slot 1) + rank_exit
+//	3.125   first detection (rank 0); 3.1875 second (rank 2)
+//	3.25    revoke
+//	3.5     rebuild (gen 1, spare replacement)
+//	3.5     restore_begin x2; commits at 3.625 (rank 0) and 3.75 (rank 4)
+//	4.0-4.75 two recomputed iterations on the recovered rank
+func fenixEpisode(b *evb) {
+	b.add(3.0, 1, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 1), obs.KV("iter", 13))
+	b.add(3.0, 1, obs.LayerMPI, obs.EvRankExit)
+	b.add(3.125, 0, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 1))
+	b.add(3.1875, 2, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 1))
+	b.add(3.25, 0, obs.LayerMPI, obs.EvRevoke, obs.KV("comm", 2), obs.KV("size", 4))
+	b.add(3.5, -1, obs.LayerFenix, obs.EvFenixRebuild,
+		obs.KV("generation", 1), obs.KV("replaced", 1), obs.KV("shrunk", 0), obs.KV("size", 4))
+	b.add(3.5, 0, obs.LayerKR, obs.EvKRRestoreBegin, obs.KV("label", "app"), obs.KV("version", 9))
+	b.add(3.5, 4, obs.LayerKR, obs.EvKRRestoreBegin, obs.KV("label", "app"), obs.KV("version", 9))
+	b.add(3.5625, 0, obs.LayerVeloC, obs.EvVeloCRestart,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("source", "scratch"),
+		obs.KV("seconds", 0.0625), obs.KV("bytes", 1024))
+	b.add(3.625, 0, obs.LayerKR, obs.EvKRRestoreEnd, obs.KV("label", "app"), obs.KV("version", 9))
+	b.add(3.6875, 4, obs.LayerVeloC, obs.EvVeloCRestart,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("source", "pfs"),
+		obs.KV("seconds", 0.1875), obs.KV("bytes", 1024))
+	b.add(3.75, 4, obs.LayerKR, obs.EvKRRestoreEnd, obs.KV("label", "app"), obs.KV("version", 9))
+	b.add(4.0, 4, obs.LayerCore, obs.EvRecomputeBegin, obs.KV("slot", 1), obs.KV("iter", 10))
+	b.add(4.25, 4, obs.LayerCore, obs.EvRecomputeEnd, obs.KV("slot", 1), obs.KV("iter", 10))
+	b.add(4.5, 4, obs.LayerCore, obs.EvRecomputeBegin, obs.KV("slot", 1), obs.KV("iter", 11))
+	b.add(4.75, 4, obs.LayerCore, obs.EvRecomputeEnd, obs.KV("slot", 1), obs.KV("iter", 11))
+}
+
+func TestAnalyzeFenixSpanPhases(t *testing.T) {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 0), obs.KV("ranks", 5), obs.KV("nodes", 5))
+	// One pre-failure checkpoint generation with an async flush.
+	for rank := 0; rank < 4; rank++ {
+		b.add(1.0, rank, obs.LayerVeloC, obs.EvVeloCCheckpoint,
+			obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024),
+			obs.KV("scratch_seconds", 0.25))
+		b.add(1.0, rank, obs.LayerVeloC, obs.EvVeloCFlushBegin,
+			obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024))
+		b.add(1.5, rank, obs.LayerVeloC, obs.EvVeloCFlushEnd,
+			obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024),
+			obs.KV("seconds", 0.5))
+	}
+	fenixEpisode(&b)
+	b.add(6.0, -1, obs.LayerMPI, obs.EvJobEnd,
+		obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 6.0))
+
+	rep, err := Analyze(b.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks != 5 || rep.Launches != 1 || rep.WallSeconds != 6.0 || rep.JobFailed {
+		t.Errorf("job summary wrong: %+v", rep)
+	}
+	if rep.FailuresInjected != 1 || rep.FailuresRepaired != 1 || rep.FailuresUnrepaired != 0 {
+		t.Errorf("failure accounting: injected %d repaired %d unrepaired %d",
+			rep.FailuresInjected, rep.FailuresRepaired, rep.FailuresUnrepaired)
+	}
+	if len(rep.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(rep.Spans))
+	}
+	sp := rep.Spans[0]
+	if sp.Kind != "fenix" || sp.Generation != 1 || sp.Replaced != 1 || sp.Shrunk != 0 {
+		t.Errorf("span identity: %+v", sp)
+	}
+	if len(sp.FailedSlots) != 1 || sp.FailedSlots[0] != 1 {
+		t.Errorf("failed slots = %v, want [1]", sp.FailedSlots)
+	}
+
+	// Exact phase durations (all times binary-exact).
+	want := PhaseBreakdown{
+		Detection:  0.125, // 3.0 -> 3.125
+		CommRepair: 0.125, // 3.125 -> 3.25 (revoke)
+		Rebuild:    0.25,  // 3.25 -> 3.5
+		Restore:    0.25,  // 3.5 -> 3.75 (last restore_commit)
+		Recompute:  0.75,  // 4.0 -> 4.75
+	}
+	if sp.Phases != want {
+		t.Errorf("phases = %+v, want %+v", sp.Phases, want)
+	}
+	// The pre-repair phases partition [start, repair] exactly, and the
+	// phase sum accounts for the whole critical path minus the idle gaps
+	// between restoration and recompute.
+	if got := sp.Phases.Detection + sp.Phases.CommRepair + sp.Phases.Rebuild; got != sp.Repair-sp.Start {
+		t.Errorf("pre-repair phases sum to %v, want repair-start = %v", got, sp.Repair-sp.Start)
+	}
+	if sp.Start != 3.0 || sp.Repair != 3.5 || sp.End != 4.75 || sp.CriticalPath != 1.75 {
+		t.Errorf("span timeline: start %v repair %v end %v critical %v",
+			sp.Start, sp.Repair, sp.End, sp.CriticalPath)
+	}
+	if sp.RecomputedIters != 2 {
+		t.Errorf("recomputed iters = %d, want 2", sp.RecomputedIters)
+	}
+	if sp.Phases.Total() != 1.5 {
+		t.Errorf("phase total = %v, want 1.5", sp.Phases.Total())
+	}
+	if rep.PhaseTotals != want {
+		t.Errorf("report phase totals = %+v, want %+v", rep.PhaseTotals, want)
+	}
+
+	// Per-rank breakdowns: detection on the observers, restore on the
+	// restoring ranks (begin->commit), recompute on the recovered rank.
+	byRank := map[int]RankPhases{}
+	for _, rp := range sp.PerRank {
+		byRank[rp.Rank] = rp
+	}
+	if got := byRank[0]; got.Detection != 0.125 || got.Restore != 0.125 || got.Recompute != 0 {
+		t.Errorf("rank 0 phases: %+v", got)
+	}
+	if got := byRank[2]; got.Detection != 0.1875 {
+		t.Errorf("rank 2 detection = %v, want 0.1875", got.Detection)
+	}
+	if got := byRank[4]; got.Restore != 0.25 || got.Recompute != 0.5 {
+		t.Errorf("rank 4 phases: %+v", got)
+	}
+
+	// Checkpoint generation accounting from the veloc.* events.
+	if len(rep.Checkpoints) != 1 {
+		t.Fatalf("got %d checkpoint generations, want 1", len(rep.Checkpoints))
+	}
+	g := rep.Checkpoints[0]
+	if g.Version != 9 || g.Checkpoints != 4 || g.Bytes != 4096 || g.ScratchSeconds != 1.0 ||
+		g.Flushes != 4 || g.FlushesCompleted != 4 || g.FlushSeconds != 2.0 || g.Restores != 2 {
+		t.Errorf("checkpoint generation: %+v", g)
+	}
+}
+
+func TestAnalyzeMultiRepairSpans(t *testing.T) {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 0), obs.KV("ranks", 7), obs.KV("nodes", 7))
+	// Generation 1: two simultaneous failures repaired by one rebuild.
+	b.add(2.0, 1, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 1), obs.KV("iter", 8))
+	b.add(2.0, 2, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 2), obs.KV("iter", 8))
+	b.add(2.25, 0, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 1))
+	b.add(2.5, 0, obs.LayerMPI, obs.EvRevoke, obs.KV("comm", 2), obs.KV("size", 4))
+	b.add(3.0, -1, obs.LayerFenix, obs.EvFenixRebuild,
+		obs.KV("generation", 1), obs.KV("replaced", 2), obs.KV("shrunk", 0), obs.KV("size", 4))
+	b.add(3.25, 5, obs.LayerCore, obs.EvRecomputeBegin, obs.KV("slot", 1), obs.KV("iter", 5))
+	b.add(3.5, 5, obs.LayerCore, obs.EvRecomputeEnd, obs.KV("slot", 1), obs.KV("iter", 5))
+	// Generation 2: a repeated kill of slot 1, repaired by a second rebuild.
+	b.add(5.0, 5, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 1), obs.KV("iter", 12))
+	b.add(5.25, 0, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 5))
+	b.add(6.0, -1, obs.LayerFenix, obs.EvFenixRebuild,
+		obs.KV("generation", 2), obs.KV("replaced", 1), obs.KV("shrunk", 0), obs.KV("size", 4))
+	b.add(6.5, 6, obs.LayerCore, obs.EvRecomputeBegin, obs.KV("slot", 1), obs.KV("iter", 10))
+	b.add(6.75, 6, obs.LayerCore, obs.EvRecomputeEnd, obs.KV("slot", 1), obs.KV("iter", 10))
+	b.add(8.0, -1, obs.LayerMPI, obs.EvJobEnd,
+		obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 8.0))
+
+	rep, err := Analyze(b.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Spans) != 2 {
+		t.Fatalf("got %d spans, want one per repair (2)", len(rep.Spans))
+	}
+	s0, s1 := rep.Spans[0], rep.Spans[1]
+	if len(s0.FailedSlots) != 2 || s0.Replaced != 2 || s0.Generation != 1 {
+		t.Errorf("span 0 should carry both simultaneous failures: %+v", s0)
+	}
+	if len(s1.FailedSlots) != 1 || s1.FailedSlots[0] != 1 || s1.Generation != 2 {
+		t.Errorf("span 1 should carry the repeated kill: %+v", s1)
+	}
+	if rep.FailuresRepaired != 3 || rep.FailuresInjected != 3 || rep.FailuresUnrepaired != 0 {
+		t.Errorf("repair accounting: %+v", rep)
+	}
+	// The first span's window ends at the second failure: its recompute
+	// activity must not leak into span 1 (and vice versa).
+	if s0.RecomputedIters != 1 || s1.RecomputedIters != 1 {
+		t.Errorf("recompute attribution: span0 %d, span1 %d, want 1 and 1",
+			s0.RecomputedIters, s1.RecomputedIters)
+	}
+	if s0.End >= 5.0 {
+		t.Errorf("span 0 end %v leaked past the next failure at 5.0", s0.End)
+	}
+}
+
+func TestAnalyzeRelaunchSpan(t *testing.T) {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 0), obs.KV("ranks", 4), obs.KV("nodes", 4))
+	b.add(2.0, 1, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 1), obs.KV("iter", 13))
+	b.add(2.125, 0, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 1))
+	b.add(3.0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 1), obs.KV("ranks", 4), obs.KV("nodes", 4))
+	b.add(3.25, 0, obs.LayerVeloC, obs.EvVeloCRestart,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("source", "scratch"),
+		obs.KV("seconds", 0.25), obs.KV("bytes", 512))
+	b.add(3.5, 1, obs.LayerCore, obs.EvRecomputeBegin, obs.KV("slot", 1), obs.KV("iter", 10))
+	b.add(3.75, 1, obs.LayerCore, obs.EvRecomputeEnd, obs.KV("slot", 1), obs.KV("iter", 10))
+	b.add(5.0, -1, obs.LayerMPI, obs.EvJobEnd,
+		obs.KV("launches", 2), obs.KV("failed", false), obs.KV("wall_seconds", 5.0))
+
+	rep, err := Analyze(b.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Launches != 2 {
+		t.Errorf("launches = %d", rep.Launches)
+	}
+	if len(rep.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(rep.Spans))
+	}
+	sp := rep.Spans[0]
+	if sp.Kind != "relaunch" || sp.Generation != 1 || sp.Replaced != 1 {
+		t.Errorf("relaunch span: %+v", sp)
+	}
+	if sp.Phases.Detection != 0.125 {
+		t.Errorf("detection = %v", sp.Phases.Detection)
+	}
+	// No ULFM ops under fail-restart: the whole detect->relaunch gap is
+	// the rebuild (teardown + relaunch) phase.
+	if sp.Phases.CommRepair != 0 || sp.Phases.Rebuild != 0.875 {
+		t.Errorf("comm/rebuild = %v/%v, want 0/0.875", sp.Phases.CommRepair, sp.Phases.Rebuild)
+	}
+	if sp.Phases.Restore != 0.25 || sp.Phases.Recompute != 0.25 {
+		t.Errorf("restore/recompute = %v/%v", sp.Phases.Restore, sp.Phases.Recompute)
+	}
+	// Manual control flow: the rank's restore time comes from the
+	// veloc.restart seconds attribute.
+	if len(sp.PerRank) == 0 || sp.PerRank[0].Rank != 0 || sp.PerRank[0].Restore != 0.25 {
+		t.Errorf("per-rank restore: %+v", sp.PerRank)
+	}
+}
+
+func TestAnalyzeEmptyLog(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Error("empty log accepted")
+	}
+}
+
+func TestReadJSONLRoundTrip(t *testing.T) {
+	r := obs.New()
+	r.Emit(1.5, 0, obs.LayerVeloC, obs.EvVeloCCheckpoint,
+		obs.KV("name", "app"), obs.KV("version", 3), obs.KV("bytes", 1024),
+		obs.KV("ok", true), obs.KV("cost", 0.25))
+	r.Emit(0.5, -1, obs.LayerMPI, obs.EvJobLaunch)
+	r.Emit(2.5, 0, obs.LayerVeloC, obs.EvVeloCRestart, obs.KV("seconds", math.NaN()))
+
+	var buf strings.Builder
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Name != obs.EvJobLaunch || events[0].Time != 0.5 || events[0].Rank != -1 {
+		t.Errorf("event 0: %+v", events[0])
+	}
+	if v, ok := attrInt(events[1], "version"); !ok || v != 3 {
+		t.Errorf("version attr = %v", v)
+	}
+	if v, ok := attrNum(events[1], "cost"); !ok || v != 0.25 {
+		t.Errorf("cost attr = %v", v)
+	}
+	if v, ok := attrBool(events[1], "ok"); !ok || !v {
+		t.Errorf("ok attr = %v", v)
+	}
+	// The quoted NaN revives as a real NaN float.
+	if v, ok := attrNum(events[2], "seconds"); !ok || !math.IsNaN(v) {
+		t.Errorf("NaN attr = %v, ok=%v", v, ok)
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("{\"t\":1}\nnot json\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+}
+
+func TestReportJSONSchemaStable(t *testing.T) {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch, obs.KV("attempt", 0), obs.KV("ranks", 5), obs.KV("nodes", 5))
+	fenixEpisode(&b)
+	b.add(6.0, -1, obs.LayerMPI, obs.EvJobEnd, obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 6.0))
+	rep, err := Analyze(b.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := rep.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	// The documented top-level and span keys must be present (the schema
+	// OBSERVABILITY.md promises to obsreport consumers).
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	for _, key := range []string{
+		"events", "ranks", "launches", "wall_seconds", "job_failed",
+		"failures_injected", "failures_repaired", "failures_unrepaired",
+		"spans", "phase_totals",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON missing key %q", key)
+		}
+	}
+	spans := decoded["spans"].([]any)
+	span := spans[0].(map[string]any)
+	for _, key := range []string{
+		"index", "kind", "generation", "replaced", "shrunk",
+		"start_s", "repair_s", "end_s", "critical_path_s", "recomputed_iters", "phases",
+	} {
+		if _, ok := span[key]; !ok {
+			t.Errorf("span JSON missing key %q", key)
+		}
+	}
+	phases := span["phases"].(map[string]any)
+	for _, name := range PhaseNames() {
+		if _, ok := phases[name+"_s"]; !ok {
+			t.Errorf("span phases missing %q", name+"_s")
+		}
+	}
+}
+
+func TestWriteTableMentionsEverySpanAndPhase(t *testing.T) {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch, obs.KV("attempt", 0), obs.KV("ranks", 5), obs.KV("nodes", 5))
+	b.add(1.0, 0, obs.LayerVeloC, obs.EvVeloCCheckpoint,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024), obs.KV("scratch_seconds", 0.25))
+	fenixEpisode(&b)
+	b.add(6.0, -1, obs.LayerMPI, obs.EvJobEnd, obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 6.0))
+	rep, err := Analyze(b.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := rep.WriteTable(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"recovery spans", "fenix", "detect", "rebuild", "restore", "recompute", "checkpoint generations", "phase totals"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDiffAgainstBaseline(t *testing.T) {
+	run := &Report{WallSeconds: 12, FailuresRepaired: 1,
+		PhaseTotals: PhaseBreakdown{Recompute: 2},
+		Checkpoints: []CheckpointGen{{Version: 1, Checkpoints: 8}}}
+	base := &Report{WallSeconds: 10,
+		Checkpoints: []CheckpointGen{{Version: 1, Checkpoints: 6}}}
+	d := Diff(run, base)
+	if d.WallSeconds != 2 || d.WallPct != 20 {
+		t.Errorf("wall delta %v (%v%%)", d.WallSeconds, d.WallPct)
+	}
+	if d.PhaseTotals.Recompute != 2 || d.FailuresRepaired != 1 || d.CheckpointsWritten != 2 {
+		t.Errorf("delta: %+v", d)
+	}
+	var out strings.Builder
+	if err := d.WriteTable(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "vs baseline") {
+		t.Errorf("delta table: %s", out.String())
+	}
+}
+
+// TestPhaseNamesDocumented cross-checks the span taxonomy against the
+// Analysis section of OBSERVABILITY.md, exactly as EventNames is checked.
+func TestPhaseNamesDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../../OBSERVABILITY.md")
+	if err != nil {
+		t.Fatalf("reading OBSERVABILITY.md: %v", err)
+	}
+	text := string(doc)
+	for _, name := range PhaseNames() {
+		if !strings.Contains(text, "`"+name+"`") {
+			t.Errorf("phase %s is not documented in OBSERVABILITY.md", name)
+		}
+	}
+}

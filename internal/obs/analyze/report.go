@@ -1,0 +1,121 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSON writes the report as indented JSON, the machine-readable
+// mirror of the table (schema documented in OBSERVABILITY.md).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable writes the human-readable breakdown: job summary, one row
+// per recovery span with its phase durations, phase totals, and the
+// per-generation checkpoint/flush accounting.
+func (r *Report) WriteTable(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events %d   ranks %d   launches %d   wall %.3fs   failed %v\n",
+		r.Events, r.Ranks, r.Launches, r.WallSeconds, r.JobFailed)
+	fmt.Fprintf(&b, "failures: injected %d, repaired %d, unrepaired %d\n",
+		r.FailuresInjected, r.FailuresRepaired, r.FailuresUnrepaired)
+
+	if len(r.Spans) > 0 {
+		fmt.Fprintf(&b, "\nrecovery spans (virtual seconds):\n")
+		fmt.Fprintf(&b, "%-5s %-9s %-4s %-10s %-10s %10s %10s %10s %10s %10s %10s\n",
+			"span", "kind", "gen", "slots", "start", "detect", "comm", "rebuild", "restore", "recompute", "critical")
+		for _, sp := range r.Spans {
+			fmt.Fprintf(&b, "%-5d %-9s %-4d %-10s %-10.3f %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+				sp.Index, sp.Kind, sp.Generation, intsString(sp.FailedSlots), sp.Start,
+				sp.Phases.Detection, sp.Phases.CommRepair, sp.Phases.Rebuild,
+				sp.Phases.Restore, sp.Phases.Recompute, sp.CriticalPath)
+		}
+		fmt.Fprintf(&b, "\nphase totals:")
+		for _, name := range PhaseNames() {
+			fmt.Fprintf(&b, "  %s %.4f", name, r.PhaseTotals.Get(name))
+		}
+		fmt.Fprintf(&b, "  (sum %.4f)\n", r.PhaseTotals.Total())
+	}
+
+	if len(r.Checkpoints) > 0 {
+		fmt.Fprintf(&b, "\ncheckpoint generations (veloc):\n")
+		fmt.Fprintf(&b, "%-8s %6s %10s %10s %8s %6s %10s %8s\n",
+			"version", "ckpts", "MiB", "scratch-s", "flushes", "done", "flush-s", "restores")
+		for _, g := range r.Checkpoints {
+			fmt.Fprintf(&b, "%-8d %6d %10.1f %10.4f %8d %6d %10.4f %8d\n",
+				g.Version, g.Checkpoints, float64(g.Bytes)/(1<<20), g.ScratchSeconds,
+				g.Flushes, g.FlushesCompleted, g.FlushSeconds, g.Restores)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func intsString(xs []int) string {
+	if len(xs) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// Delta is the overhead comparison between an instrumented run and a
+// baseline run (typically failure-injected vs failure-free, or the same
+// cell under two strategies).
+type Delta struct {
+	WallSeconds        float64        `json:"wall_seconds_delta"`
+	WallPct            float64        `json:"wall_pct"`
+	FailuresRepaired   int            `json:"failures_repaired_delta"`
+	PhaseTotals        PhaseBreakdown `json:"phase_totals_delta"`
+	CheckpointsWritten int            `json:"checkpoints_delta"`
+}
+
+// Diff returns run - baseline: positive wall delta means the run was
+// slower than the baseline.
+func Diff(run, baseline *Report) Delta {
+	d := Delta{
+		WallSeconds:      run.WallSeconds - baseline.WallSeconds,
+		FailuresRepaired: run.FailuresRepaired - baseline.FailuresRepaired,
+	}
+	if baseline.WallSeconds > 0 {
+		d.WallPct = 100 * d.WallSeconds / baseline.WallSeconds
+	}
+	d.PhaseTotals = run.PhaseTotals
+	d.PhaseTotals.Detection -= baseline.PhaseTotals.Detection
+	d.PhaseTotals.CommRepair -= baseline.PhaseTotals.CommRepair
+	d.PhaseTotals.Rebuild -= baseline.PhaseTotals.Rebuild
+	d.PhaseTotals.Restore -= baseline.PhaseTotals.Restore
+	d.PhaseTotals.Recompute -= baseline.PhaseTotals.Recompute
+	for _, g := range run.Checkpoints {
+		d.CheckpointsWritten += g.Checkpoints
+	}
+	for _, g := range baseline.Checkpoints {
+		d.CheckpointsWritten -= g.Checkpoints
+	}
+	return d
+}
+
+// WriteTable writes the delta in the same human-readable style.
+func (d Delta) WriteTable(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nvs baseline: wall %+.3fs (%+.2f%%)   repaired %+d   checkpoints %+d\n",
+		d.WallSeconds, d.WallPct, d.FailuresRepaired, d.CheckpointsWritten)
+	fmt.Fprintf(&b, "phase deltas:")
+	for _, name := range PhaseNames() {
+		fmt.Fprintf(&b, "  %s %+.4f", name, d.PhaseTotals.Get(name))
+	}
+	fmt.Fprintf(&b, "\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -24,6 +24,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -98,6 +99,11 @@ func appendJSONValue(b []byte, v any) []byte {
 	case uint64:
 		return strconv.AppendUint(b, x, 10)
 	case float64:
+		// JSON has no NaN/Inf literals; quote them so the line stays
+		// parseable (analyze.ReadJSONL converts them back).
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return strconv.AppendQuote(b, strconv.FormatFloat(x, 'g', -1, 64))
+		}
 		return strconv.AppendFloat(b, x, 'g', 9, 64)
 	default:
 		return strconv.AppendQuote(b, fmt.Sprint(v))
@@ -107,11 +113,26 @@ func appendJSONValue(b []byte, v any) []byte {
 // Recorder collects events and owns a metrics registry. All methods are
 // safe for concurrent use by many rank goroutines, and all are nil-safe:
 // a nil *Recorder records nothing and is the disabled default.
+//
+// By default every event is retained in memory for post-run export. Two
+// additional modes bound memory for long runs: StreamJSONL attaches an
+// incremental JSONL sink (with a reorder window for the out-of-order
+// veloc.flush_end stamps), and SetRingCapacity caps the in-memory log at
+// the most recent N events.
 type Recorder struct {
 	mu     sync.Mutex
 	events []Event
 	seq    uint64
 	reg    *Registry
+
+	// Ring-buffer mode: when ringCap > 0 and the log is full, the oldest
+	// event is overwritten in place; ringStart indexes the oldest retained
+	// event and dropped counts the overwritten ones.
+	ringCap   int
+	ringStart int
+	dropped   uint64
+
+	stream *jsonlStream // non-nil once StreamJSONL has been attached
 }
 
 // New creates an enabled recorder with an empty registry.
@@ -137,15 +158,55 @@ func (r *Recorder) Emit(time float64, rank int, layer, name string, attrs ...Att
 	if r == nil {
 		return
 	}
+	e := Event{Time: time, Rank: rank, Layer: layer, Name: name, Attrs: attrs}
 	r.mu.Lock()
 	r.seq++
-	r.events = append(r.events, Event{
-		Seq: r.seq, Time: time, Rank: rank, Layer: layer, Name: name, Attrs: attrs,
-	})
+	e.Seq = r.seq
+	if r.ringCap > 0 && len(r.events) >= r.ringCap {
+		r.events[r.ringStart] = e
+		r.ringStart = (r.ringStart + 1) % r.ringCap
+		r.dropped++
+	} else {
+		r.events = append(r.events, e)
+	}
+	if r.stream != nil {
+		r.stream.push(e)
+	}
 	r.mu.Unlock()
 }
 
-// Len returns the number of recorded events.
+// SetRingCapacity bounds the in-memory event log to the most recent n
+// events; older events are overwritten and counted by Dropped. n <= 0
+// restores unbounded retention (the default). Attached JSONL streams are
+// unaffected: they observe every event regardless of the ring. Changing
+// the capacity of a non-empty recorder panics; configure the ring before
+// the run starts.
+func (r *Recorder) SetRingCapacity(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) > 0 {
+		panic("obs: SetRingCapacity on a non-empty recorder")
+	}
+	if n <= 0 {
+		n = 0
+	}
+	r.ringCap = n
+}
+
+// Dropped returns the number of events overwritten by ring-buffer mode.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of events currently retained in memory.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
@@ -155,9 +216,11 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Events returns a copy of the log ordered by (virtual time, emission
-// sequence). Within one rank the order is causal; across ranks virtual
-// time is the shared ordering the simulation guarantees.
+// Events returns a copy of the retained log ordered by (virtual time,
+// emission sequence). Within one rank the order is causal; across ranks
+// virtual time is the shared ordering the simulation guarantees. Attribute
+// slices are deep-copied, so callers may inspect and mutate the result
+// without aliasing the recorder's (caller-retained) attrs.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
@@ -166,6 +229,11 @@ func (r *Recorder) Events() []Event {
 	out := make([]Event, len(r.events))
 	copy(out, r.events)
 	r.mu.Unlock()
+	for i := range out {
+		if len(out[i].Attrs) > 0 {
+			out[i].Attrs = append([]Attr(nil), out[i].Attrs...)
+		}
+	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Time != out[j].Time {
 			return out[i].Time < out[j].Time

@@ -1,0 +1,201 @@
+package obs
+
+import "io"
+
+// DefaultReorderWindow is the reorder window, in virtual seconds, used by
+// StreamJSONL when the caller passes a non-positive window. It must cover
+// the largest lead an out-of-order completion stamp can have over the
+// emitting clock (veloc.flush_end is stamped at the flush's virtual
+// completion time); flushes at the paper's data scales complete well
+// within this bound.
+const DefaultReorderWindow = 30.0
+
+// jsonlStream is an incremental JSONL sink with a time-based reorder
+// window. Events are buffered in a min-heap ordered by (Time, Seq) and
+// written once the watermark — the maximum event time seen so far — has
+// advanced past their time by at least the window, which restores the
+// global (time, seq) sort order as long as no event is stamped more than
+// `window` virtual seconds behind the watermark. All fields are guarded by
+// the owning Recorder's mutex.
+type jsonlStream struct {
+	w       io.Writer
+	window  float64
+	heap    []Event // min-heap by (Time, Seq)
+	highest float64 // watermark: max event time pushed
+	wrote   bool    // at least one event written
+	lastT   float64 // (Time, Seq) of the last written event,
+	lastSeq uint64  // for late-arrival detection
+	late    uint64
+	written uint64
+	err     error // sticky write error
+	buf     []byte
+}
+
+// StreamJSONL attaches an incremental JSONL sink to the recorder: every
+// event — past and future — is written to w as one JSON line, ordered by
+// (virtual time, emission sequence) under a reorder window of `window`
+// virtual seconds (DefaultReorderWindow if window <= 0). The window
+// absorbs the documented out-of-order case, veloc.flush_end being stamped
+// ahead of the emitting rank's clock; an event arriving more than a window
+// late is still written (immediately, out of order) and counted by
+// StreamLate. Call FlushStream after the run to drain the buffered tail.
+// Write errors are sticky and reported by FlushStream.
+//
+// Combined with SetRingCapacity, streaming lets long availability-study
+// runs export the full log without accumulating it in memory.
+func (r *Recorder) StreamJSONL(w io.Writer, window float64) {
+	if r == nil {
+		return
+	}
+	if window <= 0 {
+		window = DefaultReorderWindow
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stream != nil {
+		panic("obs: StreamJSONL called twice")
+	}
+	s := &jsonlStream{w: w, window: window}
+	// Events recorded before the stream was attached enter the window too.
+	for _, e := range r.events {
+		s.push(e)
+	}
+	r.stream = s
+}
+
+// Streaming reports whether a JSONL stream is attached.
+func (r *Recorder) Streaming() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stream != nil
+}
+
+// FlushStream drains every buffered event to the attached stream and
+// returns the first write error encountered since the stream was attached.
+// The stream stays attached; subsequent events keep streaming. It is a
+// no-op without an attached stream. mpi.RunJob calls it at job end when
+// the stream was attached through JobConfig.
+func (r *Recorder) FlushStream() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stream == nil {
+		return nil
+	}
+	r.stream.drain(len(r.stream.heap))
+	return r.stream.err
+}
+
+// StreamLate returns how many events arrived more than a reorder window
+// late and were therefore written out of order (0 when the window covers
+// the run's worst-case reordering).
+func (r *Recorder) StreamLate() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stream == nil {
+		return 0
+	}
+	return r.stream.late
+}
+
+// StreamWritten returns how many events the attached stream has written.
+func (r *Recorder) StreamWritten() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stream == nil {
+		return 0
+	}
+	return r.stream.written
+}
+
+// push admits one event and writes everything that has fallen out of the
+// reorder window. Caller holds the recorder's mutex.
+func (s *jsonlStream) push(e Event) {
+	s.heapPush(e)
+	if e.Time > s.highest {
+		s.highest = e.Time
+	}
+	for len(s.heap) > 0 && s.heap[0].Time <= s.highest-s.window {
+		s.writeOne(s.heapPop())
+	}
+}
+
+// drain writes the n oldest buffered events regardless of the window.
+func (s *jsonlStream) drain(n int) {
+	for i := 0; i < n && len(s.heap) > 0; i++ {
+		s.writeOne(s.heapPop())
+	}
+}
+
+func (s *jsonlStream) writeOne(e Event) {
+	if s.wrote && (e.Time < s.lastT || (e.Time == s.lastT && e.Seq < s.lastSeq)) {
+		s.late++
+	}
+	s.wrote, s.lastT, s.lastSeq = true, e.Time, e.Seq
+	s.written++
+	if s.err != nil {
+		return
+	}
+	s.buf = e.appendJSON(s.buf[:0])
+	s.buf = append(s.buf, '\n')
+	if _, err := s.w.Write(s.buf); err != nil {
+		s.err = err
+	}
+}
+
+// eventLess orders the heap by (Time, Seq), matching Recorder.Events.
+func eventLess(a, b Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}
+
+func (s *jsonlStream) heapPush(e Event) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(s.heap[i], s.heap[parent]) {
+			break
+		}
+		s.heap[i], s.heap[parent] = s.heap[parent], s.heap[i]
+		i = parent
+	}
+}
+
+func (s *jsonlStream) heapPop() Event {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap[last] = Event{} // release attrs for GC
+	s.heap = s.heap[:last]
+	i := 0
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < len(s.heap) && eventLess(s.heap[l], s.heap[small]) {
+			small = l
+		}
+		if rr < len(s.heap) && eventLess(s.heap[rr], s.heap[small]) {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		s.heap[i], s.heap[small] = s.heap[small], s.heap[i]
+		i = small
+	}
+	return top
+}

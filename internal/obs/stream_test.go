@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestStreamMatchesWriteJSONL checks the acceptance property directly on
+// a synthetic log with an out-of-order completion stamp: after the final
+// flush, the streamed bytes equal a post-hoc WriteJSONL of the same
+// recorder.
+func TestStreamMatchesWriteJSONL(t *testing.T) {
+	r := New()
+	var stream strings.Builder
+	r.StreamJSONL(&stream, 2.0)
+
+	// A flush_end stamped 1.5s ahead of the emitter's clock, followed by
+	// events from other ranks at earlier times — the documented reorder.
+	r.Emit(1.0, 0, LayerVeloC, EvVeloCCheckpoint, KV("version", 1))
+	r.Emit(2.6, 0, LayerVeloC, EvVeloCFlushEnd, KV("version", 1), KV("seconds", 1.5))
+	r.Emit(1.2, 1, LayerVeloC, EvVeloCCheckpoint, KV("version", 1))
+	r.Emit(2.0, 1, LayerMPI, EvRevoke)
+	r.Emit(2.4, 0, LayerFenix, EvFenixRebuild)
+	r.Emit(5.0, -1, LayerMPI, EvJobEnd)
+	if err := r.FlushStream(); err != nil {
+		t.Fatal(err)
+	}
+
+	var post strings.Builder
+	if err := r.WriteJSONL(&post); err != nil {
+		t.Fatal(err)
+	}
+	if stream.String() != post.String() {
+		t.Errorf("streamed output differs from post-hoc export:\nstream:\n%s\npost-hoc:\n%s",
+			stream.String(), post.String())
+	}
+	if got := r.StreamLate(); got != 0 {
+		t.Errorf("late events = %d, want 0", got)
+	}
+	if got := r.StreamWritten(); got != 6 {
+		t.Errorf("written = %d, want 6", got)
+	}
+}
+
+// TestStreamReorderWindowHoldsFlushEnd checks the window mechanics: an
+// event is not written until the watermark has moved a full window past
+// it, so a flush_end stamped ahead of the clock is held long enough for
+// the intervening earlier-stamped events to arrive and sort before it.
+func TestStreamReorderWindowHoldsFlushEnd(t *testing.T) {
+	r := New()
+	var stream strings.Builder
+	r.StreamJSONL(&stream, 1.0)
+
+	r.Emit(1.0, 0, LayerVeloC, EvVeloCFlushBegin, KV("version", 3))
+	// Completion stamp 0.8s ahead; advances the watermark to 1.8.
+	r.Emit(1.8, 0, LayerVeloC, EvVeloCFlushEnd, KV("version", 3))
+	if got := strings.Count(stream.String(), "\n"); got != 0 {
+		t.Fatalf("window leaked %d events before watermark advanced", got)
+	}
+	// An earlier-stamped event arrives after the future-stamped one...
+	r.Emit(1.4, 1, LayerVeloC, EvVeloCCheckpoint, KV("version", 3))
+	// ...and a later tick pushes the watermark (to 2.7) far enough to
+	// release events up to t=1.7 — the first two but not the flush_end.
+	r.Emit(2.7, 1, LayerMPI, EvAgree)
+	out := stream.String()
+	if !strings.Contains(out, EvVeloCFlushBegin) || !strings.Contains(out, EvVeloCCheckpoint) {
+		t.Fatalf("events within the window not released:\n%s", out)
+	}
+	if strings.Contains(out, EvVeloCFlushEnd) {
+		t.Fatalf("flush_end released before its window expired:\n%s", out)
+	}
+	if err := r.FlushStream(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stream.String()), "\n")
+	wantOrder := []string{EvVeloCFlushBegin, EvVeloCCheckpoint, EvVeloCFlushEnd, EvAgree}
+	if len(lines) != len(wantOrder) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(wantOrder))
+	}
+	for i, name := range wantOrder {
+		if !strings.Contains(lines[i], name) {
+			t.Errorf("line %d = %s, want %s", i, lines[i], name)
+		}
+	}
+	if r.StreamLate() != 0 {
+		t.Errorf("late = %d, want 0", r.StreamLate())
+	}
+}
+
+// TestStreamLateEvent checks that an event arriving more than a window
+// behind the watermark is still written and counted as late.
+func TestStreamLateEvent(t *testing.T) {
+	r := New()
+	var stream strings.Builder
+	r.StreamJSONL(&stream, 0.5)
+	r.Emit(10.0, 0, LayerMPI, EvJobLaunch)
+	r.Emit(20.0, 0, LayerMPI, EvRevoke) // releases the t=10 event
+	r.Emit(1.0, 1, LayerCore, EvSessionStart)
+	if err := r.FlushStream(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.StreamLate(); got != 1 {
+		t.Errorf("late = %d, want 1", got)
+	}
+	if got := r.StreamWritten(); got != 3 {
+		t.Errorf("written = %d, want 3", got)
+	}
+}
+
+// TestStreamAttachAfterEmit checks that events recorded before the stream
+// was attached are replayed through the window.
+func TestStreamAttachAfterEmit(t *testing.T) {
+	r := New()
+	r.Emit(2.0, 0, LayerMPI, EvRevoke)
+	r.Emit(1.0, 1, LayerCore, EvSessionStart)
+	var stream strings.Builder
+	r.StreamJSONL(&stream, 1.0)
+	if err := r.FlushStream(); err != nil {
+		t.Fatal(err)
+	}
+	var post strings.Builder
+	if err := r.WriteJSONL(&post); err != nil {
+		t.Fatal(err)
+	}
+	if stream.String() != post.String() {
+		t.Errorf("replayed stream differs:\n%s\nvs\n%s", stream.String(), post.String())
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestStreamWriteErrorSticky(t *testing.T) {
+	r := New()
+	w := &failingWriter{n: 1}
+	r.StreamJSONL(w, 0.1)
+	r.Emit(1, 0, LayerMPI, EvJobLaunch)
+	r.Emit(2, 0, LayerMPI, EvRevoke)
+	r.Emit(9, 0, LayerMPI, EvJobEnd)
+	if err := r.FlushStream(); err == nil {
+		t.Fatal("write error not surfaced by FlushStream")
+	}
+	// The error is sticky across further flushes.
+	if err := r.FlushStream(); err == nil {
+		t.Fatal("write error not sticky")
+	}
+}
+
+func TestStreamDoubleAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("second StreamJSONL did not panic")
+		}
+	}()
+	r := New()
+	var a, b strings.Builder
+	r.StreamJSONL(&a, 1)
+	r.StreamJSONL(&b, 1)
+}
+
+func TestNilRecorderStreamSafe(t *testing.T) {
+	var r *Recorder
+	var b strings.Builder
+	r.StreamJSONL(&b, 1) // must not panic
+	if r.Streaming() {
+		t.Error("nil recorder reports streaming")
+	}
+	if err := r.FlushStream(); err != nil {
+		t.Errorf("nil FlushStream: %v", err)
+	}
+	if r.StreamLate() != 0 || r.StreamWritten() != 0 {
+		t.Error("nil recorder reports stream activity")
+	}
+	r.SetRingCapacity(4) // must not panic
+	if r.Dropped() != 0 {
+		t.Error("nil recorder reports drops")
+	}
+}
+
+func TestRingCapacityBoundsMemory(t *testing.T) {
+	r := New()
+	r.SetRingCapacity(3)
+	for i := 0; i < 10; i++ {
+		r.Emit(float64(i), 0, LayerMPI, EvRevoke, KV("i", i))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring retained %d events, want 3", r.Len())
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", r.Dropped())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if want := 7 + i; int(e.Time) != want {
+			t.Errorf("retained event %d has time %v, want %d (newest three)", i, e.Time, want)
+		}
+	}
+}
+
+// TestRingWithStreamKeepsFullLog checks the long-run mode: a bounded ring
+// plus a stream still exports every event.
+func TestRingWithStreamKeepsFullLog(t *testing.T) {
+	r := New()
+	r.SetRingCapacity(2)
+	var stream strings.Builder
+	r.StreamJSONL(&stream, 0.5)
+	for i := 0; i < 20; i++ {
+		r.Emit(float64(i), 0, LayerMPI, EvRevoke)
+	}
+	if err := r.FlushStream(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(stream.String(), "\n"); got != 20 {
+		t.Errorf("stream exported %d events, want all 20 despite ring cap 2", got)
+	}
+	if r.Len() != 2 {
+		t.Errorf("ring retained %d, want 2", r.Len())
+	}
+}
+
+func TestSetRingCapacityAfterEmitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRingCapacity on non-empty recorder did not panic")
+		}
+	}()
+	r := New()
+	r.Emit(1, 0, LayerMPI, EvRevoke)
+	r.SetRingCapacity(8)
+}
+
+// TestEventsCopiesAttrs is the aliasing regression test: mutating the
+// slice returned by Events must not corrupt the recorder's log (Emit
+// retains caller-owned attr slices, so export paths must copy).
+func TestEventsCopiesAttrs(t *testing.T) {
+	r := New()
+	attrs := []Attr{KV("failed_rank", 1)}
+	r.Emit(1.0, 0, LayerMPI, EvFailureDetected, attrs...)
+
+	got := r.Events()
+	got[0].Attrs[0] = KV("failed_rank", 999)
+
+	again := r.Events()
+	if v := again[0].Attrs[0].Value; v != 1 {
+		t.Errorf("mutating Events() result corrupted the log: attr = %v, want 1", v)
+	}
+	// The caller-owned slice passed to Emit is also isolated from Events
+	// consumers.
+	if attrs[0].Value != 1 {
+		t.Errorf("caller slice mutated: %v", attrs[0].Value)
+	}
+}
+
+func TestAppendJSONValueNonFiniteFloats(t *testing.T) {
+	cases := []struct {
+		v    any
+		want string
+	}{
+		{math.NaN(), `"NaN"`},
+		{math.Inf(1), `"+Inf"`},
+		{math.Inf(-1), `"-Inf"`},
+		{1.5, "1.5"},
+	}
+	for _, c := range cases {
+		if got := string(appendJSONValue(nil, c.v)); got != c.want {
+			t.Errorf("appendJSONValue(%v) = %s, want %s", c.v, got, c.want)
+		}
+	}
+}
+
+// TestAppendJSONQuotesFallbackStrings checks that fallback-stringified
+// values with JSON-hostile characters stay correctly quoted.
+func TestAppendJSONQuotesFallbackStrings(t *testing.T) {
+	type weird struct{ S string }
+	got := string(appendJSONValue(nil, weird{S: "a\"b\nc"}))
+	want := `"{a\"b\nc}"`
+	if got != want {
+		t.Errorf("fallback quoting: got %s, want %s", got, want)
+	}
+	// NaN inside an event line keeps the whole line valid JSON.
+	r := New()
+	r.Emit(1.0, 0, LayerVeloC, EvVeloCRestart, KV("seconds", math.NaN()))
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	want = `{"t":1,"rank":0,"layer":"veloc","event":"veloc.restart","attrs":{"seconds":"NaN"}}` + "\n"
+	if b.String() != want {
+		t.Errorf("JSONL with NaN:\ngot:  %swant: %s", b.String(), want)
+	}
+}

@@ -1,8 +1,24 @@
 #!/bin/sh
-# Full verification: build, vet, and race-enabled tests. Equivalent to
+# Full verification: build, vet, race-enabled tests, the observability
+# overhead benchmarks, and an end-to-end obsreport smoke test. Supersedes
 # `make check` for environments without make.
 set -eux
 cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Observability overhead: the same failure-injected Heatdis cell with
+# recording off, on, and streaming (one iteration each; a smoke check
+# that the instrumented paths stay healthy end to end).
+go test -run '^$' -bench 'BenchmarkHeatdisObs' -benchtime 1x .
+
+# Recovery-timeline pipeline: stream a failure-injected run's events and
+# analyze them with obsreport (table and JSON forms).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/heatdis -ranks 8 -data-mb 64 -iters 30 -interval 5 \
+    -fail -stream -events "$tmp/events.jsonl"
+go run ./cmd/obsreport "$tmp/events.jsonl"
+go run ./cmd/obsreport -json "$tmp/events.jsonl" > "$tmp/report.json"
+grep -q '"failures_repaired": 1' "$tmp/report.json"
