@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check figures report clean
+.PHONY: all build vet test race check chaos figures report clean
 
 all: check
 
@@ -18,7 +18,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet race chaos
+
+# Short adversarial campaign under the race detector: fixed seeds sweeping
+# the full mode × app matrix (kills inside checkpoint regions and flush
+# windows, nested failures, spare-pool exhaustion with and without
+# shrinking). Fails on any hang or cross-layer invariant violation; replay
+# a finding with `go run ./cmd/chaos -seed <k>`.
+chaos:
+	$(GO) run -race ./cmd/chaos -seeds 36
 
 figures:
 	$(GO) run ./cmd/figures

@@ -1,0 +1,212 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Campaign modes: each derives a different adversarial schedule shape.
+const (
+	// ModeIteration kills one member at an iteration boundary — the
+	// baseline the core.FailurePlan harness already covers.
+	ModeIteration = "iteration"
+	// ModeRegion kills one member inside the checkpoint path: at region
+	// entry, at the KR commit handoff, or inside the VeloC client.
+	ModeRegion = "region"
+	// ModeCollective kills one member on entry to an MPI collective, so
+	// peers are blocked in the same rendezvous when it dies.
+	ModeCollective = "collective"
+	// ModeFlush crashes a member's whole node while its checkpoint flush
+	// window is open: the PFS copy never completes and restart must fall
+	// back to an older complete version.
+	ModeFlush = "flush"
+	// ModeNested kills a second member the moment it enters Fenix recovery
+	// for the first kill — a failure during an in-progress rebuild.
+	ModeNested = "nested"
+	// ModeSpare kills a spare while it is still blocked in Fenix
+	// initialization, then kills a member so the pruned pool is exercised.
+	ModeSpare = "spare"
+	// ModeNode crashes one node hosting two members: correlated
+	// simultaneous kills plus loss of the node's storage.
+	ModeNode = "node"
+	// ModeStormShrink kills more members than there are spares with
+	// shrink-on-exhaustion enabled: the job must finish on a compacted
+	// communicator.
+	ModeStormShrink = "storm-shrink"
+	// ModeStormFail kills more members than there are spares with
+	// shrinking disabled: the only correct outcome is ErrOutOfSpares.
+	ModeStormFail = "storm-fail"
+)
+
+// Modes lists every campaign mode, in matrix order.
+var Modes = []string{
+	ModeIteration, ModeRegion, ModeCollective, ModeFlush, ModeNested,
+	ModeSpare, ModeNode, ModeStormShrink, ModeStormFail,
+}
+
+// Apps lists the campaign applications, in matrix order.
+var Apps = []string{AppHeatdis, AppMiniMD}
+
+// Campaign geometry: small enough that a 50-seed sweep takes seconds,
+// large enough that every kill lands mid-run with checkpoints before and
+// iterations after it.
+const (
+	cRanks    = 4
+	cIters    = 24
+	cInterval = 6
+)
+
+// ConfigForSeed derives a full run configuration from a seed. The matrix
+// cell (mode × app) comes from the seed itself so a sweep over seeds
+// 0..N-1 covers all cells evenly; victims and kill timing come from a
+// deterministic RNG stream. Non-empty mode/app override the matrix cell
+// (for filtered campaigns and replay experiments) without changing the
+// rest of the derivation.
+func ConfigForSeed(seed uint64, mode, app string) (RunConfig, error) {
+	cell := int(seed % uint64(len(Modes)*len(Apps)))
+	if mode == "" {
+		mode = Modes[cell%len(Modes)]
+	}
+	if app == "" {
+		app = Apps[cell/len(Modes)]
+	}
+	if app != AppHeatdis && app != AppMiniMD {
+		return RunConfig{}, fmt.Errorf("chaos: unknown app %q", app)
+	}
+
+	cfg := RunConfig{
+		Seed: seed, App: app, Mode: mode,
+		Ranks: cRanks, Spares: 2, RanksPerNode: 1,
+		Iters: cIters, Interval: cInterval,
+	}
+	// An RNG stream decoupled from the cell index, so the same seed
+	// replayed with a mode override draws the same victims/timing.
+	rng := sim.NewRNG(seed).Split(0xc4a05)
+	member := func() int { return rng.Intn(cfg.Ranks) }
+	// Member kills fire at iteration-ish hits well inside the run: after
+	// the first checkpoint epoch, with iterations left to recompute.
+	iterHit := func() int { return 2 + rng.Intn(18) }
+	// Commit-path points are visited once per checkpoint epoch (4 epochs
+	// at interval 6 over 24 iterations); stay off the last epoch.
+	epochHit := func() int { return rng.Intn(3) }
+
+	switch mode {
+	case ModeIteration:
+		cfg.Schedule.Kills = []Kill{{Rank: member(), Point: PointIteration, Hit: iterHit()}}
+	case ModeRegion:
+		points := []string{PointKRRegion, PointKRCommit, PointVeloCCheckpoint}
+		pt := points[rng.Intn(len(points))]
+		hit := epochHit()
+		if pt == PointKRRegion { // visited every iteration, not per epoch
+			hit = iterHit()
+		}
+		cfg.Schedule.Kills = []Kill{{Rank: member(), Point: pt, Hit: hit}}
+	case ModeCollective:
+		// Hit 0 is the victim's first collective — the version-discovery
+		// allreduce during session setup, before any iteration ran.
+		cfg.Schedule.Kills = []Kill{{Rank: member(), Point: PointCollective, Hit: 0}}
+	case ModeFlush:
+		cfg.Schedule.Kills = []Kill{{Rank: member(), Point: PointVeloCFlush, Hit: epochHit(), NodeCrash: true}}
+	case ModeNested:
+		a := member()
+		b := (a + 1 + rng.Intn(cfg.Ranks-1)) % cfg.Ranks
+		cfg.Schedule.Kills = []Kill{
+			{Rank: a, Point: PointIteration, Hit: 4 + rng.Intn(12)},
+			// b's first entry into Fenix recovery is triggered by a's
+			// death, so this is a kill inside the in-progress rebuild.
+			{Rank: b, Point: PointFenixRecover, Hit: 0},
+		}
+	case ModeSpare:
+		spare := cfg.Ranks + rng.Intn(cfg.Spares)
+		cfg.Schedule.Kills = []Kill{
+			{Rank: spare, Point: PointFenixSpareWait, Hit: 0},
+			{Rank: member(), Point: PointIteration, Hit: iterHit()},
+		}
+	case ModeNode:
+		// Two ranks per node: node 1 hosts members 2 and 3, the spares
+		// land on node 2. Killing both members at the same iteration with
+		// NodeCrash models the whole node disappearing.
+		cfg.RanksPerNode = 2
+		hit := iterHit()
+		cfg.Schedule.Kills = []Kill{
+			{Rank: 2, Point: PointIteration, Hit: hit, NodeCrash: true},
+			{Rank: 3, Point: PointIteration, Hit: hit, NodeCrash: true},
+		}
+	case ModeStormShrink:
+		cfg.Spares = 1
+		cfg.Shrink = true
+		v := rng.Intn(cfg.Ranks)
+		h := 2 + rng.Intn(5)
+		var kills []Kill
+		for i := 0; i < 3; i++ {
+			kills = append(kills, Kill{Rank: (v + i) % cfg.Ranks, Point: PointIteration, Hit: h})
+			h += 4 + rng.Intn(2)
+		}
+		cfg.Schedule.Kills = kills
+	case ModeStormFail:
+		cfg.Spares = 1
+		cfg.ExpectFail = true
+		v := rng.Intn(cfg.Ranks)
+		h := 2 + rng.Intn(7)
+		cfg.Schedule.Kills = []Kill{
+			{Rank: v, Point: PointIteration, Hit: h},
+			{Rank: (v + 1 + rng.Intn(cfg.Ranks-1)) % cfg.Ranks, Point: PointIteration, Hit: h + 4 + rng.Intn(2)},
+		}
+	default:
+		return RunConfig{}, fmt.Errorf("chaos: unknown mode %q", mode)
+	}
+	return cfg, nil
+}
+
+// CampaignConfig parameterizes a seed sweep.
+type CampaignConfig struct {
+	// Seeds to run; each derives its cell via ConfigForSeed.
+	Seeds []uint64
+	// Mode and App, when non-empty, pin every run to that mode/app instead
+	// of sweeping the matrix.
+	Mode, App string
+	// Timeout is the per-run real-time watchdog (DefaultTimeout if zero).
+	Timeout time.Duration
+	// Progress, if non-nil, receives each finished run as it completes.
+	Progress func(*RunReport)
+}
+
+// RunCampaign sweeps the seeds sequentially (runs are internally parallel —
+// one goroutine per simulated rank) and aggregates the reports.
+func RunCampaign(cc CampaignConfig) (*CampaignReport, error) {
+	refs := NewRefCache()
+	camp := &CampaignReport{ByMode: make(map[string]int)}
+	for _, seed := range cc.Seeds {
+		cfg, err := ConfigForSeed(seed, cc.Mode, cc.App)
+		if err != nil {
+			return nil, err
+		}
+		rep := RunOne(cfg, refs, cc.Timeout)
+		camp.Seeds++
+		camp.ByMode[cfg.Mode]++
+		switch {
+		case rep.Hung:
+			camp.Hangs++
+		case rep.OK():
+			camp.Passed++
+		default:
+			camp.Violated++
+		}
+		camp.Runs = append(camp.Runs, rep)
+		if cc.Progress != nil {
+			cc.Progress(rep)
+		}
+	}
+	return camp, nil
+}
+
+// SeedRange returns [start, start+n) for sweep construction.
+func SeedRange(start uint64, n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = start + uint64(i)
+	}
+	return seeds
+}

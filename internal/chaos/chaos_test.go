@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestCampaignMatrix sweeps one full pass over the mode × app matrix
+// (seeds 0..17 hit every cell exactly once) and requires a clean campaign:
+// no hangs, no invariant violations, in any mode, on either application.
+func TestCampaignMatrix(t *testing.T) {
+	camp, err := RunCampaign(CampaignConfig{Seeds: SeedRange(0, len(Modes)*len(Apps))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range camp.Runs {
+		for _, v := range r.Violations {
+			t.Errorf("seed %d (%s/%s): %s", r.Seed, r.App, r.Mode, v)
+		}
+	}
+	if !camp.OK() {
+		t.Fatalf("campaign failed: %d violated, %d hung of %d", camp.Violated, camp.Hangs, camp.Seeds)
+	}
+	// The matrix sweep must actually cover every mode.
+	for _, m := range Modes {
+		if camp.ByMode[m] == 0 {
+			t.Errorf("mode %s never ran", m)
+		}
+	}
+}
+
+// TestSeedReplayIsByteStable replays seeds twice and requires the JSON
+// report to be identical byte for byte — the property that makes a
+// campaign finding debuggable with `chaos -seed <k>`.
+func TestSeedReplayIsByteStable(t *testing.T) {
+	for _, seed := range []uint64{3, 6, 7, 16} { // flush, node, storm-shrink, storm-fail cells
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			var out [2]bytes.Buffer
+			for i := 0; i < 2; i++ {
+				cfg, err := ConfigForSeed(seed, "", "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := RunOne(cfg, NewRefCache(), 0)
+				if err := rep.WriteJSON(&out[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+				t.Errorf("replay differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out[0].String(), out[1].String())
+			}
+		})
+	}
+}
+
+// TestConfigForSeedDeterministic checks schedule derivation is a pure
+// function of the seed, and that overrides pin the cell without changing
+// the drawn victims/timing.
+func TestConfigForSeedDeterministic(t *testing.T) {
+	a, err := ConfigForSeed(42, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConfigForSeed(42, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("same seed derived different configs:\n%+v\n%+v", a, b)
+	}
+	forced, err := ConfigForSeed(42, ModeIteration, AppMiniMD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.Mode != ModeIteration || forced.App != AppMiniMD {
+		t.Errorf("override ignored: %+v", forced)
+	}
+	if _, err := ConfigForSeed(1, "no-such-mode", ""); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := ConfigForSeed(1, "", "no-such-app"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// TestExpectFailOutcome pins the storm-fail contract: spare exhaustion
+// with shrinking disabled must fail the job with ErrOutOfSpares, repair
+// the first kill, and leave exactly one failure unrepaired.
+func TestExpectFailOutcome(t *testing.T) {
+	for _, app := range Apps {
+		cfg, err := ConfigForSeed(8, ModeStormFail, app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := RunOne(cfg, NewRefCache(), 0)
+		for _, v := range rep.Violations {
+			t.Errorf("%s: %s", app, v)
+		}
+		if !rep.JobFailed || rep.Error != "out-of-spares" {
+			t.Errorf("%s: failed=%v error=%q, want out-of-spares failure", app, rep.JobFailed, rep.Error)
+		}
+		if rep.Repaired != 1 || rep.Unrepaired != 1 {
+			t.Errorf("%s: repaired %d unrepaired %d, want 1 and 1", app, rep.Repaired, rep.Unrepaired)
+		}
+	}
+}
+
+// TestShrinkCampaignCoverage pins the storm-shrink contract: with one
+// spare and three kills the job must finish on a compacted communicator,
+// with the spans recording one replacement and two shrunk slots.
+func TestShrinkCampaignCoverage(t *testing.T) {
+	cfg, err := ConfigForSeed(8, ModeStormShrink, AppHeatdis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunOne(cfg, NewRefCache(), 0)
+	for _, v := range rep.Violations {
+		t.Error(v)
+	}
+	if rep.Shrunk != 2 || rep.FinalSize != cfg.Ranks-2 {
+		t.Errorf("shrunk %d final size %d, want 2 and %d", rep.Shrunk, rep.FinalSize, cfg.Ranks-2)
+	}
+	if rep.SparesActivated != 1 {
+		t.Errorf("spares activated %d, want 1", rep.SparesActivated)
+	}
+}

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Injector executes a Schedule: it counts each rank's visits to each
+// injection point and kills the rank when a scheduled (rank, point, hit)
+// triple is reached. Visit counting is per-rank program order, which is
+// deterministic under the simulator's virtual clocks, so a schedule fires
+// identically on every run with the same seed.
+type Injector struct {
+	mu         sync.Mutex
+	hits       map[pointKey]int
+	kills      map[pointKey][]*scheduledKill
+	fired      int
+	firedSpare int
+}
+
+type pointKey struct {
+	rank  int
+	point string
+}
+
+type scheduledKill struct {
+	kill  Kill
+	fired bool
+}
+
+// NewInjector builds an injector for one run of the given schedule.
+// Injectors are single-use: visit counters persist for the life of the run.
+func NewInjector(s Schedule) *Injector {
+	inj := &Injector{
+		hits:  make(map[pointKey]int),
+		kills: make(map[pointKey][]*scheduledKill),
+	}
+	for _, k := range s.Kills {
+		key := pointKey{rank: k.Rank, point: k.Point}
+		inj.kills[key] = append(inj.kills[key], &scheduledKill{kill: k})
+	}
+	return inj
+}
+
+// At implements mpi.Injector. It runs on the visiting rank's goroutine;
+// when a scheduled kill matches, the rank never returns from this call.
+func (inj *Injector) At(p *mpi.Proc, point string) {
+	key := pointKey{rank: p.Rank(), point: point}
+	inj.mu.Lock()
+	hit := inj.hits[key]
+	inj.hits[key] = hit + 1
+	var victim *scheduledKill
+	for _, sk := range inj.kills[key] {
+		if !sk.fired && sk.kill.Hit == hit {
+			victim = sk
+			sk.fired = true
+			inj.fired++
+			if sk.kill.Spare() {
+				inj.firedSpare++
+			}
+			break
+		}
+	}
+	inj.mu.Unlock()
+	if victim == nil {
+		return
+	}
+	if victim.kill.NodeCrash {
+		p.CrashNode()
+	}
+	p.ExitInjected(point, victim.kill.Spare())
+}
+
+// Fired returns how many scheduled kills actually triggered. A kill whose
+// (rank, point, hit) is never visited — e.g. a storm kill scheduled after
+// the job already failed — does not fire.
+func (inj *Injector) Fired() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired
+}
+
+// FiredSpare returns how many fired kills targeted blocked spares; such
+// kills do not count as failures the repair protocol must survive.
+func (inj *Injector) FiredSpare() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.firedSpare
+}
+
+var _ mpi.Injector = (*Injector)(nil)

@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SpanBrief is the deterministic slice of an analyzer recovery span a run
+// report carries: failed slots are sorted (simultaneous kills have
+// scheduling-dependent event order) and only virtual-time fields appear,
+// so a replayed seed reproduces the report byte for byte.
+type SpanBrief struct {
+	Kind        string  `json:"kind"`
+	Generation  int     `json:"generation"`
+	FailedSlots []int   `json:"failed_slots,omitempty"`
+	Replaced    int     `json:"replaced"`
+	Shrunk      int     `json:"shrunk"`
+	Start       float64 `json:"start_s"`
+	End         float64 `json:"end_s"`
+}
+
+// RunReport is the outcome of one chaos run: the exact configuration that
+// produced it (sufficient to replay), the cross-layer accounting, and any
+// invariant violations. An empty Violations slice means the stack survived
+// the schedule and every layer's story reconciled.
+type RunReport struct {
+	RunConfig
+
+	Hung        bool    `json:"hung,omitempty"`
+	JobFailed   bool    `json:"job_failed"`
+	Error       string  `json:"error,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Launches    int     `json:"launches"`
+
+	KillsFired      int `json:"kills_fired"`
+	SpareKillsFired int `json:"spare_kills_fired,omitempty"`
+	Injected        int `json:"failures_injected"`
+	Repaired        int `json:"failures_repaired"`
+	Unrepaired      int `json:"failures_unrepaired"`
+	Survived        int `json:"failures_survived"`
+	Rebuilds        int `json:"rebuilds"`
+	SparesActivated int `json:"spares_activated"`
+	Shrunk          int `json:"shrunk"`
+	FinalSize       int `json:"final_size"`
+
+	Checksum float64     `json:"checksum,omitempty"`
+	Spans    []SpanBrief `json:"spans,omitempty"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+func (r *RunReport) addViolation(msg string) { r.Violations = append(r.Violations, msg) }
+
+// OK reports whether the run satisfied every invariant.
+func (r *RunReport) OK() bool { return len(r.Violations) == 0 }
+
+// WriteJSON writes the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Line is the one-line campaign summary of this run.
+func (r *RunReport) Line() string {
+	status := "ok"
+	switch {
+	case r.Hung:
+		status = "HUNG"
+	case !r.OK():
+		status = fmt.Sprintf("VIOLATED(%d)", len(r.Violations))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %-6d %-8s %-12s kills %d/%d inj %d rep %d unrep %d shrunk %d  %s",
+		r.Seed, r.App, r.Mode, r.KillsFired, len(r.Schedule.Kills),
+		r.Injected, r.Repaired, r.Unrepaired, r.Shrunk, status)
+	return b.String()
+}
+
+// CampaignReport aggregates a seed sweep.
+type CampaignReport struct {
+	Seeds    int            `json:"seeds"`
+	Passed   int            `json:"passed"`
+	Violated int            `json:"violated"`
+	Hangs    int            `json:"hangs"`
+	ByMode   map[string]int `json:"by_mode"`
+	Runs     []*RunReport   `json:"runs"`
+}
+
+// OK reports whether every run in the campaign passed.
+func (c *CampaignReport) OK() bool { return c.Violated == 0 && c.Hangs == 0 }
+
+// WriteJSON writes the campaign report as indented JSON.
+func (c *CampaignReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteSummary writes the human-readable sweep summary: one line per run
+// plus totals, with full violation text for any failing run.
+func (c *CampaignReport) WriteSummary(w io.Writer, verbose bool) error {
+	var b strings.Builder
+	for _, r := range c.Runs {
+		if verbose || !r.OK() {
+			fmt.Fprintf(&b, "%s\n", r.Line())
+		}
+		for _, viol := range r.Violations {
+			fmt.Fprintf(&b, "    %s\n", viol)
+		}
+	}
+	fmt.Fprintf(&b, "chaos: %d seeds, %d passed, %d violated, %d hung\n",
+		c.Seeds, c.Passed, c.Violated, c.Hangs)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,342 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/apps/minimd"
+	"repro/internal/core"
+	"repro/internal/fenix"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+)
+
+// Application names the campaign can run.
+const (
+	AppHeatdis = "heatdis"
+	AppMiniMD  = "minimd"
+)
+
+// RunConfig fully determines one chaos run. Together with the simulator's
+// virtual clocks it makes the run reproducible: the same RunConfig always
+// produces the same RunReport.
+type RunConfig struct {
+	Seed         uint64   `json:"seed"`
+	App          string   `json:"app"`
+	Mode         string   `json:"mode"`
+	Ranks        int      `json:"ranks"` // application ranks (excludes spares)
+	Spares       int      `json:"spares"`
+	Shrink       bool     `json:"shrink"`
+	RanksPerNode int      `json:"ranks_per_node"`
+	Iters        int      `json:"iters"`
+	Interval     int      `json:"interval"`
+	Schedule     Schedule `json:"schedule"`
+	// ExpectFail marks schedules designed to exhaust the spare pool with
+	// shrinking disabled: the only correct outcome is a job failure with
+	// fenix.ErrOutOfSpares.
+	ExpectFail bool `json:"expect_fail"`
+}
+
+// appRun adapts one application to the chaos runner: body to execute under
+// the resilience stack, and a checksum over the first n logical ranks'
+// results (erroring if any of them produced none).
+type appRun struct {
+	app      core.App
+	checksum func(n int) (float64, error)
+}
+
+func buildApp(cfg RunConfig) (appRun, error) {
+	switch cfg.App {
+	case AppHeatdis:
+		sink := heatdis.NewSink()
+		hc := heatdis.Config{
+			// Large enough that checkpoint flush windows stay open for
+			// several iterations, so flush-window kills have something to
+			// interrupt.
+			BytesPerRank:       8 << 20,
+			Iterations:         cfg.Iters,
+			CheckpointInterval: cfg.Interval,
+		}
+		return appRun{app: heatdis.App(hc, sink), checksum: sink.GlobalChecksum}, nil
+	case AppMiniMD:
+		sink := minimd.NewSink()
+		mc := minimd.Config{
+			Steps:              cfg.Iters,
+			CheckpointInterval: cfg.Interval,
+		}
+		return appRun{app: minimd.App(mc, sink), checksum: sink.GlobalChecksum}, nil
+	default:
+		return appRun{}, fmt.Errorf("chaos: unknown app %q", cfg.App)
+	}
+}
+
+// RefCache lazily computes and caches the failure-free reference checksum
+// per (app, ranks, iters, interval) cell, by running the same application
+// under core.StrategyNone with no injection. Non-shrink chaos runs must
+// reproduce this answer bitwise.
+type RefCache struct {
+	mu   sync.Mutex
+	refs map[string]float64
+}
+
+// NewRefCache returns an empty reference cache.
+func NewRefCache() *RefCache { return &RefCache{refs: make(map[string]float64)} }
+
+// Checksum returns the failure-free global checksum for the cell.
+func (rc *RefCache) Checksum(cfg RunConfig) (float64, error) {
+	key := fmt.Sprintf("%s/%d/%d/%d", cfg.App, cfg.Ranks, cfg.Iters, cfg.Interval)
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if v, ok := rc.refs[key]; ok {
+		return v, nil
+	}
+	run, err := buildApp(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res := core.Run(
+		mpi.JobConfig{Ranks: cfg.Ranks, Seed: cfg.Seed},
+		core.Config{Strategy: core.StrategyNone, CheckpointInterval: cfg.Interval, CheckpointName: "chaos"},
+		run.app,
+	)
+	if res.Failed || res.Err() != nil {
+		return 0, fmt.Errorf("chaos: reference run failed: %v", res.Err())
+	}
+	v, err := run.checksum(cfg.Ranks)
+	if err != nil {
+		return 0, fmt.Errorf("chaos: reference checksum: %v", err)
+	}
+	rc.refs[key] = v
+	return v, nil
+}
+
+// DefaultTimeout is the real-time watchdog per run; the virtual-clock
+// simulation finishes in well under a second, so hitting it means a
+// deadlock in the stack under test.
+const DefaultTimeout = 30 * time.Second
+
+// RunOne executes one chaos run and checks every invariant, returning the
+// report. It never panics on invariant violations; they are recorded in
+// Report.Violations so a campaign can keep sweeping.
+func RunOne(cfg RunConfig, refs *RefCache, timeout time.Duration) *RunReport {
+	return RunOneStreaming(cfg, refs, timeout, nil)
+}
+
+// RunOneStreaming is RunOne with the run's structured event log streamed
+// to events as JSONL (obsreport's input format), for post-mortem analysis
+// of a replayed seed. A nil writer disables streaming.
+func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, events io.Writer) *RunReport {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	rep := &RunReport{RunConfig: cfg}
+	run, err := buildApp(cfg)
+	if err != nil {
+		rep.addViolation(err.Error())
+		return rep
+	}
+
+	inj := NewInjector(cfg.Schedule)
+	rec := obs.New()
+	job := mpi.JobConfig{
+		Ranks:        cfg.Ranks + cfg.Spares,
+		RanksPerNode: cfg.RanksPerNode,
+		Seed:         cfg.Seed,
+		Obs:          rec,
+		ObsStream:    events,
+		Inject:       inj,
+	}
+	ccfg := core.Config{
+		Strategy:           core.StrategyFenixKRVeloC,
+		Spares:             cfg.Spares,
+		ShrinkOnExhaustion: cfg.Shrink,
+		CheckpointInterval: cfg.Interval,
+		CheckpointName:     "chaos",
+	}
+
+	baseline := runtime.NumGoroutine()
+	done := make(chan *core.Result, 1)
+	go func() { done <- core.Run(job, ccfg, run.app) }()
+	var res *core.Result
+	select {
+	case res = <-done:
+	case <-time.After(timeout):
+		// Deadlock in the stack under test. The run's goroutines are still
+		// live, so do not touch the recorder (it is being written to);
+		// report the hang and bail.
+		rep.Hung = true
+		rep.addViolation(fmt.Sprintf("hang: run exceeded the %s watchdog", timeout))
+		return rep
+	}
+
+	rep.JobFailed = res.Failed
+	rep.Error = classifyErr(res.Err())
+	rep.WallSeconds = res.WallTime
+	rep.Launches = res.Launches
+	rep.KillsFired = inj.Fired()
+	rep.SpareKillsFired = inj.FiredSpare()
+
+	reg := rec.Registry()
+	rep.Injected = int(reg.CounterValue(obs.MFailuresInjected))
+	rep.Survived = int(reg.CounterValue(obs.MFailuresSurvived))
+	rep.Rebuilds = int(reg.CounterValue(obs.MRebuilds))
+	rep.SparesActivated = int(reg.CounterValue(obs.MSparesActivated))
+
+	arep, err := analyze.Analyze(rec.Events())
+	if err != nil {
+		rep.addViolation(fmt.Sprintf("analyze: %v", err))
+		return rep
+	}
+	rep.Repaired = arep.FailuresRepaired
+	rep.Unrepaired = arep.FailuresUnrepaired
+	for _, sp := range arep.Spans {
+		slots := append([]int(nil), sp.FailedSlots...)
+		// Simultaneous kills (correlated node loss) land at the same
+		// virtual time and their event order is scheduling-dependent; sort
+		// so the report is byte-stable across replays.
+		sort.Ints(slots)
+		rep.Spans = append(rep.Spans, SpanBrief{
+			Kind: sp.Kind, Generation: sp.Generation, FailedSlots: slots,
+			Replaced: sp.Replaced, Shrunk: sp.Shrunk,
+			Start: sp.Start, End: sp.End,
+		})
+		rep.Shrunk += sp.Shrunk
+	}
+	rep.FinalSize = cfg.Ranks - rep.Shrunk
+
+	checkInvariants(rep, cfg, arep, refs, run)
+	checkGoroutines(rep, baseline)
+	return rep
+}
+
+func classifyErr(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, fenix.ErrOutOfSpares):
+		return "out-of-spares"
+	case errors.Is(err, fenix.ErrNoSurvivors):
+		return "no-survivors"
+	default:
+		return err.Error()
+	}
+}
+
+// checkInvariants cross-checks the outcome, the obs counters, the span
+// analyzer, and the application answer against what the schedule demands.
+func checkInvariants(rep *RunReport, cfg RunConfig, arep *analyze.Report, refs *RefCache, run appRun) {
+	v := rep.addViolation
+
+	// Outcome matches intent.
+	if cfg.ExpectFail {
+		if !rep.JobFailed {
+			v("schedule exhausts spares with shrink disabled, but the job succeeded")
+		}
+		if rep.Error != "out-of-spares" {
+			v(fmt.Sprintf("expected out-of-spares failure, got error %q", rep.Error))
+		}
+	} else {
+		if rep.JobFailed || rep.Error != "" {
+			v(fmt.Sprintf("job failed (error %q); every failure should have been survivable", rep.Error))
+		}
+	}
+	if rep.Launches != 1 {
+		v(fmt.Sprintf("launches = %d; ULFM recovery must not relaunch", rep.Launches))
+	}
+
+	// Every scheduled kill fired (campaign schedules are designed so each
+	// kill's execution point is reached).
+	if rep.KillsFired != len(cfg.Schedule.Kills) {
+		v(fmt.Sprintf("fired %d of %d scheduled kills", rep.KillsFired, len(cfg.Schedule.Kills)))
+	}
+
+	// Failure accounting reconciles across layers:
+	// injector == failures_injected_total == analyzer, and every injected
+	// failure is either repaired or (only in expect-fail runs) unrepaired.
+	wantInjected := rep.KillsFired - rep.SpareKillsFired
+	if rep.Injected != wantInjected {
+		v(fmt.Sprintf("%s = %d, but the injector fired %d non-spare kills", obs.MFailuresInjected, rep.Injected, wantInjected))
+	}
+	if arep.FailuresInjected != rep.Injected {
+		v(fmt.Sprintf("analyzer saw %d injected failures, counter says %d", arep.FailuresInjected, rep.Injected))
+	}
+	if arep.SpareKills != rep.SpareKillsFired {
+		v(fmt.Sprintf("analyzer saw %d spare kills, injector fired %d", arep.SpareKills, rep.SpareKillsFired))
+	}
+	if rep.Injected != rep.Repaired+rep.Unrepaired {
+		v(fmt.Sprintf("injected %d != repaired %d + unrepaired %d", rep.Injected, rep.Repaired, rep.Unrepaired))
+	}
+	if rep.Repaired != rep.Survived {
+		v(fmt.Sprintf("analyzer repaired %d, %s = %d", rep.Repaired, obs.MFailuresSurvived, rep.Survived))
+	}
+	if !cfg.ExpectFail && rep.Unrepaired != 0 {
+		v(fmt.Sprintf("%d failures unrepaired in a run that should survive everything", rep.Unrepaired))
+	}
+
+	// Span reconstruction reconciles with the Fenix layer's own counters.
+	if len(rep.Spans) != rep.Rebuilds {
+		v(fmt.Sprintf("analyzer reconstructed %d spans, %s = %d", len(rep.Spans), obs.MRebuilds, rep.Rebuilds))
+	}
+	replaced := 0
+	for _, sp := range rep.Spans {
+		if sp.Kind != "fenix" {
+			v(fmt.Sprintf("span kind %q; ULFM recovery must not produce relaunch spans", sp.Kind))
+		}
+		replaced += sp.Replaced
+	}
+	if replaced != rep.SparesActivated {
+		v(fmt.Sprintf("spans replaced %d slots, %s = %d", replaced, obs.MSparesActivated, rep.SparesActivated))
+	}
+	if cfg.ExpectFail {
+		return // no final answer to check
+	}
+
+	// The application answer: non-shrink runs must reproduce the
+	// failure-free reference bitwise; shrink runs must cover exactly the
+	// compacted rank set with a finite answer.
+	sum, err := run.checksum(rep.FinalSize)
+	if err != nil {
+		v(fmt.Sprintf("result coverage: %v (final size %d)", err, rep.FinalSize))
+		return
+	}
+	rep.Checksum = sum
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		v(fmt.Sprintf("global checksum is not finite: %v", sum))
+	}
+	if rep.Shrunk == 0 {
+		ref, err := refs.Checksum(cfg)
+		if err != nil {
+			v(err.Error())
+		} else if sum != ref {
+			v(fmt.Sprintf("checksum %v differs from failure-free reference %v", sum, ref))
+		}
+	}
+}
+
+// checkGoroutines verifies the run leaked no goroutines: every rank, spare,
+// and helper goroutine must have unwound once the job returned.
+func checkGoroutines(rep *RunReport, baseline int) {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		// The runner's own watchdog goroutine has already exited (buffered
+		// send); anything above the pre-run baseline is a leak in the stack
+		// under test.
+		n := runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			rep.addViolation(fmt.Sprintf("goroutine leak: %d alive, %d before the run", n, baseline))
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

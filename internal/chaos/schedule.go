@@ -1,0 +1,70 @@
+// Package chaos is a seeded, reproducible adversarial fault-injection
+// engine for the integrated resilience stack. It generalizes the harness's
+// core.FailurePlan (which can only kill a logical rank at an iteration
+// boundary) to kills at arbitrary named execution points inside the MPI,
+// Fenix, KR, and VeloC layers — inside checkpoint regions, during
+// asynchronous flush windows, while a rebuild is in progress (nested
+// failures), while a spare is still blocked in Fenix initialization — plus
+// correlated node-loss kills and kill storms that exhaust the spare pool.
+//
+// Every run is driven purely by (seed, schedule) and the simulation's
+// virtual clocks, so any campaign finding is replayed exactly by re-running
+// its seed. After each run the engine checks cross-layer invariants: the
+// job outcome matches the schedule's intent, failure accounting reconciles
+// across the obs counters and the span analyzer, non-shrink runs reproduce
+// the failure-free answer bitwise, and no goroutines leak.
+package chaos
+
+// Injection point names, matching the mpi.Injector points threaded through
+// the resilience layers (each layer documents its own call site).
+const (
+	// PointCollective is visited on entry to every MPI collective.
+	PointCollective = "mpi.collective"
+	// PointIteration is visited at every core.Session.Checkpoint entry,
+	// after FailurePlan dispatch — one visit per protected iteration.
+	PointIteration = "core.iteration"
+	// PointKRRegion is visited at every kr.Context.Checkpoint entry.
+	PointKRRegion = "kr.region"
+	// PointKRCommit is visited just before the KR layer hands a serialized
+	// checkpoint to the data backend (checkpoint iterations only).
+	PointKRCommit = "kr.commit"
+	// PointVeloCCheckpoint is visited at veloc.Client.Checkpoint entry.
+	PointVeloCCheckpoint = "veloc.checkpoint"
+	// PointVeloCFlush is visited while the checkpoint's asynchronous PFS
+	// flush window is still open.
+	PointVeloCFlush = "veloc.flush"
+	// PointFenixRecover is visited when a survivor enters Fenix recovery,
+	// before it revokes the communicator — a kill here is a nested failure
+	// folded into the in-progress rebuild.
+	PointFenixRecover = "fenix.recover"
+	// PointFenixSpareWait is visited by a spare just before it registers as
+	// an activation waiter — a kill here models a spare lost while blocked
+	// in Fenix initialization.
+	PointFenixSpareWait = "fenix.spare_wait"
+	// PointFenixSpareActivate is visited by a freshly activated spare — a
+	// kill here is a member failure immediately after substitution.
+	PointFenixSpareActivate = "fenix.spare_activate"
+)
+
+// Kill schedules one process kill: world rank Rank exits on its Hit-th
+// visit (0-based, counted per rank per point across the whole job) of the
+// named injection point.
+type Kill struct {
+	Rank  int    `json:"rank"`
+	Point string `json:"point"`
+	Hit   int    `json:"hit"`
+	// NodeCrash additionally destroys the victim's node storage
+	// (mpi.Proc.CrashNode): node-local scratch is lost and in-flight
+	// checkpoint flushes by the node's ranks never complete on the PFS.
+	NodeCrash bool `json:"node_crash,omitempty"`
+}
+
+// Spare reports whether this kill targets a spare that has not yet joined
+// the resilient communicator; such kills are not failures the repair
+// protocol must survive and are accounted separately.
+func (k Kill) Spare() bool { return k.Point == PointFenixSpareWait }
+
+// Schedule is one run's complete kill plan.
+type Schedule struct {
+	Kills []Kill `json:"kills"`
+}

@@ -171,13 +171,21 @@ func (n *Node) ScratchClear() {
 // is performed by the simulated VeloC server thread; only the returned
 // completion time matters for later reads and congestion.
 func (n *Node) FlushAsync(key, pfsKey string, start float64) (end float64, err error) {
+	return n.FlushAsyncFor(key, pfsKey, start, NoOwner)
+}
+
+// FlushAsyncFor is FlushAsync with the write attributed to an owner (a
+// world rank). If the owner process fails before the returned completion
+// time, PFS.FailPending marks the write incomplete and it never becomes
+// readable — the flush was interrupted by the failure.
+func (n *Node) FlushAsyncFor(key, pfsKey string, start float64, owner int) (end float64, err error) {
 	n.mu.Lock()
 	s, ok := n.scratch[key]
 	n.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("cluster: flush of missing scratch key %q on node %d", key, n.id)
 	}
-	end = n.pfs.WriteSized(pfsKey, s.data, start, s.simBytes)
+	end = n.pfs.WriteSizedFor(pfsKey, s.data, start, s.simBytes, owner)
 	n.mu.Lock()
 	n.flushes = append(n.flushes, window{start: start, end: end})
 	// Prune windows that ended well before the new flush began to bound
@@ -238,11 +246,21 @@ func (n *Node) LastFlushEnd() float64 {
 	return end
 }
 
+// NoOwner marks a PFS write not attributed to any process; it can never be
+// interrupted by a failure.
+const NoOwner = -1
+
 // file is a PFS object: contents plus the virtual time it becomes readable.
+// owner is the world rank whose server wrote it (NoOwner if unattributed);
+// incomplete marks a write whose owner failed before availableAt — the
+// file exists in the namespace but its contents are not trustworthy, so
+// readers treat it as absent.
 type file struct {
 	data        []byte
 	simBytes    int
 	availableAt float64
+	owner       int
+	incomplete  bool
 }
 
 // PFS is the shared parallel file system.
@@ -270,6 +288,12 @@ func (p *PFS) Write(key string, data []byte, start float64) (end float64) {
 // WriteSized is Write with the cost model charged for simBytes instead of
 // the real buffer length.
 func (p *PFS) WriteSized(key string, data []byte, start float64, simBytes int) (end float64) {
+	return p.WriteSizedFor(key, data, start, simBytes, NoOwner)
+}
+
+// WriteSizedFor is WriteSized with the write attributed to an owner world
+// rank, allowing FailPending to invalidate it if the owner dies mid-write.
+func (p *PFS) WriteSizedFor(key string, data []byte, start float64, simBytes int, owner int) (end float64) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 
@@ -298,10 +322,38 @@ func (p *PFS) WriteSized(key string, data []byte, start float64, simBytes int) (
 		p.active = kept
 	}
 
-	if existing, ok := p.files[key]; !ok || end >= existing.availableAt {
-		p.files[key] = file{data: cp, simBytes: simBytes, availableAt: end}
+	if existing, ok := p.files[key]; !ok || existing.incomplete || end >= existing.availableAt {
+		p.files[key] = file{data: cp, simBytes: simBytes, availableAt: end, owner: owner}
 	}
 	return end
+}
+
+// FailPending marks every still-in-flight write owned by the given world
+// rank incomplete, as of the owner's death time t: a write whose
+// availability lies in the future was being performed by the owner's
+// (now dead) node server and never finishes. Incomplete files are
+// invisible to Read/Exists/SimBytesOf; restore paths must fall back to an
+// older complete version.
+func (p *PFS) FailPending(owner int, t float64) {
+	if owner == NoOwner {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, f := range p.files {
+		if f.owner == owner && !f.incomplete && f.availableAt > t {
+			f.incomplete = true
+			p.files[key] = f
+		}
+	}
+}
+
+// Incomplete reports whether key names a write that was interrupted by its
+// owner's failure (for tests and invariant checks).
+func (p *PFS) Incomplete(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.files[key].incomplete
 }
 
 // Read returns a copy of the data under key. ready is the virtual time at
@@ -312,7 +364,7 @@ func (p *PFS) Read(key string, start float64) (data []byte, ready float64, ok bo
 	p.mu.Lock()
 	f, ok := p.files[key]
 	p.mu.Unlock()
-	if !ok {
+	if !ok || f.incomplete {
 		return nil, 0, false
 	}
 	begin := start
@@ -331,7 +383,7 @@ func (p *PFS) SimBytesOf(key string) (simBytes int, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, ok := p.files[key]
-	return f.simBytes, ok
+	return f.simBytes, ok && !f.incomplete
 }
 
 // Exists reports whether key is present (regardless of availability time)
@@ -340,7 +392,7 @@ func (p *PFS) Exists(key string) (availableAt float64, ok bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, ok := p.files[key]
-	return f.availableAt, ok
+	return f.availableAt, ok && !f.incomplete
 }
 
 // Delete removes key.

@@ -278,6 +278,85 @@ func TestObsFailureStorm(t *testing.T) {
 	}
 }
 
+// TestObsFailureStormShrink extends the storm matrix past spare
+// exhaustion: three kills against a single spare with ShrinkOnExhaustion
+// enabled. The first failure is repaired by substitution, the next two by
+// compacting the communicator, and the span reconstruction must tell
+// exactly that story — one span per rebuild with correct Replaced/Shrunk
+// disposition — while the job still completes on the smaller world.
+func TestObsFailureStormShrink(t *testing.T) {
+	rec := obs.New()
+	sink := newSink()
+	cfg := Config{
+		Strategy:           StrategyFenixKRVeloC,
+		Spares:             1,
+		ShrinkOnExhaustion: true,
+		CheckpointInterval: 5,
+		CheckpointName:     "mini",
+		Failures: []*FailurePlan{
+			{Slot: 1, Iteration: 8},  // repaired by the only spare
+			{Slot: 3, Iteration: 14}, // pool exhausted: shrink to 3 slots
+			{Slot: 2, Iteration: 18}, // shrink again to 2 slots
+		},
+	}
+	job := mpi.JobConfig{Ranks: tRanks + 1, Machine: quietMachine(), Seed: 13, Obs: rec}
+	res := Run(job, cfg, miniApp(tIters, tVecLen, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("shrink storm failed: %v (launches %d)", res.Err(), res.Launches)
+	}
+	for i, fp := range cfg.Failures {
+		if !fp.Fired() {
+			t.Fatalf("failure plan %d never fired", i)
+		}
+	}
+	// The compacted world has two slots left; both must deliver a final
+	// result (the values legitimately differ from the 4-rank reference:
+	// the app folds an allreduce over the live communicator into its data).
+	for r := 0; r < tRanks-2; r++ {
+		if sink.get(r) == nil {
+			t.Errorf("slot %d produced no result after shrink", r)
+		}
+	}
+
+	rep, err := analyze.Analyze(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rec.Registry()
+	if got := int(reg.CounterValue(obs.MRebuilds)); got != 3 {
+		t.Errorf("rebuilds = %d, want 3", got)
+	}
+	if len(rep.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(rep.Spans))
+	}
+	wantDisposition := []struct{ replaced, shrunk int }{{1, 0}, {0, 1}, {0, 1}}
+	for i, sp := range rep.Spans {
+		if sp.Kind != "fenix" {
+			t.Errorf("span %d kind = %q, want fenix", i, sp.Kind)
+		}
+		if sp.Replaced != wantDisposition[i].replaced || sp.Shrunk != wantDisposition[i].shrunk {
+			t.Errorf("span %d disposed (replaced %d, shrunk %d), want (%d, %d)",
+				i, sp.Replaced, sp.Shrunk, wantDisposition[i].replaced, wantDisposition[i].shrunk)
+		}
+		if i > 0 && sp.Generation <= rep.Spans[i-1].Generation {
+			t.Errorf("span %d generation %d not increasing", i, sp.Generation)
+		}
+	}
+	if rep.FailuresInjected != 3 || rep.FailuresRepaired != 3 || rep.FailuresUnrepaired != 0 {
+		t.Errorf("injected %d repaired %d unrepaired %d, want 3/3/0",
+			rep.FailuresInjected, rep.FailuresRepaired, rep.FailuresUnrepaired)
+	}
+	if got := reg.CounterValue(obs.MFailuresSurvived); got != 3 {
+		t.Errorf("%s = %v, want 3", obs.MFailuresSurvived, got)
+	}
+	if got := reg.CounterValue(obs.MSparesActivated); got != 1 {
+		t.Errorf("%s = %v, want 1 (the other two failures shrank the world)", obs.MSparesActivated, got)
+	}
+	if got := reg.CounterValue(obs.MShrinks); got < 2 {
+		t.Errorf("%s = %v, want >= 2", obs.MShrinks, got)
+	}
+}
+
 // TestObsDisabledRunsClean checks a job with no recorder still runs (the
 // nil no-op path through every instrumentation site).
 func TestObsDisabledRunsClean(t *testing.T) {

@@ -80,7 +80,7 @@ func runRank(p *mpi.Proc, cfg *Config, prog *progress, app App) error {
 	}
 
 	var held *Session // survives Fenix re-entries for survivors
-	return fenix.Run(p, fenix.Config{Spares: cfg.Spares}, func(fctx *fenix.Context) error {
+	return fenix.Run(p, fenix.Config{Spares: cfg.Spares, ShrinkOnExhaustion: cfg.ShrinkOnExhaustion}, func(fctx *fenix.Context) error {
 		s, err := sessionForEntry(held, fctx, cfg, prog)
 		if err != nil {
 			return err

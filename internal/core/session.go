@@ -38,6 +38,10 @@ type Config struct {
 	// Spares is the number of spare ranks Fenix holds out (Fenix
 	// strategies only).
 	Spares int
+	// ShrinkOnExhaustion, when true, lets Fenix continue with a smaller
+	// resilient communicator once the spare pool is exhausted instead of
+	// failing the job (Fenix strategies only).
+	ShrinkOnExhaustion bool
 	// CheckpointInterval checkpoints every k-th iteration.
 	CheckpointInterval int
 	// CheckpointName names the checkpoint set.
@@ -199,6 +203,7 @@ func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body f
 			s.p.Exit()
 		}
 	}
+	s.p.Inject("core.iteration")
 	if s.prog != nil {
 		re := s.prog.isRecompute(slot, iter)
 		// Under partial rollback survivors never roll their data back, so

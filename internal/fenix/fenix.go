@@ -63,6 +63,12 @@ func (r Role) String() string {
 // remain (and shrinking is not enabled).
 var ErrOutOfSpares = errors.New("fenix: no spare ranks remain")
 
+// ErrNoSurvivors is returned to blocked spares when every active rank has
+// failed without finalizing: no survivor remains to run the recovery
+// protocol, so the spares can never be activated and the job cannot
+// complete.
+var ErrNoSurvivors = errors.New("fenix: all active ranks failed with no survivor to run recovery")
+
 // Config configures Fenix initialization.
 type Config struct {
 	// Spares is the number of world ranks held out of the resilient
@@ -219,13 +225,29 @@ func (rt *runtime) jobDoneLocked() bool {
 	return true
 }
 
-// releaseSparesLocked unblocks all waiting spares with an inactive result.
-// Caller holds rt.mu.
-func (rt *runtime) releaseSparesLocked() {
+// releaseSparesLocked unblocks all waiting spares with an inactive result
+// carrying err (nil for a clean job completion). Caller holds rt.mu.
+func (rt *runtime) releaseSparesLocked(err error) {
 	for wr, ch := range rt.waiters {
 		delete(rt.waiters, wr)
-		ch <- sparse{}
+		ch <- sparse{err: err}
 	}
+}
+
+// memberDiedUnfinalizedLocked reports whether any current member of the
+// resilient communicator died before finalizing its body — work that will
+// never be repaired once no live member remains. Caller holds rt.mu.
+func (rt *runtime) memberDiedUnfinalizedLocked() bool {
+	deadSet := make(map[int]bool)
+	for _, wr := range rt.world.DeadRanks() {
+		deadSet[wr] = true
+	}
+	for _, wr := range rt.slots {
+		if deadSet[wr] && !rt.finalized[wr] {
+			return true
+		}
+	}
+	return false
 }
 
 // sparse is the activation message delivered to a blocked spare. The spare
@@ -275,10 +297,32 @@ func runtimeFor(w *mpi.World, cfg Config) (*runtime, error) {
 	if !loaded {
 		// Re-evaluate pending repairs whenever a failure occurs: a rank
 		// dying mid-recovery must not leave the repair waiting for it.
-		w.RegisterDeathHook(func(int) {
+		w.RegisterDeathHook(func(wr int) {
 			got.mu.Lock()
+			// A dead spare can never be activated: prune it from the pool
+			// and drop its waiter entry so repairs neither wait for its
+			// registration nor substitute a corpse into the communicator.
+			for i, sp := range got.spares {
+				if sp == wr {
+					got.spares = append(got.spares[:i], got.spares[i+1:]...)
+					break
+				}
+			}
+			delete(got.waiters, wr)
 			for _, r := range got.repairs {
 				got.tryCompleteRepairLocked(r)
+			}
+			if got.jobDoneLocked() {
+				// Every member slot is finalized or dead, so blocked spares
+				// can never be activated. If a member died without
+				// finalizing there is no survivor left to run recovery:
+				// fail the spares so the job reports the loss instead of
+				// deadlocking (or silently succeeding with missing work).
+				var err error
+				if got.memberDiedUnfinalizedLocked() {
+					err = ErrNoSurvivors
+				}
+				got.releaseSparesLocked(err)
 			}
 			got.mu.Unlock()
 		})
@@ -323,6 +367,17 @@ func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
 		rt.mu.Unlock()
 		return nil, false, nil
 	}
+	rt.mu.Unlock()
+	// Injection point preceding waiter registration: a spare killed here
+	// models one lost while blocked in Fenix_Init. Because it has not yet
+	// registered, no repair can have selected it; the death hook prunes it
+	// from the spare pool, so repairs deterministically pass over it.
+	p.Inject("fenix.spare_wait")
+	rt.mu.Lock()
+	if rt.jobDoneLocked() {
+		rt.mu.Unlock()
+		return nil, false, nil
+	}
 	ch := make(chan sparse, 1)
 	rt.waiters[p.Rank()] = ch
 	// A pending repair may have been waiting for this spare to register.
@@ -343,6 +398,10 @@ func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
 		obs.KV("from", "spare"), obs.KV("to", RoleRecovered.String()),
 		obs.KV("logical_rank", act.ctx.logicalRank), obs.KV("generation", act.ctx.gen))
 	p.Obs().Registry().Counter(obs.MSparesActivated).Inc()
+	// A kill here models a replacement process failing immediately after
+	// activation — it is already a communicator member, so its death is a
+	// fresh member failure the survivors must repair.
+	p.Inject("fenix.spare_activate")
 	return act.ctx, true, nil
 }
 
@@ -361,7 +420,7 @@ func (rt *runtime) finalize(ctx *Context) {
 		rt.tryCompleteRepairLocked(r)
 	}
 	if rt.jobDoneLocked() {
-		rt.releaseSparesLocked()
+		rt.releaseSparesLocked(nil)
 	}
 }
 
@@ -369,6 +428,11 @@ func (rt *runtime) finalize(ctx *Context) {
 // revoke, repair rendezvous, communicator substitution, clock sync.
 func (rt *runtime) recover(ctx *Context) error {
 	p := ctx.p
+
+	// A kill here models a nested failure: a survivor dying on its way into
+	// an in-progress rebuild. The repair rendezvous waits for every live
+	// member's arrival, so this death is folded into the same repair.
+	p.Inject("fenix.recover")
 
 	// Propagate the failure: revoke the resilient communicator so every
 	// rank blocked in an operation on it reaches its own recover call.
@@ -437,10 +501,20 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 	// activate has registered its waiter: the repair must not outrun the
 	// spares still blocking into Fenix initialization.
 	needed := 0
+	var deadMembers []int
 	for _, wr := range rt.slots {
 		if deadSet[wr] {
 			needed++
+			deadMembers = append(deadMembers, wr)
 		}
+	}
+	// A repair cannot complete before every death it disposes of was
+	// detectable. Survivor arrivals usually dominate (they waited out the
+	// detection latency before revoking), but a member that dies mid-repair
+	// — a nested failure folded into this rebuild — can die after every
+	// survivor arrived, and the rebuild stamp must not precede it.
+	if floor := rt.world.DetectionFloor(deadMembers); floor > maxClock {
+		maxClock = floor
 	}
 	avail := len(rt.spares)
 	if avail > needed {
@@ -471,12 +545,12 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 			r.err = ErrOutOfSpares
 			rt.gen++
 			close(r.done)
-			// Release blocked spares (none remain, but be thorough) and
-			// fail them too.
-			for wr, ch := range rt.waiters {
-				delete(rt.waiters, wr)
-				ch <- sparse{err: ErrOutOfSpares}
-			}
+			// The repairs entry is deliberately KEPT: survivors racing into
+			// recover for this generation must find the failed repair (and
+			// its closed done channel) rather than create a fresh one that
+			// can never complete. Release blocked spares (none remain, but
+			// be thorough) and fail them too.
+			rt.releaseSparesLocked(ErrOutOfSpares)
 			return
 		}
 	}
@@ -506,6 +580,15 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 	// repair is a collective outcome, not one rank's act), stamped with the
 	// post-repair synchronization time.
 	if rec := rt.world.Obs(); rec.Enabled() {
+		if len(shrunkOut) > 0 {
+			// Spare-pool exhaustion compacted the communicator: surface the
+			// implicit MPIX_Comm_shrink the rebuild performed, as a single
+			// world-level event (rank -1), mirroring the explicit collective.
+			rec.Emit(syncTime, -1, obs.LayerMPI, obs.EvShrink,
+				obs.KV("from_size", len(newSlots)+len(shrunkOut)),
+				obs.KV("to_size", len(newSlots)))
+			rec.Registry().Counter(obs.MShrinks).Inc()
+		}
 		rec.Emit(syncTime, -1, obs.LayerFenix, obs.EvFenixRebuild,
 			obs.KV("generation", rt.gen),
 			obs.KV("replaced", len(activated)),

@@ -1,6 +1,8 @@
 package fenix
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -124,4 +126,141 @@ func TestRecoveredRankFailsAgain(t *testing.T) {
 		return nil
 	})
 	checkNoErrs(t, errs)
+}
+
+// testInjector kills ranks at named injection points: a minimal in-package
+// stand-in for the chaos engine's injector (importing internal/chaos here
+// would cycle).
+type testInjector struct {
+	mu    sync.Mutex
+	seen  map[string]map[int]int // point -> world rank -> visits so far
+	kills map[string]map[int]int // point -> world rank -> visit to kill at
+	spare map[int]bool           // world ranks whose kill is a spare kill
+}
+
+func (ti *testInjector) At(p *mpi.Proc, point string) {
+	ti.mu.Lock()
+	if ti.seen == nil {
+		ti.seen = map[string]map[int]int{}
+	}
+	if ti.seen[point] == nil {
+		ti.seen[point] = map[int]int{}
+	}
+	n := ti.seen[point][p.Rank()]
+	ti.seen[point][p.Rank()] = n + 1
+	hit, kill := 0, false
+	if m := ti.kills[point]; m != nil {
+		hit, kill = m[p.Rank()], true
+		if _, ok := m[p.Rank()]; !ok {
+			kill = false
+		}
+	}
+	ti.mu.Unlock()
+	if kill && hit == n {
+		p.ExitInjected(point, ti.spare[p.Rank()])
+	}
+}
+
+// runFenixInject is runFenix with a fault injector installed on the world.
+func runFenixInject(n int, cfg Config, inj mpi.Injector, body Body) ([]error, *mpi.World) {
+	w := newWorld(n)
+	w.SetInjector(inj)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(p *mpi.Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if fmt.Sprintf("%T", r) != "mpi.processKilled" {
+						panic(r)
+					}
+				}
+			}()
+			errs[p.Rank()] = Run(p, cfg, body)
+		}(w.Proc(i))
+	}
+	wg.Wait()
+	return errs, w
+}
+
+// TestSpareKilledWhileBlockedInInit kills a spare while it is still
+// blocked inside Fenix initialization, then a member. The dead spare must
+// be pruned from the pool (never selected for activation), the surviving
+// spare must repair the member failure, and nothing may hang.
+func TestSpareKilledWhileBlockedInInit(t *testing.T) {
+	inj := &testInjector{
+		kills: map[string]map[int]int{"fenix.spare_wait": {4: 0}},
+		spare: map[int]bool{4: true},
+	}
+	errs, _ := runFenixInject(6, Config{Spares: 2}, inj, func(ctx *Context) error {
+		if ctx.Role() == RoleInitial && ctx.p.Rank() == 1 {
+			ctx.p.Exit()
+		}
+		sum, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if ctx.Size() != 4 {
+			t.Errorf("size = %d after repair, want 4", ctx.Size())
+		}
+		if sum != 4 {
+			t.Errorf("allreduce = %d, want 4", sum)
+		}
+		if ctx.Role() == RoleRecovered && ctx.p.Rank() != 5 {
+			t.Errorf("world rank %d activated; the dead spare 4 must be skipped", ctx.p.Rank())
+		}
+		return nil
+	})
+	checkNoErrs(t, errs, 1, 4)
+}
+
+// TestSpareKilledNoFailures kills a blocked spare in an otherwise
+// failure-free run: a dead spare is not an application failure, so the job
+// must still complete cleanly and release the remaining spare with no
+// error.
+func TestSpareKilledNoFailures(t *testing.T) {
+	inj := &testInjector{
+		kills: map[string]map[int]int{"fenix.spare_wait": {4: 0}},
+		spare: map[int]bool{4: true},
+	}
+	errs, _ := runFenixInject(6, Config{Spares: 2}, inj, func(ctx *Context) error {
+		sum, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		if sum != 4 {
+			t.Errorf("allreduce = %d, want 4", sum)
+		}
+		return nil
+	})
+	checkNoErrs(t, errs, 4)
+}
+
+// TestOutOfSparesWithConcurrentFailure drives spare exhaustion while yet
+// another member dies on its way into the failing repair: two members die
+// together against one spare, and a third member is killed the moment it
+// enters recovery. The repair must fail every participant with
+// ErrOutOfSpares — including the blocked spare — and must not hang or
+// leave a survivor waiting on a repair that can never complete.
+func TestOutOfSparesWithConcurrentFailure(t *testing.T) {
+	inj := &testInjector{
+		kills: map[string]map[int]int{"fenix.recover": {3: 0}},
+	}
+	errs, _ := runFenixInject(5, Config{Spares: 1}, inj, func(ctx *Context) error {
+		if ctx.Role() == RoleInitial && (ctx.p.Rank() == 0 || ctx.p.Rank() == 2) {
+			ctx.p.Exit()
+		}
+		_, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum)
+		return err
+	})
+	// Ranks 0 and 2 were killed outright; rank 3 was killed entering
+	// recovery. The remaining member (1) and the spare (4) must both see
+	// the exhaustion, not a hang or a nil.
+	for _, wr := range []int{1, 4} {
+		if !errors.Is(errs[wr], ErrOutOfSpares) {
+			t.Errorf("rank %d: err = %v, want ErrOutOfSpares", wr, errs[wr])
+		}
+	}
 }

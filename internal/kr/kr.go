@@ -188,6 +188,7 @@ func (c *Context) DeclareAliases(primary, alias string) {
 //   - If the iteration matches the checkpoint filter, the captured views
 //     are serialized and handed to the data backend.
 func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body func() error) error {
+	c.p.Inject("kr.region")
 	cap := CensusOf(views, c.aliases)
 	c.census = cap
 	c.p.ChargeTime(trace.ResilienceInit, perRegionOverhead+perViewOverhead*float64(len(views)))
@@ -244,6 +245,9 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 		c.p.Event(obs.LayerKR, obs.EvKRCheckpointBegin,
 			obs.KV("label", label), obs.KV("version", iter),
 			obs.KV("views", len(cap.checkpointed)), obs.KV("bytes", simBytes))
+		// A kill here models a failure inside the checkpoint region after
+		// the body ran but before the data backend commits the version.
+		c.p.Inject("kr.commit")
 		if err := c.backend.Checkpoint(iter, blob, simBytes); err != nil {
 			return err
 		}

@@ -58,8 +58,12 @@ func (r *rendezvous) finishLocked(syncTime float64) {
 	close(r.done)
 }
 
-// tryCompleteLocked completes the rendezvous if every live member has
-// arrived. Caller holds world.mu.
+// tryCompleteLocked completes the rendezvous once every member is
+// accounted for: arrived, dead, or — for regular (non-tolerant)
+// collectives — departed from the communicator. Tolerant collectives
+// (Shrink/Agree) ignore departures: a member that abandoned the comm after
+// an error still participates in the recovery-side agreement, as in ULFM.
+// Caller holds world.mu.
 func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 	if r.completed {
 		return
@@ -75,14 +79,27 @@ func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 	if len(alive) == 0 {
 		return
 	}
+	departStamp, hasDeparted := 0.0, false
 	for _, wr := range alive {
-		if _, ok := r.arrivals[wr]; !ok {
-			return
+		if _, ok := r.arrivals[wr]; ok {
+			continue
 		}
+		if !r.tolerant {
+			if t, ok := r.comm.departed[wr]; ok {
+				hasDeparted = true
+				if t > departStamp {
+					departStamp = t
+				}
+				continue
+			}
+		}
+		return
 	}
 	r.deadAtEnd = dead
 	if !r.tolerant && len(dead) > 0 {
 		r.err = newFailedError(dead)
+	} else if hasDeparted {
+		r.err = ErrRevoked
 	}
 	maxClock, congested, bytes := 0.0, false, 0
 	for _, a := range r.arrivals {
@@ -105,6 +122,9 @@ func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 			end = floor
 		}
 	}
+	if hasDeparted && departStamp > end {
+		end = departStamp
+	}
 	delete(w.colls, key)
 	r.finishLocked(end)
 }
@@ -113,6 +133,7 @@ func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 // completed rendezvous. payload is this process's contribution; bytes is
 // its wire size for the cost model.
 func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rendezvous, error) {
+	p.Inject("mpi.collective")
 	commRank := c.checkMember(p, "collective")
 	// Tolerant collectives (Shrink/Agree) use a separate sequence space:
 	// after a failure, survivors reach them having executed different
@@ -122,14 +143,20 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 		seqSpace = -c.id
 	}
 	seq := p.nextSeq(seqSpace)
-	if c.revoked.Load() && !tolerant {
-		return nil, p.failMPI(ErrRevoked)
-	}
 	key := collKey{comm: seqSpace, seq: seq}
 	start := p.clock.Now()
 
 	w := c.world
 	w.mu.Lock()
+	if !tolerant {
+		// A process that has itself departed the communicator (its last
+		// MPI error, or its own Revoke) fails fast; whether *other*
+		// members departed is resolved by the rendezvous, deterministically.
+		if _, gone := c.departed[p.rank]; gone {
+			w.mu.Unlock()
+			return nil, p.failMPI(ErrRevoked)
+		}
+	}
 	r, ok := w.colls[key]
 	if !ok {
 		r = &rendezvous{
@@ -159,7 +186,7 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 	p.clock.AdvanceTo(r.syncTime)
 	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
 	if r.err != nil {
-		return nil, p.failMPI(r.err)
+		return nil, c.fail(p, r.err)
 	}
 	return r, nil
 }
@@ -202,7 +229,7 @@ func (c *Comm) Bcast(p *Proc, root int, data []byte) ([]byte, error) {
 	rootW := c.WorldRank(root)
 	a, ok := r.arrivals[rootW]
 	if !ok || a.payload == nil {
-		return nil, p.failMPI(newFailedError([]int{rootW}))
+		return nil, c.fail(p, newFailedError([]int{rootW}))
 	}
 	src := a.payload.([]byte)
 	out := make([]byte, len(src))

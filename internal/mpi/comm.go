@@ -19,6 +19,12 @@ type Comm struct {
 	group   []int // comm rank -> world rank
 	index   map[int]int
 	revoked atomic.Bool
+	// departed maps world rank -> the virtual time at which that member
+	// abandoned the communicator (its last MPI error, or its own Revoke).
+	// Guarded by world.mu. Operations blocked on a departed member are
+	// released with ErrRevoked at the departure stamp, which keeps failure
+	// propagation deterministic in virtual time (see Comm.fail).
+	departed map[int]float64
 }
 
 // Size returns the number of processes in the communicator.
@@ -54,6 +60,82 @@ func (c *Comm) Group() []int {
 // Revoked reports whether the communicator has been revoked.
 func (c *Comm) Revoked() bool { return c.revoked.Load() }
 
+// recvGiveUp decides whether a receive blocked on world rank srcW can
+// still be satisfied. It returns a non-nil error — and the virtual time at
+// which the failure becomes observable — once srcW has died (FailedError
+// at the detection floor) or departed the communicator (ErrRevoked at the
+// departure stamp). Both conditions are functions of srcW's own program
+// order and virtual clock, so the receiver's outcome does not depend on
+// real-time goroutine scheduling.
+func (c *Comm) recvGiveUp(srcW int) (error, float64) {
+	w := c.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead[srcW] {
+		return newFailedError([]int{srcW}), w.detectionFloorLocked([]int{srcW})
+	}
+	if t, ok := c.departed[srcW]; ok {
+		return ErrRevoked, t
+	}
+	return nil, 0
+}
+
+// hasDeparted reports whether world rank wr has departed this
+// communicator.
+func (c *Comm) hasDeparted(wr int) bool {
+	c.world.mu.Lock()
+	defer c.world.mu.Unlock()
+	_, ok := c.departed[wr]
+	return ok
+}
+
+// fail funnels a communicator operation's error through failMPI, first
+// recording the caller's departure from this communicator: a ULFM error
+// diverts the process into the resilience layer, so it will never again
+// service operations here, and peers blocked on it can be released at a
+// deterministic virtual time. Departure — not the real-time visibility of
+// a revocation flag — is what makes failure propagation reproducible: a
+// peer's pending operation completes against the departing rank's program
+// order and virtual clock, never against the wall-clock moment a shared
+// flag happened to be written. Communicators created after recovery are
+// untouched: departure is scoped to the communicator the error surfaced
+// on.
+func (c *Comm) fail(p *Proc, err error) error {
+	if err != nil && IsULFMError(err) && !c.world.abortOnFailure {
+		c.depart(p)
+	}
+	return p.failMPI(err)
+}
+
+// depart records p's departure from the communicator at its current
+// virtual clock and wakes blocked members so they observe it.
+func (c *Comm) depart(p *Proc) {
+	w := c.world
+	w.mu.Lock()
+	c.departLocked(p.rank, p.clock.Now())
+	w.mu.Unlock()
+	for _, wr := range c.group {
+		w.procs[wr].mail.wakeAll()
+	}
+}
+
+// departLocked records wr's departure at the given stamp and re-checks
+// pending collectives on this communicator. Caller holds world.mu.
+func (c *Comm) departLocked(wr int, stamp float64) {
+	if c.departed == nil {
+		c.departed = make(map[int]float64)
+	}
+	if _, done := c.departed[wr]; done {
+		return
+	}
+	c.departed[wr] = stamp
+	for key, rv := range c.world.colls {
+		if rv.comm == c {
+			c.world.tryCompleteLocked(key, rv)
+		}
+	}
+}
+
 func (c *Comm) checkMember(p *Proc, op string) int {
 	r := c.Rank(p)
 	if r < 0 {
@@ -62,10 +144,16 @@ func (c *Comm) checkMember(p *Proc, op string) int {
 	return r
 }
 
-// Send transmits data to comm rank dst with the given tag. It is eager and
-// buffered: Send does not block waiting for the matching Recv. Send fails
-// with FailedError if the destination has died, or ErrRevoked after
-// revocation.
+// Send transmits data to comm rank dst with the given tag. It is eager,
+// buffered, and locally complete: Send does not block waiting for the
+// matching Recv, and a send races no global failure state — it fails fast
+// only on this process's own knowledge, with FailedError once this process
+// has already observed the destination's death, or ErrRevoked once it has
+// itself departed the communicator (its last MPI error, or its own
+// Revoke). A send to a peer that failed without this process knowing
+// completes locally and the failure surfaces at the next completion point,
+// keeping every operation's outcome a function of virtual time and program
+// order only.
 func (c *Comm) Send(p *Proc, dst, tag int, data []byte) error {
 	return c.SendSized(p, dst, tag, data, len(data))
 }
@@ -75,13 +163,13 @@ func (c *Comm) Send(p *Proc, dst, tag int, data []byte) error {
 // paper-scale data (see kokkos.View.SimBytes).
 func (c *Comm) SendSized(p *Proc, dst, tag int, data []byte, simBytes int) error {
 	c.checkMember(p, "Send")
-	if c.revoked.Load() {
-		return p.failMPI(ErrRevoked)
-	}
 	dstW := c.WorldRank(dst)
-	if c.world.isDead(dstW) {
+	if p.obsDead[dstW] {
 		p.waitForDetection([]int{dstW})
-		return p.failMPI(newFailedError([]int{dstW}))
+		return c.fail(p, newFailedError([]int{dstW}))
+	}
+	if c.hasDeparted(p.rank) {
+		return p.failMPI(ErrRevoked)
 	}
 	cost := p.world.machine.TransferTime(simBytes) * p.congestionFactor()
 	p.clock.Advance(cost)
@@ -98,28 +186,26 @@ func (c *Comm) SendSized(p *Proc, dst, tag int, data []byte, simBytes int) error
 
 // Recv blocks until a message with the given tag from comm rank src
 // arrives. It fails with FailedError if the sender dies before a matching
-// message is available, or ErrRevoked after revocation.
+// message is available, or ErrRevoked once the sender has departed the
+// communicator (sends are eager, so a message posted before the sender's
+// death or departure is always drained first).
 func (c *Comm) Recv(p *Proc, src, tag int) ([]byte, error) {
 	c.checkMember(p, "Recv")
 	srcW := c.WorldRank(src)
 	start := p.clock.Now()
 	key := msgKey{comm: c.id, src: srcW, tag: tag}
+	var release float64
 	msg, err := p.mail.receive(key, func() error {
-		if c.revoked.Load() {
-			return ErrRevoked
-		}
-		if c.world.isDead(srcW) {
-			return newFailedError([]int{srcW})
-		}
-		return nil
+		e, rel := c.recvGiveUp(srcW)
+		release = rel
+		return e
 	})
 	if err != nil {
-		if IsProcessFailure(err) {
-			p.waitForDetection([]int{srcW})
-		}
+		// Failures only become observable at their virtual release time.
+		p.clock.AdvanceTo(release)
 		// Account the blocked time up to failure detection.
 		p.rec.Add(trace.AppMPI, p.clock.Now()-start)
-		return nil, p.failMPI(err)
+		return nil, c.fail(p, err)
 	}
 	p.clock.AdvanceTo(msg.arriveAt)
 	recvOverhead := p.world.machine.NetLatency * p.congestionFactor()
@@ -150,28 +236,32 @@ func (c *Comm) SendrecvSized(p *Proc, dst, sendTag int, data []byte, simBytes, s
 // MPI_Comm_revoke): every pending and future operation on it fails with
 // ErrRevoked, except Shrink and Agree. Revocation is what turns one rank's
 // local failure knowledge into a single global control-flow exit point.
+//
+// Mechanically, Revoke records the revoker's own departure from the
+// communicator: the revoker will never again service operations on it, so
+// peers blocked on the revoker release with ErrRevoked at the revocation
+// stamp, and in a failure flow every other member departs deterministically
+// through its own MPI error (Comm.fail). Pending operations are thus
+// released by member departures — anchored in virtual time — rather than by
+// the wall-clock moment the revocation flag becomes visible.
 func (c *Comm) Revoke(p *Proc) {
 	c.checkMember(p, "Revoke")
-	if c.revoked.Swap(true) {
-		return
+	if !c.revoked.Swap(true) {
+		// Event and counter record the revocation once, attributed to the
+		// first caller to reach it.
+		p.Event(obs.LayerMPI, obs.EvRevoke, obs.KV("comm", c.id), obs.KV("size", len(c.group)))
+		p.world.obs.Registry().Counter(obs.MRevokes).Inc()
 	}
-	p.Event(obs.LayerMPI, obs.EvRevoke, obs.KV("comm", c.id), obs.KV("size", len(c.group)))
-	p.world.obs.Registry().Counter(obs.MRevokes).Inc()
-	// Propagation cost: a reliable broadcast across the comm.
+	// Every caller pays its own propagation cost (a reliable broadcast
+	// across the comm) and records its own departure. Charging only the
+	// first caller would make each rank's clock depend on which goroutine
+	// won the real-time race to set the flag, breaking replay determinism.
 	cost := p.world.machine.CollectiveTime(len(c.group), 4)
 	p.clock.Advance(cost)
 	p.rec.Add(trace.AppMPI, cost)
 
 	c.world.mu.Lock()
-	for key, rv := range c.world.colls {
-		// Tolerant collectives (Shrink/Agree) survive revocation, as in
-		// ULFM; only regular operations are poisoned.
-		if rv.comm == c && !rv.tolerant && !rv.completed {
-			rv.err = ErrRevoked
-			rv.finishLocked(p.clock.Now())
-			delete(c.world.colls, key)
-		}
-	}
+	c.departLocked(p.rank, p.clock.Now())
 	c.world.mu.Unlock()
 	for _, wr := range c.group {
 		c.world.procs[wr].mail.wakeAll()

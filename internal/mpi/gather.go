@@ -51,7 +51,7 @@ func (c *Comm) ScatterB(p *Proc, root int, chunks [][]byte) ([]byte, error) {
 	rootW := c.WorldRank(root)
 	a, ok := r.arrivals[rootW]
 	if !ok || a.payload == nil {
-		return nil, p.failMPI(newFailedError([]int{rootW}))
+		return nil, c.fail(p, newFailedError([]int{rootW}))
 	}
 	all := a.payload.([][]byte)
 	me := c.Rank(p)

@@ -1,0 +1,61 @@
+package mpi
+
+import "repro/internal/obs"
+
+// Injector receives control at named execution points inside the
+// resilience stack. The chaos engine (internal/chaos) implements it to
+// kill processes at adversarial moments — inside checkpoint regions,
+// during asynchronous flush windows, or in the middle of a Fenix repair —
+// generalizing the single iteration-boundary injection of
+// core.FailurePlan.
+//
+// At is called on the visited rank's own goroutine with no runtime locks
+// held, so an implementation may call Proc.Exit / Proc.ExitInjected to
+// terminate the rank at that exact point. Implementations must be safe
+// for concurrent calls from all rank goroutines.
+//
+// The well-known point names threaded through the stack are:
+//
+//	mpi.collective        entry into any collective rendezvous
+//	core.iteration        top of core.Session.Checkpoint (one per iteration)
+//	kr.region             entry into a KR checkpoint region
+//	kr.commit             immediately before a KR checkpoint is written
+//	veloc.checkpoint      entry into veloc.Client.Checkpoint
+//	veloc.flush           just after the asynchronous flush is scheduled
+//	                      (a kill here dies with its own flush in flight)
+//	fenix.recover         entry into Fenix failure recovery, before the
+//	                      revoke (a kill here is a nested failure)
+//	fenix.spare_wait      a spare about to block in Fenix init awaiting
+//	                      activation
+//	fenix.spare_activate  a spare just activated as a replacement, before
+//	                      it re-enters the application body
+type Injector interface {
+	At(p *Proc, point string)
+}
+
+// SetInjector installs the fault injector. Like SetObs it must be called
+// before any rank goroutine starts (RunJob does this); nil disables
+// injection.
+func (w *World) SetInjector(inj Injector) { w.injector = inj }
+
+// Inject gives the job's injector, if any, control at a named execution
+// point. It is a no-op without an injector and may not return if the
+// injector kills the process.
+func (p *Proc) Inject(point string) {
+	if inj := p.world.injector; inj != nil {
+		inj.At(p, point)
+	}
+}
+
+// ExitInjected is Exit with chaos attribution: it records the injection
+// in the observability stream before dying. spare marks kills of ranks
+// that are not members of the resilient communicator (a blocked spare);
+// those deaths trigger no repair and are accounted separately from
+// application failures.
+func (p *Proc) ExitInjected(point string, spare bool) {
+	p.Event(obs.LayerChaos, obs.EvChaosKill, obs.KV("point", point), obs.KV("spare", spare))
+	if !spare {
+		p.Obs().Registry().Counter(obs.MFailuresInjected).Inc()
+	}
+	p.Exit()
+}

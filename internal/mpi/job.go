@@ -49,6 +49,10 @@ type JobConfig struct {
 	ObsStream io.Writer
 	// ObsWindow is the virtual-seconds reorder window for ObsStream.
 	ObsWindow float64
+	// Inject, if non-nil, receives control at named execution points in
+	// every launch (see Injector); the chaos engine uses it to kill ranks
+	// at adversarial moments. Nil disables injection at near-zero cost.
+	Inject Injector
 }
 
 func (cfg *JobConfig) normalize() {
@@ -145,6 +149,7 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 		start := jobTime + cfg.Machine.LaunchTime(nodes)
 		w := NewWorld(cl, cfg.Ranks, cfg.RanksPerNode, cfg.FailRestart, cfg.Seed+uint64(attempt)*1e9, start)
 		w.SetObs(cfg.Obs)
+		w.SetInjector(cfg.Inject)
 		res.Launches++
 		cfg.Obs.Emit(start, -1, obs.LayerMPI, obs.EvJobLaunch,
 			obs.KV("attempt", attempt), obs.KV("ranks", cfg.Ranks), obs.KV("nodes", nodes))

@@ -369,14 +369,17 @@ func TestDuplicateGroupPanics(t *testing.T) {
 // --- failure semantics ---
 
 func TestSendToDeadRankFails(t *testing.T) {
+	// Sends are locally complete and fail fast only on the sender's own
+	// failure knowledge: rank 0 first observes rank 1's death through a
+	// failed Recv, after which its sends to the dead rank fail.
 	w := testWorld(2)
 	c := w.CommWorld()
 	errs := runWorld(w, func(p *Proc) error {
 		if p.Rank() == 1 {
 			p.Exit()
 		}
-		// Rank 0: wait until rank 1 is dead, then send.
-		for !w.isDead(1) {
+		if _, err := c.Recv(p, 1, 0); !IsProcessFailure(err) {
+			t.Errorf("recv from dead rank: %v", err)
 		}
 		return c.Send(p, 1, 0, []byte("x"))
 	})

@@ -40,16 +40,19 @@ func (c *Comm) Isend(p *Proc, dst, tag int, data []byte) (*Request, error) {
 	return c.IsendSized(p, dst, tag, data, len(data))
 }
 
-// IsendSized is Isend with the cost model charged for simBytes.
+// IsendSized is Isend with the cost model charged for simBytes. Like Send,
+// it is locally complete and fails fast only on the sender's own knowledge
+// of the destination's death or of its own departure from the communicator
+// (see Comm.Send).
 func (c *Comm) IsendSized(p *Proc, dst, tag int, data []byte, simBytes int) (*Request, error) {
 	c.checkMember(p, "Isend")
-	if c.revoked.Load() {
-		return nil, p.failMPI(ErrRevoked)
-	}
 	dstW := c.WorldRank(dst)
-	if c.world.isDead(dstW) {
+	if p.obsDead[dstW] {
 		p.waitForDetection([]int{dstW})
-		return nil, p.failMPI(newFailedError([]int{dstW}))
+		return nil, c.fail(p, newFailedError([]int{dstW}))
+	}
+	if c.hasDeparted(p.rank) {
+		return nil, p.failMPI(ErrRevoked)
 	}
 	cost := p.world.machine.TransferTime(simBytes) * p.congestionFactor()
 	// Post overhead only; the transfer itself proceeds in the background.
@@ -97,21 +100,16 @@ func (r *Request) Wait() ([]byte, error) {
 	}
 
 	start := p.clock.Now()
+	var release float64
 	msg, err := p.mail.receive(r.key, func() error {
-		if r.comm.revoked.Load() {
-			return ErrRevoked
-		}
-		if p.world.isDead(r.src) {
-			return newFailedError([]int{r.src})
-		}
-		return nil
+		e, rel := r.comm.recvGiveUp(r.src)
+		release = rel
+		return e
 	})
 	if err != nil {
-		if IsProcessFailure(err) {
-			p.waitForDetection([]int{r.src})
-		}
+		p.clock.AdvanceTo(release)
 		p.rec.Add(trace.AppMPI, p.clock.Now()-start)
-		return nil, p.failMPI(err)
+		return nil, r.comm.fail(p, err)
 	}
 	p.clock.AdvanceTo(msg.arriveAt)
 	p.clock.Advance(p.world.machine.NetLatency)

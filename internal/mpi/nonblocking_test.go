@@ -101,13 +101,16 @@ func TestIrecvFromDeadRankFails(t *testing.T) {
 }
 
 func TestIsendToDeadRankFails(t *testing.T) {
+	// Isend fails fast only once the sender has itself observed the
+	// destination's death (here via a failed Recv), like Send.
 	w := testWorld(2)
 	c := w.CommWorld()
 	errs := runWorld(w, func(p *Proc) error {
 		if p.Rank() == 1 {
 			p.Exit()
 		}
-		for !w.isDead(1) {
+		if _, err := c.Recv(p, 1, 0); !IsProcessFailure(err) {
+			t.Errorf("recv from dead rank: %v", err)
 		}
 		_, err := c.Isend(p, 1, 0, []byte{1})
 		return err

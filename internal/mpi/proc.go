@@ -25,9 +25,10 @@ type Proc struct {
 	collSeq map[int64]int64
 	exited  bool
 
-	// obsDead tracks which failed world ranks this process has already
-	// emitted mpi.failure_detected for, so each failure is observed once
-	// per rank. Owned by the rank goroutine; no lock needed.
+	// obsDead tracks which failed world ranks this process has observed
+	// (through an MPI error): each failure is emitted once per rank, and
+	// sends to a rank known dead fail fast deterministically. Owned by the
+	// rank goroutine; no lock needed.
 	obsDead map[int]bool
 }
 
@@ -115,6 +116,25 @@ func (p *Proc) Exit() {
 	panic(processKilled{rank: p.rank})
 }
 
+// CrashNode models the loss of this process's entire compute node, as
+// opposed to Exit's process-only failure (after which the node's VeloC
+// server daemon survives and completes in-flight flushes). A node crash
+// destroys node-local scratch and aborts every checkpoint flush the node's
+// ranks had in flight: those PFS copies never become readable, and the
+// data resiliency layer must fall back to an older complete version.
+// CrashNode only damages storage; callers (the chaos engine) must still
+// kill each of the node's ranks via Exit.
+func (p *Proc) CrashNode() {
+	now := p.clock.Now()
+	p.node.ScratchClear()
+	pfs := p.world.cluster.PFS()
+	for _, q := range p.world.procs {
+		if q.node == p.node {
+			pfs.FailPending(q.rank, now)
+		}
+	}
+}
+
 // Exited reports whether this process has been killed.
 func (p *Proc) Exited() bool { return p.exited }
 
@@ -138,7 +158,9 @@ func (p *Proc) congestionFactor() float64 {
 // failMPI funnels every MPI error through the world's failure disposition:
 // under fail-restart semantics a process failure aborts the whole job
 // (panic recovered by the launcher); under ULFM semantics the error is
-// returned for the process resilience layer to handle.
+// returned for the process resilience layer to handle. Communicator
+// operations funnel through Comm.fail instead, which additionally records
+// the caller's departure from that communicator.
 func (p *Proc) failMPI(err error) error {
 	if err == nil {
 		return nil
@@ -150,15 +172,12 @@ func (p *Proc) failMPI(err error) error {
 	return err
 }
 
-// noteFailures emits mpi.failure_detected for failed ranks this process
-// has not yet observed. Every MPI error funnels through failMPI, so this
-// is the single place failure observation becomes visible to the event
-// stream, deduplicated per (observer, failed rank).
+// noteFailures records the failed ranks this process has now observed
+// (p.obsDead gates deterministic send fail-fasts) and emits
+// mpi.failure_detected for each one. Every MPI error funnels through
+// failMPI, so this is the single place failure observation becomes visible
+// to the event stream, deduplicated per (observer, failed rank).
 func (p *Proc) noteFailures(err error) {
-	rec := p.world.obs
-	if rec == nil {
-		return
-	}
 	var fe *FailedError
 	if !errors.As(err, &fe) {
 		return
@@ -172,7 +191,7 @@ func (p *Proc) noteFailures(err error) {
 		}
 		p.obsDead[wr] = true
 		p.Event(obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", wr))
-		rec.Registry().Counter(obs.MFailuresDetected).Inc()
+		p.world.obs.Registry().Counter(obs.MFailuresDetected).Inc()
 	}
 }
 

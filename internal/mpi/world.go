@@ -37,6 +37,9 @@ type World struct {
 	// every layer running on this world. Set once before ranks start (via
 	// SetObs); read-only afterwards.
 	obs *obs.Recorder
+	// injector, when non-nil, is consulted at named execution points (see
+	// inject.go). Set once before ranks start; read-only afterwards.
+	injector Injector
 
 	mu     sync.Mutex
 	dead   []bool
@@ -181,6 +184,15 @@ func (w *World) detectionFloor(ranks []int) float64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.detectionFloorLocked(ranks)
+}
+
+// DetectionFloor returns the earliest virtual time at which the failures of
+// the given world ranks are observable (death time plus detection latency;
+// ranks still alive contribute nothing). The process resilience layer uses
+// it to stamp repairs: a rebuild that disposed of a failure cannot complete
+// before that failure was detectable.
+func (w *World) DetectionFloor(ranks []int) float64 {
+	return w.detectionFloor(ranks)
 }
 
 func (w *World) detectionFloorLocked(ranks []int) float64 {

@@ -140,17 +140,26 @@ type CheckpointGen struct {
 
 // Report is the full analysis of one event log.
 type Report struct {
-	Events             int             `json:"events"`
-	Ranks              int             `json:"ranks"`
-	Launches           int             `json:"launches"`
-	WallSeconds        float64         `json:"wall_seconds"`
-	JobFailed          bool            `json:"job_failed"`
-	FailuresInjected   int             `json:"failures_injected"`
-	FailuresRepaired   int             `json:"failures_repaired"`
-	FailuresUnrepaired int             `json:"failures_unrepaired"`
-	Spans              []Span          `json:"spans"`
-	PhaseTotals        PhaseBreakdown  `json:"phase_totals"`
-	Checkpoints        []CheckpointGen `json:"checkpoints,omitempty"`
+	Events             int     `json:"events"`
+	Ranks              int     `json:"ranks"`
+	Launches           int     `json:"launches"`
+	WallSeconds        float64 `json:"wall_seconds"`
+	JobFailed          bool    `json:"job_failed"`
+	FailuresInjected   int     `json:"failures_injected"`
+	FailuresRepaired   int     `json:"failures_repaired"`
+	FailuresUnrepaired int     `json:"failures_unrepaired"`
+	// SpareKills counts chaos kills of spare ranks still blocked in Fenix
+	// initialization. A dead spare is pruned from the pool, never joins the
+	// communicator, and so is not a failure the repair protocol must
+	// survive; it is accounted separately from FailuresInjected.
+	SpareKills int `json:"spare_kills,omitempty"`
+	// Shrinks counts mpi.shrink events: explicit ULFM shrink collectives
+	// plus the implicit compaction a Fenix rebuild performs when the spare
+	// pool is exhausted with ShrinkOnExhaustion enabled.
+	Shrinks     int             `json:"mpi_shrinks,omitempty"`
+	Spans       []Span          `json:"spans"`
+	PhaseTotals PhaseBreakdown  `json:"phase_totals"`
+	Checkpoints []CheckpointGen `json:"checkpoints,omitempty"`
 }
 
 // failure is one observed failure injection awaiting repair.
@@ -220,6 +229,17 @@ func Analyze(events []obs.Event) (*Report, error) {
 		case obs.EvFailureInjected:
 			slot, _ := attrInt(e, "slot")
 			failures = append(failures, &failure{time: e.Time, slot: slot})
+		case obs.EvChaosKill:
+			// Chaos-engine kills at arbitrary execution points. Spare kills
+			// never enter the repair protocol; member kills are failures like
+			// core.failure_injected ones (slot = the victim's world rank).
+			if spare, _ := attrBool(e, "spare"); spare {
+				rep.SpareKills++
+				break
+			}
+			failures = append(failures, &failure{time: e.Time, slot: e.Rank})
+		case obs.EvShrink:
+			rep.Shrinks++
 		case obs.EvFenixRebuild:
 			a := anchor{kind: "fenix", time: e.Time}
 			a.gen, _ = attrInt(e, "generation")

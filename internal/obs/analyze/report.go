@@ -24,14 +24,26 @@ func (r *Report) WriteTable(w io.Writer) error {
 		r.Events, r.Ranks, r.Launches, r.WallSeconds, r.JobFailed)
 	fmt.Fprintf(&b, "failures: injected %d, repaired %d, unrepaired %d\n",
 		r.FailuresInjected, r.FailuresRepaired, r.FailuresUnrepaired)
+	if r.SpareKills > 0 {
+		fmt.Fprintf(&b, "spare kills (never in communicator): %d\n", r.SpareKills)
+	}
+	if r.Shrinks > 0 {
+		shrunk := 0
+		for _, sp := range r.Spans {
+			shrunk += sp.Shrunk
+		}
+		fmt.Fprintf(&b, "shrink events: %d (communicator compacted; %d slots shrunk away)\n",
+			r.Shrinks, shrunk)
+	}
 
 	if len(r.Spans) > 0 {
 		fmt.Fprintf(&b, "\nrecovery spans (virtual seconds):\n")
-		fmt.Fprintf(&b, "%-5s %-9s %-4s %-10s %-10s %10s %10s %10s %10s %10s %10s\n",
-			"span", "kind", "gen", "slots", "start", "detect", "comm", "rebuild", "restore", "recompute", "critical")
+		fmt.Fprintf(&b, "%-5s %-9s %-4s %-10s %4s %6s %-10s %10s %10s %10s %10s %10s %10s\n",
+			"span", "kind", "gen", "slots", "repl", "shrunk", "start", "detect", "comm", "rebuild", "restore", "recompute", "critical")
 		for _, sp := range r.Spans {
-			fmt.Fprintf(&b, "%-5d %-9s %-4d %-10s %-10.3f %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
-				sp.Index, sp.Kind, sp.Generation, intsString(sp.FailedSlots), sp.Start,
+			fmt.Fprintf(&b, "%-5d %-9s %-4d %-10s %4d %6d %-10.3f %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
+				sp.Index, sp.Kind, sp.Generation, intsString(sp.FailedSlots),
+				sp.Replaced, sp.Shrunk, sp.Start,
 				sp.Phases.Detection, sp.Phases.CommRepair, sp.Phases.Rebuild,
 				sp.Phases.Restore, sp.Phases.Recompute, sp.CriticalPath)
 		}

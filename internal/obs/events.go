@@ -8,6 +8,7 @@ const (
 	LayerKR    = "kr"
 	LayerVeloC = "veloc"
 	LayerCore  = "core"
+	LayerChaos = "chaos"
 )
 
 // Event names. The authoritative documentation — which layer emits each
@@ -53,6 +54,9 @@ const (
 	EvFailureInjected = "core.failure_injected"
 	EvRecomputeBegin  = "core.recompute_begin"
 	EvRecomputeEnd    = "core.recompute_end"
+
+	// chaos: adversarial fault injection (internal/chaos).
+	EvChaosKill = "chaos.kill"
 )
 
 // EventNames returns every defined event name, the machine-readable form
@@ -65,6 +69,7 @@ func EventNames() []string {
 		EvKRRestoreBegin, EvKRRestoreEnd,
 		EvVeloCInit, EvVeloCCheckpoint, EvVeloCFlushBegin, EvVeloCFlushEnd, EvVeloCRestart,
 		EvSessionStart, EvFailureInjected, EvRecomputeBegin, EvRecomputeEnd,
+		EvChaosKill,
 	}
 }
 
@@ -83,16 +88,16 @@ const (
 	MRebuilds        = "fenix_rebuilds_total"
 	MSparesActivated = "fenix_spares_activated_total"
 
-	MCheckpoints           = "checkpoints_total"        // label: layer
-	MCheckpointBytes       = "checkpoint_bytes_total"   // label: layer
-	MCheckpointSyncSeconds = "checkpoint_sync_seconds"  // histogram; label: layer
-	MRestores              = "restores_total"           // label: layer
-	MRestoreBytes          = "restore_bytes_total"      // label: layer
-	MRestoreSeconds        = "restore_seconds"          // histogram; label: layer
+	MCheckpoints           = "checkpoints_total"       // label: layer
+	MCheckpointBytes       = "checkpoint_bytes_total"  // label: layer
+	MCheckpointSyncSeconds = "checkpoint_sync_seconds" // histogram; label: layer
+	MRestores              = "restores_total"          // label: layer
+	MRestoreBytes          = "restore_bytes_total"     // label: layer
+	MRestoreSeconds        = "restore_seconds"         // histogram; label: layer
 	MKRRegions             = "kr_regions_total"
 
-	MFlushes        = "veloc_flushes_total"
-	MFlushSeconds   = "veloc_flush_seconds" // histogram
+	MFlushes         = "veloc_flushes_total"
+	MFlushSeconds    = "veloc_flush_seconds"     // histogram
 	MFlushQueueDepth = "veloc_flush_queue_depth" // gauge, sampled at checkpoint time
 
 	MRecomputeIters = "recompute_iterations_total"

@@ -240,7 +240,7 @@ func TestEventNamesUnique(t *testing.T) {
 			continue
 		}
 		switch layer := n[:dot]; layer {
-		case LayerMPI, LayerFenix, LayerKR, LayerVeloC, LayerCore:
+		case LayerMPI, LayerFenix, LayerKR, LayerVeloC, LayerCore, LayerChaos:
 		default:
 			t.Errorf("event %s has unknown layer prefix %q", n, layer)
 		}

@@ -1,0 +1,87 @@
+package veloc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// TestRestartSkipsInterruptedFlush pins the node-crash recovery contract:
+// a checkpoint whose asynchronous PFS flush was cut short by losing the
+// node must not be offered at restart. The metadata may advertise the
+// newer version, but restore has to fall back to the latest version whose
+// flush actually completed.
+func TestRestartSkipsInterruptedFlush(t *testing.T) {
+	runRanks(t, 1, func(p *mpi.Proc) error {
+		c, err := New(p, Config{Mode: Single})
+		if err != nil {
+			return err
+		}
+		buf := []byte("generation-one-data")
+		c.Protect(0, SliceRegion{&buf})
+
+		if err := c.Checkpoint("ck", 1); err != nil {
+			return err
+		}
+		// Let version 1's asynchronous flush drain to the PFS.
+		p.ChargeTime(trace.AppCompute, 1e6)
+
+		copy(buf, []byte("generation-two-data"))
+		if err := c.Checkpoint("ck", 2); err != nil {
+			return err
+		}
+		// The node dies while version 2's flush window is still open: node
+		// scratch is gone and the in-flight PFS copy never completes.
+		p.CrashNode()
+
+		if c.Available("ck", 2) {
+			t.Error("version 2 reported available after its flush was interrupted")
+		}
+		if !c.Available("ck", 1) {
+			t.Error("version 1 (completed flush) should remain available")
+		}
+
+		// A restarted process on the replacement node sees only the PFS.
+		r, err := New(p, Config{Mode: Single})
+		if err != nil {
+			return err
+		}
+		restored := make([]byte, len(buf))
+		r.Protect(0, SliceRegion{&restored})
+		v, err := r.RestartLatest("ck")
+		if err != nil {
+			return err
+		}
+		if v != 1 {
+			t.Errorf("restarted from version %d, want 1 (version 2's flush was interrupted)", v)
+		}
+		if !bytes.Equal(restored, []byte("generation-one-data")) {
+			t.Errorf("restored %q, want generation-one data", restored)
+		}
+
+		// Recomputing forward must be able to overwrite the interrupted
+		// version: a re-written checkpoint 2 becomes the restart point once
+		// its flush completes.
+		copy(restored, []byte("generation-2b!-data"))
+		if err := r.Checkpoint("ck", 2); err != nil {
+			return err
+		}
+		p.ChargeTime(trace.AppCompute, 1e6)
+		if !r.Available("ck", 2) {
+			t.Error("re-written version 2 should be available after its flush completed")
+		}
+		v, err = r.RestartLatest("ck")
+		if err != nil {
+			return err
+		}
+		if v != 2 {
+			t.Errorf("restarted from version %d after rewrite, want 2", v)
+		}
+		if !bytes.Equal(restored, []byte("generation-2b!-data")) {
+			t.Errorf("restored %q, want the recomputed generation-2 data", restored)
+		}
+		return nil
+	})
+}

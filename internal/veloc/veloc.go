@@ -278,6 +278,7 @@ func (c *Client) Checkpoint(name string, version int) error {
 	if len(c.regions) == 0 {
 		return errors.New("veloc: checkpoint with no protected regions")
 	}
+	c.p.Inject("veloc.checkpoint")
 	blob, simSize := c.serialize()
 	node := c.p.Node()
 
@@ -291,7 +292,11 @@ func (c *Client) Checkpoint(name string, version int) error {
 	now := c.p.Now()
 	c.p.Event(obs.LayerVeloC, obs.EvVeloCFlushBegin,
 		obs.KV("name", name), obs.KV("version", version), obs.KV("bytes", simSize))
-	end, err := node.FlushAsync(dataKey(name, version, c.rank), dataKey(name, version, c.rank), now)
+	// The flush is owner-tagged with this process's world rank: if the
+	// process's node crashes before the flush window closes
+	// (mpi.Proc.CrashNode), the PFS copy never becomes readable and restart
+	// falls back to an older complete version.
+	end, err := node.FlushAsyncFor(dataKey(name, version, c.rank), dataKey(name, version, c.rank), now, c.p.Rank())
 	if err != nil {
 		return err
 	}
@@ -313,23 +318,45 @@ func (c *Client) Checkpoint(name string, version int) error {
 	}
 	// Publish the PFS meta entry; its availability follows the data flush.
 	c.p.World().Cluster().PFS().Write(metaKey(name, c.rank), encodeVersion(version), c.p.Now())
+	// The flush window is still open here: a kill at this point models a
+	// failure mid-flush. Combined with a node crash (mpi.Proc.CrashNode),
+	// the meta entry is left advertising a version whose PFS data never
+	// completes, which restore must skip.
+	c.p.Inject("veloc.flush")
 	return nil
 }
 
-// localLatest returns the newest version visible to this rank without
-// communication: the scratch copy if present, else the PFS meta entry.
+// localLatest returns the newest restorable version visible to this rank
+// without communication: the scratch copy if present, else the PFS meta
+// entry. The meta entry is advertised before the asynchronous data flush
+// completes, so a version whose flush was interrupted by the writer's
+// failure may be advertised yet unreadable; localLatest scans downward to
+// the newest *complete* version (older versions persist — the core stack
+// never garbage-collects them).
 func (c *Client) localLatest(name string) (int, bool) {
-	if b, _, ok := c.p.Node().ScratchRead(metaKey(name, c.rank)); ok {
-		if v, ok := decodeVersion(b); ok {
-			return v, true
+	v, ok := -1, false
+	if b, _, sok := c.p.Node().ScratchRead(metaKey(name, c.rank)); sok {
+		if dv, dok := decodeVersion(b); dok {
+			v, ok = dv, true
 		}
 	}
-	if b, _, ok := c.p.World().Cluster().PFS().Read(metaKey(name, c.rank), c.p.Now()); ok {
-		if v, ok := decodeVersion(b); ok {
-			return v, true
+	if !ok {
+		if b, _, pok := c.p.World().Cluster().PFS().Read(metaKey(name, c.rank), c.p.Now()); pok {
+			if dv, dok := decodeVersion(b); dok {
+				v, ok = dv, true
+			}
 		}
 	}
-	return 0, false
+	if !ok {
+		return 0, false
+	}
+	for v >= 0 && !c.Available(name, v) {
+		v--
+	}
+	if v < 0 {
+		return 0, false
+	}
+	return v, true
 }
 
 // LatestVersion returns the newest restorable version of `name`. In

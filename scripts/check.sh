@@ -19,6 +19,19 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/heatdis -ranks 8 -data-mb 64 -iters 30 -interval 5 \
     -fail -stream -events "$tmp/events.jsonl"
-go run ./cmd/obsreport "$tmp/events.jsonl"
+go run ./cmd/obsreport "$tmp/events.jsonl" | grep -q 'unrepaired 0'
 go run ./cmd/obsreport -json "$tmp/events.jsonl" > "$tmp/report.json"
 grep -q '"failures_repaired": 1' "$tmp/report.json"
+grep -q '"failures_unrepaired": 0' "$tmp/report.json"
+
+# Chaos campaign: a short adversarial sweep over the full mode x app
+# matrix under the race detector (kills inside checkpoint regions and
+# flush windows, nested failures, correlated node loss, spare exhaustion
+# with and without shrinking). Then replay a storm-shrink seed with its
+# event log streamed, and cross-check that obsreport surfaces the shrink
+# events and per-span shrunk-slot accounting.
+go run -race ./cmd/chaos -seeds 36 -json "$tmp/campaign.json"
+grep -q '"violated": 0' "$tmp/campaign.json"
+go run ./cmd/chaos -seed 7 -json "$tmp/chaosrun.json" -events "$tmp/chaos-events.jsonl"
+grep -q '"shrunk": 2' "$tmp/chaosrun.json"
+go run ./cmd/obsreport "$tmp/chaos-events.jsonl" | grep -q 'shrink events: 2'
