@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check chaos figures report clean
+.PHONY: all build vet test race bench check chaos figures report clean
 
 all: check
 
@@ -18,7 +18,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race chaos
+# Single-iteration sweep of the observability-overhead and flush-scheduler
+# benchmarks (virtual-time metrics; host ns/op is incidental).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkHeatdisObs|BenchmarkHeatdisFlushSched' -benchtime 1x .
+
+# Full verification, shared with CI. Sections and the CHAOS_SEEDS override
+# are documented in scripts/check.sh.
+check:
+	sh scripts/check.sh
 
 # Short adversarial campaign under the race detector: fixed seeds sweeping
 # the full mode × app matrix (kills inside checkpoint regions and flush

@@ -1,0 +1,116 @@
+// Flush-scheduler benchmarks: the same short-checkpoint-interval,
+// failure-injected Heatdis cell with classic unmanaged flushing versus the
+// windowed, coalescing flush scheduler. Checkpointing every iteration with
+// four ranks per node oversubscribes the PFS: the flush windows outlive
+// the interval, so unscheduled runs accumulate a growing flush backlog and
+// the post-failure restore stalls on a PFS copy still deep in it; the
+// scheduler bounds in-flight flushes and cancels superseded queued
+// versions before their bytes reach the PFS.
+//
+// The headline metric is flushwait_s: cumulative MPI-visible flush wait
+// (veloc_flush_wait_seconds) — congestion inflation of communication plus
+// restore stalls on not-yet-flushed checkpoints after the mid-run failure.
+//
+// Run with: go test -bench BenchmarkHeatdisFlushSched -benchtime 1x .
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// benchFlushCell runs one flush-stressed Heatdis job: 16 ranks + 1 spare
+// packed four per node, 64 MB/rank, checkpoints every iteration, one
+// failure at iteration 28 forcing a restore while flushes are backlogged.
+// With ~16 concurrent writers the PFS aggregate share drops below what the
+// per-iteration checkpoint rate produces, so the unscheduled backlog grows
+// for the whole run and the replacement rank's restore stalls on a flush
+// still deep in the queue.
+func benchFlushCell(b *testing.B, policy cluster.FlushPolicy) (*core.Result, *obs.Recorder) {
+	b.Helper()
+	const (
+		ranks    = 16
+		iters    = 30
+		interval = 1
+	)
+	cfg := heatdis.Config{
+		BytesPerRank:       64 << 20,
+		Iterations:         iters,
+		CheckpointInterval: interval,
+	}
+	cc := core.Config{
+		Strategy:           core.StrategyFenixKRVeloC,
+		Spares:             1,
+		CheckpointInterval: interval,
+		CheckpointName:     "heatdis",
+		Failures:           []*core.FailurePlan{{Slot: 1, Iteration: 28}},
+	}
+	rec := obs.New()
+	res := core.Run(mpi.JobConfig{
+		Ranks: ranks + 1, RanksPerNode: 4, Machine: sim.DefaultMachine(), Seed: 42,
+		Obs: rec, Flush: policy,
+	}, cc, heatdis.App(cfg, heatdis.NewSink()))
+	if res.Failed || res.Err() != nil {
+		b.Fatalf("heatdis flush cell failed: %v", res.Err())
+	}
+	return res, rec
+}
+
+func benchFlushSched(b *testing.B, policy cluster.FlushPolicy) {
+	var res *core.Result
+	var rec *obs.Recorder
+	for i := 0; i < b.N; i++ {
+		res, rec = benchFlushCell(b, policy)
+	}
+	reg := rec.Registry()
+	b.ReportMetric(res.WallTime, "virtwall_s")
+	b.ReportMetric(reg.CounterValue(obs.MFlushWaitSeconds), "flushwait_s")
+	b.ReportMetric(reg.CounterValue(obs.MFlushCoalesced), "coalesced/op")
+}
+
+// BenchmarkHeatdisFlushSched compares unscheduled flushing against
+// scheduler windows on the same cell. Timing is real host ns/op; the
+// decision metrics are the virtual-time flushwait_s and coalesced/op.
+func BenchmarkHeatdisFlushSched(b *testing.B) {
+	b.Run("unscheduled", func(b *testing.B) {
+		benchFlushSched(b, cluster.FlushPolicy{})
+	})
+	b.Run("window2", func(b *testing.B) {
+		benchFlushSched(b, cluster.FlushPolicy{Window: 2, Coalesce: true})
+	})
+	b.Run("window4", func(b *testing.B) {
+		benchFlushSched(b, cluster.FlushPolicy{Window: 4, Coalesce: true})
+	})
+}
+
+// TestFlushSchedReducesWait is the deterministic form of the benchmark's
+// acceptance criterion: on the flush-stressed cell, scheduling must strictly
+// reduce cumulative MPI-visible flush wait, and coalescing must cancel at
+// least one superseded version.
+func TestFlushSchedReducesWait(t *testing.T) {
+	run := func(policy cluster.FlushPolicy) (wait, coalesced float64) {
+		b := &testing.B{N: 1}
+		_, rec := benchFlushCell(b, policy)
+		reg := rec.Registry()
+		return reg.CounterValue(obs.MFlushWaitSeconds), reg.CounterValue(obs.MFlushCoalesced)
+	}
+	unschedWait, unschedCoal := run(cluster.FlushPolicy{})
+	schedWait, schedCoal := run(cluster.FlushPolicy{Window: 2, Coalesce: true})
+	if unschedCoal != 0 {
+		t.Fatalf("unscheduled run coalesced %v flushes; coalescing requires the scheduler", unschedCoal)
+	}
+	if schedCoal == 0 {
+		t.Fatalf("scheduled run coalesced nothing; per-iteration checkpoints must supersede queued versions")
+	}
+	if schedWait >= unschedWait {
+		t.Fatalf("scheduled flush wait %.4fs not below unscheduled %.4fs", schedWait, unschedWait)
+	}
+	t.Logf("flush wait: unscheduled %.4fs, window2 %.4fs (%.1f%% less), coalesced %v",
+		unschedWait, schedWait, 100*(1-schedWait/unschedWait), schedCoal)
+}

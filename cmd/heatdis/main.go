@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/apps/heatdis"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -68,6 +69,8 @@ func main() {
 	streamEvents := flag.Bool("stream", false, "stream the -events JSONL incrementally during the run instead of writing it at the end")
 	obsWindow := flag.Float64("obs-window", 0, "reorder window in virtual seconds for -stream (0 selects the default)")
 	ringCap := flag.Int("ring", 0, "bound the in-memory event log to the newest N events (0 = unbounded; combine with -stream to keep the full export)")
+	flushWindow := flag.Int("flush-window", 0, "bound in-flight checkpoint flushes per node to this many (0 = unscheduled: every flush starts immediately)")
+	flushCoalesce := flag.Bool("flush-coalesce", true, "with -flush-window, cancel queued flushes superseded by a newer version of the same checkpoint")
 	flag.Parse()
 
 	strategy, err := core.ParseStrategy(*strategyName)
@@ -129,7 +132,10 @@ func main() {
 		rec = obs.New()
 		rec.SetRingCapacity(*ringCap)
 	}
-	job := mpi.JobConfig{Ranks: *ranks + *spares, Machine: machine, Seed: *seed, Obs: rec}
+	job := mpi.JobConfig{
+		Ranks: *ranks + *spares, Machine: machine, Seed: *seed, Obs: rec,
+		Flush: cluster.FlushPolicy{Window: *flushWindow, Coalesce: *flushCoalesce},
+	}
 
 	// -stream exports the event log incrementally through the reorder
 	// window while the job runs; the post-hoc export is then skipped.

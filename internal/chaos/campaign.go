@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/sim"
 )
 
@@ -80,6 +81,10 @@ func ConfigForSeed(seed uint64, mode, app string) (RunConfig, error) {
 		Seed: seed, App: app, Mode: mode,
 		Ranks: cRanks, Spares: 2, RanksPerNode: 1,
 		Iters: cIters, Interval: cInterval,
+		// Every campaign run exercises the flush scheduler. The policy is a
+		// cell constant — not drawn from the RNG stream — so kill schedules
+		// are identical to unscheduled sweeps of the same seeds.
+		Flush: cluster.FlushPolicy{Window: 2, Coalesce: true},
 	}
 	// An RNG stream decoupled from the cell index, so the same seed
 	// replayed with a mode override draws the same victims/timing.

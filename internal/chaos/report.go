@@ -45,6 +45,13 @@ type RunReport struct {
 	Shrunk          int `json:"shrunk"`
 	FinalSize       int `json:"final_size"`
 
+	// Flush-scheduler accounting (zero when cfg.Flush is the zero policy).
+	// Queued counts flush_queued events, Started flush_start events; the
+	// difference is flushes cancelled by coalescing or by node crashes.
+	FlushesQueued    int `json:"flushes_queued,omitempty"`
+	FlushesStarted   int `json:"flushes_started,omitempty"`
+	FlushesCoalesced int `json:"flushes_coalesced,omitempty"`
+
 	Checksum float64     `json:"checksum,omitempty"`
 	Spans    []SpanBrief `json:"spans,omitempty"`
 

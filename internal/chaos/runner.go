@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/apps/heatdis"
 	"repro/internal/apps/minimd"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fenix"
 	"repro/internal/mpi"
@@ -29,16 +30,20 @@ const (
 // virtual clocks it makes the run reproducible: the same RunConfig always
 // produces the same RunReport.
 type RunConfig struct {
-	Seed         uint64   `json:"seed"`
-	App          string   `json:"app"`
-	Mode         string   `json:"mode"`
-	Ranks        int      `json:"ranks"` // application ranks (excludes spares)
-	Spares       int      `json:"spares"`
-	Shrink       bool     `json:"shrink"`
-	RanksPerNode int      `json:"ranks_per_node"`
-	Iters        int      `json:"iters"`
-	Interval     int      `json:"interval"`
-	Schedule     Schedule `json:"schedule"`
+	Seed         uint64 `json:"seed"`
+	App          string `json:"app"`
+	Mode         string `json:"mode"`
+	Ranks        int    `json:"ranks"` // application ranks (excludes spares)
+	Spares       int    `json:"spares"`
+	Shrink       bool   `json:"shrink"`
+	RanksPerNode int    `json:"ranks_per_node"`
+	Iters        int    `json:"iters"`
+	Interval     int    `json:"interval"`
+	// Flush is the per-node flush-scheduling policy applied to every node
+	// (zero = classic unscheduled flushing). Derived from the cell, never
+	// from the RNG stream, so kill schedules are unchanged by it.
+	Flush    cluster.FlushPolicy `json:"flush"`
+	Schedule Schedule            `json:"schedule"`
 	// ExpectFail marks schedules designed to exhaust the spare pool with
 	// shrinking disabled: the only correct outcome is a job failure with
 	// fenix.ErrOutOfSpares.
@@ -153,6 +158,7 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 		Obs:          rec,
 		ObsStream:    events,
 		Inject:       inj,
+		Flush:        cfg.Flush,
 	}
 	ccfg := core.Config{
 		Strategy:           core.StrategyFenixKRVeloC,
@@ -189,6 +195,7 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 	rep.Survived = int(reg.CounterValue(obs.MFailuresSurvived))
 	rep.Rebuilds = int(reg.CounterValue(obs.MRebuilds))
 	rep.SparesActivated = int(reg.CounterValue(obs.MSparesActivated))
+	rep.FlushesCoalesced = int(reg.CounterValue(obs.MFlushCoalesced))
 
 	arep, err := analyze.Analyze(rec.Events())
 	if err != nil {
@@ -211,6 +218,10 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 		rep.Shrunk += sp.Shrunk
 	}
 	rep.FinalSize = cfg.Ranks - rep.Shrunk
+	for _, g := range arep.Checkpoints {
+		rep.FlushesQueued += g.FlushesQueued
+		rep.FlushesStarted += g.FlushesStarted
+	}
 
 	checkInvariants(rep, cfg, arep, refs, run)
 	checkGoroutines(rep, baseline)
@@ -294,6 +305,28 @@ func checkInvariants(rep *RunReport, cfg RunConfig, arep *analyze.Report, refs *
 	}
 	if replaced != rep.SparesActivated {
 		v(fmt.Sprintf("spans replaced %d slots, %s = %d", replaced, obs.MSparesActivated, rep.SparesActivated))
+	}
+	// Flush-scheduler accounting reconciles with the event stream: every
+	// checkpoint's flush is queued exactly once, a flush starts at most
+	// once, and every cancellation is either a coalesce (counted) or a
+	// crash discard (bounded by the non-spare kills, each of which can wipe
+	// at most one node's queue).
+	totalFlushes := 0
+	for _, g := range arep.Checkpoints {
+		totalFlushes += g.Flushes
+	}
+	if cfg.Flush.Enabled() {
+		if rep.FlushesQueued != totalFlushes {
+			v(fmt.Sprintf("scheduler queued %d flushes, but %d flush_begin events were emitted", rep.FlushesQueued, totalFlushes))
+		}
+		if rep.FlushesStarted > rep.FlushesQueued {
+			v(fmt.Sprintf("scheduler started %d flushes but only %d were queued", rep.FlushesStarted, rep.FlushesQueued))
+		}
+		if cancelled := rep.FlushesQueued - rep.FlushesStarted; rep.FlushesCoalesced > cancelled {
+			v(fmt.Sprintf("%s = %d exceeds the %d cancelled flushes", obs.MFlushCoalesced, rep.FlushesCoalesced, cancelled))
+		}
+	} else if rep.FlushesQueued != 0 || rep.FlushesCoalesced != 0 {
+		v(fmt.Sprintf("scheduling disabled but saw %d queued / %d coalesced flushes", rep.FlushesQueued, rep.FlushesCoalesced))
 	}
 	if cfg.ExpectFail {
 		return // no final answer to check

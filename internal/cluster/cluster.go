@@ -74,6 +74,13 @@ type Node struct {
 	mu      sync.Mutex
 	scratch map[string]stored
 	flushes []window
+	// Flush scheduling state (see flushsched.go). policy zero = unscheduled;
+	// pending holds queued, not-yet-started flushes; flushFrontier is the
+	// latest start assigned to a committed flush (starts are monotone).
+	policy        FlushPolicy
+	pending       []*pendingFlush
+	flushSeq      int
+	flushFrontier float64
 }
 
 // stored is a scratch or PFS object: real contents plus the simulated size
@@ -158,10 +165,17 @@ func (n *Node) ScratchSimBytes() int {
 	return total
 }
 
-// ScratchClear drops all scratch contents, modeling node memory loss.
+// ScratchClear drops all scratch contents, modeling node memory loss. A
+// node crash also takes the VeloC server's flush queue with it: queued
+// flushes read from the scratch that was just lost, so they are discarded
+// (their OnStart callbacks never fire).
 func (n *Node) ScratchClear() {
 	n.mu.Lock()
 	n.scratch = make(map[string]stored)
+	for i := range n.pending {
+		n.pending[i] = nil
+	}
+	n.pending = n.pending[:0]
 	n.mu.Unlock()
 }
 
@@ -187,47 +201,40 @@ func (n *Node) FlushAsyncFor(key, pfsKey string, start float64, owner int) (end 
 	}
 	end = n.pfs.WriteSizedFor(pfsKey, s.data, start, s.simBytes, owner)
 	n.mu.Lock()
-	n.flushes = append(n.flushes, window{start: start, end: end})
-	// Prune windows that ended well before the new flush began to bound
-	// memory over long runs.
-	if len(n.flushes) > 64 {
-		kept := n.flushes[:0]
-		for _, w := range n.flushes {
-			if w.end > start-1.0 {
-				kept = append(kept, w)
-			}
-		}
-		n.flushes = kept
-	}
+	n.recordFlushLocked(start, end)
 	n.mu.Unlock()
 	return end, nil
 }
 
 // CongestedAt reports whether an asynchronous flush from this node is in
 // flight at virtual time t. MPI operations issued while congested are
-// inflated by the machine's CongestionFactor.
+// inflated by the machine's CongestionFactor. The query first advances the
+// node's flush scheduler to t, so queued flushes whose start times have
+// been reached count as in flight.
 func (n *Node) CongestedAt(t float64) bool {
+	var fire []func()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, w := range n.flushes {
-		if w.contains(t) {
-			return true
-		}
+	n.advanceLocked(t, &fire)
+	congested := n.openAtLocked(t) > 0
+	n.mu.Unlock()
+	for _, f := range fire {
+		f()
 	}
-	return false
+	return congested
 }
 
 // InFlightAt returns the number of asynchronous flushes from this node
 // still in flight at virtual time t (the flush queue depth the
-// observability layer samples).
+// observability layer samples). Like CongestedAt, it advances the
+// scheduler to t first.
 func (n *Node) InFlightAt(t float64) int {
+	var fire []func()
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	depth := 0
-	for _, w := range n.flushes {
-		if w.contains(t) {
-			depth++
-		}
+	n.advanceLocked(t, &fire)
+	depth := n.openAtLocked(t)
+	n.mu.Unlock()
+	for _, f := range fire {
+		f()
 	}
 	return depth
 }

@@ -1,0 +1,306 @@
+// Per-node checkpoint flush scheduling.
+//
+// Without a policy (FlushPolicy{}), every flush starts the instant it is
+// submitted — the classic VeloC server behaviour, in which short checkpoint
+// intervals pile up concurrent PFS writes that share the aggregate
+// bandwidth and keep the node's congestion window open for the whole run.
+//
+// With a policy, each node runs a small scheduler over its own flush
+// queue:
+//
+//   - Window bounds the number of concurrently in-flight flushes the node
+//     starts; excess requests wait in a queue.
+//   - The queue is ordered deadline-aware: the request whose completion
+//     gates the earliest next checkpoint commit starts first (ties broken
+//     by submission order).
+//   - Coalesce cancels a queued, not-yet-started flush when a newer
+//     version of the same checkpoint (same CoalesceKey) is submitted: the
+//     superseded version's bytes never reach the PFS at all.
+//
+// Scheduling is lazy in virtual time: a queued request's start time is
+// computed analytically, and the PFS write is performed ("committed") the
+// first time any observer — a congestion query, another submission, or a
+// restore path calling Cluster.AdvanceFlushes — advances the node's
+// scheduler past that start time. Until then the request remains
+// cancellable, which is what makes coalescing possible in a model where
+// PFS writes compute their full window eagerly.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FlushPolicy configures the per-node flush scheduler.
+type FlushPolicy struct {
+	// Window bounds the number of concurrently in-flight flushes per node.
+	// Zero (the default) disables scheduling entirely: every flush starts
+	// at submission time, unmanaged.
+	Window int `json:"window"`
+	// Coalesce cancels a queued, not-yet-started flush when a newer
+	// version with the same CoalesceKey is submitted.
+	Coalesce bool `json:"coalesce,omitempty"`
+}
+
+// Enabled reports whether the policy activates the scheduler.
+func (p FlushPolicy) Enabled() bool { return p.Window > 0 }
+
+// FlushRequest is one scheduled flush: a scratch entry to copy to the PFS
+// on behalf of an owner rank, with the scheduling inputs the policy layer
+// (internal/veloc) computed.
+type FlushRequest struct {
+	// Key is the scratch entry to flush; PFSKey names the PFS object.
+	Key    string
+	PFSKey string
+	// Owner is the world rank whose server performs the write (NoOwner if
+	// unattributed); PFS.FailPending invalidates the write if the owner
+	// dies mid-window.
+	Owner int
+	// Deadline orders the queue: earlier deadlines start first. The policy
+	// layer sets it to the estimated time of the owner's next checkpoint.
+	Deadline float64
+	// CoalesceKey groups requests that supersede one another (one
+	// checkpoint name + logical rank). Empty disables coalescing for this
+	// request.
+	CoalesceKey string
+	// Version orders requests within a CoalesceKey: a submission cancels
+	// queued requests with the same key and Version <= its own.
+	Version int
+	// OnStart, if non-nil, is invoked — outside all cluster locks — when
+	// the flush is committed, with its window [start, end) and the node's
+	// flush queue depth (in-flight + queued) at end. It is never invoked
+	// for a cancelled request.
+	OnStart func(start, end float64, depthAtEnd int)
+}
+
+// pendingFlush is one queued, not-yet-started flush.
+type pendingFlush struct {
+	req      FlushRequest
+	enqueued float64
+	seq      int
+
+	started    bool
+	start, end float64
+}
+
+// SetFlushPolicy installs the flush policy on every node.
+func (c *Cluster) SetFlushPolicy(p FlushPolicy) {
+	for _, n := range c.nodes {
+		n.SetFlushPolicy(p)
+	}
+}
+
+// AdvanceFlushes advances every node's flush scheduler to virtual time t,
+// committing queued flushes whose start times have been reached. Restore
+// paths call it before reading the PFS so flushes that "have started" by
+// the reader's clock are visible.
+func (c *Cluster) AdvanceFlushes(t float64) {
+	for _, n := range c.nodes {
+		n.AdvanceFlushes(t)
+	}
+}
+
+// SetFlushPolicy installs the node's flush policy. It must be set before
+// the job's ranks start issuing checkpoints.
+func (n *Node) SetFlushPolicy(p FlushPolicy) {
+	n.mu.Lock()
+	n.policy = p
+	n.mu.Unlock()
+}
+
+// FlushPolicy returns the node's flush policy.
+func (n *Node) FlushPolicy() FlushPolicy {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.policy
+}
+
+// QueuedFlushes returns the number of flushes queued but not yet started.
+func (n *Node) QueuedFlushes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+// AdvanceFlushes advances this node's scheduler to virtual time t.
+func (n *Node) AdvanceFlushes(t float64) {
+	var fire []func()
+	n.mu.Lock()
+	n.advanceLocked(t, &fire)
+	n.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+}
+
+// CrashFlushes models the node's flush daemon dying at virtual time t:
+// queued flushes whose scheduled start had been reached by t are committed
+// first — their PFS writes were in flight and fail through PFS.FailPending
+// like any interrupted window — and the remainder of the queue is
+// discarded, their OnStart callbacks never invoked. Committing before
+// discarding keeps the started/discarded split a pure function of virtual
+// time, independent of which rank's goroutine last observed the scheduler.
+func (n *Node) CrashFlushes(t float64) {
+	var fire []func()
+	n.mu.Lock()
+	n.advanceLocked(t, &fire)
+	for i := range n.pending {
+		n.pending[i] = nil
+	}
+	n.pending = n.pending[:0]
+	n.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+}
+
+// FlushSubmit routes one flush through the node's scheduler. With
+// scheduling disabled it behaves exactly like FlushAsyncFor: the flush
+// starts at now, and started is true with end its completion time. With
+// scheduling enabled the request joins the queue; if a window slot is free
+// it starts immediately, otherwise started is false and its eventual
+// window is reported only through req.OnStart. coalesced counts queued
+// requests with the same CoalesceKey and an older-or-equal Version that
+// this submission cancelled; their OnStart callbacks are never invoked and
+// their bytes never reach the PFS.
+func (n *Node) FlushSubmit(req FlushRequest, now float64) (started bool, end float64, coalesced int, err error) {
+	if !n.FlushPolicy().Enabled() {
+		end, err = n.FlushAsyncFor(req.Key, req.PFSKey, now, req.Owner)
+		if err != nil {
+			return false, 0, 0, err
+		}
+		if req.OnStart != nil {
+			req.OnStart(now, end, n.InFlightAt(end))
+		}
+		return true, end, 0, nil
+	}
+
+	var fire []func()
+	n.mu.Lock()
+	if _, ok := n.scratch[req.Key]; !ok {
+		n.mu.Unlock()
+		return false, 0, 0, fmt.Errorf("cluster: flush of missing scratch key %q on node %d", req.Key, n.id)
+	}
+	n.advanceLocked(now, &fire)
+	if n.policy.Coalesce && req.CoalesceKey != "" {
+		kept := n.pending[:0]
+		for _, e := range n.pending {
+			if e.req.CoalesceKey == req.CoalesceKey && e.req.Version <= req.Version {
+				coalesced++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		for i := len(kept); i < len(n.pending); i++ {
+			n.pending[i] = nil
+		}
+		n.pending = kept
+	}
+	n.flushSeq++
+	entry := &pendingFlush{req: req, enqueued: now, seq: n.flushSeq}
+	n.pending = append(n.pending, entry)
+	n.advanceLocked(now, &fire)
+	started, end = entry.started, entry.end
+	n.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
+	return started, end, coalesced, nil
+}
+
+// advanceLocked commits every queued flush whose scheduled start has been
+// reached by virtual time t, in (deadline, submission) order. Committing
+// performs the PFS write at the computed start; entries still queued
+// afterwards remain cancellable. OnStart callbacks are appended to fire
+// for invocation after the node lock is released. Caller holds n.mu.
+func (n *Node) advanceLocked(t float64, fire *[]func()) {
+	for len(n.pending) > 0 {
+		best := 0
+		for i, e := range n.pending {
+			b := n.pending[best]
+			if e.req.Deadline < b.req.Deadline ||
+				(e.req.Deadline == b.req.Deadline && e.seq < b.seq) {
+				best = i
+			}
+		}
+		e := n.pending[best]
+		start := n.nextStartLocked(e.enqueued)
+		if start > t {
+			return
+		}
+		copy(n.pending[best:], n.pending[best+1:])
+		n.pending[len(n.pending)-1] = nil
+		n.pending = n.pending[:len(n.pending)-1]
+		s, ok := n.scratch[e.req.Key]
+		if !ok {
+			// The scratch entry was dropped (GC) while queued; nothing to
+			// flush.
+			continue
+		}
+		end := n.pfs.WriteSizedFor(e.req.PFSKey, s.data, start, s.simBytes, e.req.Owner)
+		n.recordFlushLocked(start, end)
+		e.started, e.start, e.end = true, start, end
+		if e.req.OnStart != nil {
+			depth := n.openAtLocked(end) + len(n.pending)
+			cb, st, en := e.req.OnStart, start, end
+			*fire = append(*fire, func() { cb(st, en, depth) })
+		}
+	}
+}
+
+// nextStartLocked returns the earliest virtual time — no earlier than
+// `after` or any previously assigned start (the frontier) — at which the
+// number of in-flight flushes is below the policy window. Assigned starts
+// are monotone non-decreasing in commit order, which keeps the window
+// bound valid at every future instant. Caller holds n.mu.
+func (n *Node) nextStartLocked(after float64) float64 {
+	t := after
+	if n.flushFrontier > t {
+		t = n.flushFrontier
+	}
+	for {
+		var ends []float64
+		for _, w := range n.flushes {
+			if w.contains(t) {
+				ends = append(ends, w.end)
+			}
+		}
+		if len(ends) < n.policy.Window {
+			return t
+		}
+		sort.Float64s(ends)
+		// Move to the completion that frees enough slots: past
+		// ends[len-Window], at most Window-1 of these windows remain open.
+		t = ends[len(ends)-n.policy.Window]
+	}
+}
+
+// openAtLocked counts flush windows containing t. Caller holds n.mu.
+func (n *Node) openAtLocked(t float64) int {
+	depth := 0
+	for _, w := range n.flushes {
+		if w.contains(t) {
+			depth++
+		}
+	}
+	return depth
+}
+
+// recordFlushLocked appends a committed flush window, advancing the start
+// frontier and pruning windows that ended well before the new flush began
+// to bound memory over long runs. Caller holds n.mu.
+func (n *Node) recordFlushLocked(start, end float64) {
+	if start > n.flushFrontier {
+		n.flushFrontier = start
+	}
+	n.flushes = append(n.flushes, window{start: start, end: end})
+	if len(n.flushes) > 64 {
+		kept := n.flushes[:0]
+		for _, w := range n.flushes {
+			if w.end > start-1.0 {
+				kept = append(kept, w)
+			}
+		}
+		n.flushes = kept
+	}
+}

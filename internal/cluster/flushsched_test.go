@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// flushRecorder collects committed windows through OnStart callbacks.
+type flushRecorder struct {
+	starts map[string]float64
+	ends   map[string]float64
+}
+
+func newFlushRecorder() *flushRecorder {
+	return &flushRecorder{starts: map[string]float64{}, ends: map[string]float64{}}
+}
+
+func (r *flushRecorder) req(key string, deadline float64, ckey string, version int) FlushRequest {
+	return FlushRequest{
+		Key: key, PFSKey: key, Owner: NoOwner,
+		Deadline: deadline, CoalesceKey: ckey, Version: version,
+		OnStart: func(start, end float64, depth int) {
+			r.starts[key] = start
+			r.ends[key] = end
+		},
+	}
+}
+
+// schedNode returns a single node with the given window, plus scratch
+// entries k0..k<n-1> of simBytes each (~0.1s per flush at the default
+// machine's 1.5 GB/s per-client PFS bandwidth for 150 MB).
+func schedNode(t *testing.T, window, entries, simBytes int) *Node {
+	t.Helper()
+	n := New(1, testMachine()).Node(0)
+	n.SetFlushPolicy(FlushPolicy{Window: window, Coalesce: true})
+	for i := 0; i < entries; i++ {
+		n.ScratchWriteSized(fkey(i), []byte{byte(i)}, simBytes)
+	}
+	return n
+}
+
+func fkey(i int) string { return string(rune('a' + i)) }
+
+func TestFlushSubmitUnscheduledStartsImmediately(t *testing.T) {
+	n := New(1, testMachine()).Node(0)
+	n.ScratchWriteSized("a", []byte{1}, 150_000_000)
+	rec := newFlushRecorder()
+	started, end, coalesced, err := n.FlushSubmit(rec.req("a", 1.0, "", 0), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !started || coalesced != 0 {
+		t.Fatalf("started=%v coalesced=%d; unscheduled submit must start at once", started, coalesced)
+	}
+	if rec.starts["a"] != 2.0 {
+		t.Fatalf("unscheduled flush started at %v, want submission time 2.0", rec.starts["a"])
+	}
+	if end <= 2.0 {
+		t.Fatalf("flush end %v not after start", end)
+	}
+	if avail, ok := n.pfs.Exists("a"); !ok || avail != end {
+		t.Fatalf("PFS entry availableAt=%v ok=%v, want %v", avail, ok, end)
+	}
+}
+
+func TestFlushWindowBoundsInFlight(t *testing.T) {
+	const sim = 150_000_000
+	n := schedNode(t, 1, 3, sim)
+	rec := newFlushRecorder()
+	for i := 0; i < 3; i++ {
+		started, _, _, err := n.FlushSubmit(rec.req(fkey(i), float64(i), "", 0), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == 0) != started {
+			t.Fatalf("submit %d: started=%v, want only the first to start", i, started)
+		}
+	}
+	if q := n.QueuedFlushes(); q != 2 {
+		t.Fatalf("QueuedFlushes = %d, want 2", q)
+	}
+	n.AdvanceFlushes(1e9)
+	if q := n.QueuedFlushes(); q != 0 {
+		t.Fatalf("QueuedFlushes = %d after full drain", q)
+	}
+	// Window 1: the three flushes must be strictly serialized.
+	for i := 1; i < 3; i++ {
+		prev, cur := key(i-1), fkey(i)
+		if rec.starts[cur] < rec.ends[prev] {
+			t.Fatalf("flush %s started at %v before %s ended at %v (window 1)",
+				cur, rec.starts[cur], prev, rec.ends[prev])
+		}
+	}
+}
+
+func TestFlushDeadlineOrdersQueue(t *testing.T) {
+	const sim = 150_000_000
+	n := schedNode(t, 1, 3, sim)
+	rec := newFlushRecorder()
+	// "a" occupies the window; "b" is submitted before "c" but has the
+	// later deadline, so "c" must start first.
+	for i, deadline := range []float64{0, 9.0, 1.0} {
+		if _, _, _, err := n.FlushSubmit(rec.req(fkey(i), deadline, "", 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.AdvanceFlushes(1e9)
+	if rec.starts["c"] >= rec.starts["b"] {
+		t.Fatalf("deadline order violated: c (deadline 1.0) started at %v, b (deadline 9.0) at %v",
+			rec.starts["c"], rec.starts["b"])
+	}
+}
+
+func TestFlushCoalesceCancelsSupersededVersion(t *testing.T) {
+	const sim = 150_000_000
+	n := schedNode(t, 1, 3, sim)
+	rec := newFlushRecorder()
+	// "a" in flight; "b" (version 1) queued; "c" (version 2, same coalesce
+	// key) supersedes it.
+	if _, _, _, err := n.FlushSubmit(rec.req("a", 0, "", 0), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := n.FlushSubmit(rec.req("b", 1, "ck/rank0", 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, coalesced, err := n.FlushSubmit(rec.req("c", 2, "ck/rank0", 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1 (version 1 superseded)", coalesced)
+	}
+	n.AdvanceFlushes(1e9)
+	if _, fired := rec.starts["b"]; fired {
+		t.Fatal("cancelled flush b fired OnStart")
+	}
+	if _, ok := n.pfs.Exists("b"); ok {
+		t.Fatal("cancelled flush b reached the PFS")
+	}
+	if _, ok := n.pfs.Exists("c"); !ok {
+		t.Fatal("superseding flush c missing from the PFS")
+	}
+	// An older version must never cancel a newer queued one.
+	n.ScratchWriteSized("d", []byte{4}, sim)
+	n.ScratchWriteSized("e", []byte{5}, sim)
+	if _, _, _, err := n.FlushSubmit(rec.req("d", 3, "ck/rank0", 5), n.pfs.mustAvail("c")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, coalesced, err = n.FlushSubmit(rec.req("e", 4, "ck/rank0", 4), n.pfs.mustAvail("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coalesced != 0 {
+		t.Fatalf("older version 4 coalesced %d newer entries", coalesced)
+	}
+}
+
+// mustAvail returns key's availability time (test helper).
+func (p *PFS) mustAvail(key string) float64 {
+	avail, ok := p.Exists(key)
+	if !ok {
+		panic("missing PFS key " + key)
+	}
+	return avail
+}
+
+func TestCrashFlushesCommitsReachedThenDiscardsRest(t *testing.T) {
+	const sim = 150_000_000 // ~0.1s per flush
+	n := schedNode(t, 1, 3, sim)
+	rec := newFlushRecorder()
+	for i := 0; i < 3; i++ {
+		if _, _, _, err := n.FlushSubmit(rec.req(fkey(i), float64(i), "", 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash mid-way through flush b's window: a (started at 0) and b
+	// (started around 0.1) had started; c (start around 0.2) had not.
+	n.CrashFlushes(0.15)
+	if _, fired := rec.starts["b"]; !fired {
+		t.Fatal("flush b's start had been reached by the crash; it must commit (and then fail as interrupted)")
+	}
+	if _, fired := rec.starts["c"]; fired {
+		t.Fatal("flush c started after the crash discarded the queue")
+	}
+	if q := n.QueuedFlushes(); q != 0 {
+		t.Fatalf("QueuedFlushes = %d after crash, want 0", q)
+	}
+	if _, ok := n.pfs.Exists("c"); ok {
+		t.Fatal("discarded flush c reached the PFS")
+	}
+	n.AdvanceFlushes(1e9) // must be a no-op
+	if _, fired := rec.starts["c"]; fired {
+		t.Fatal("discarded flush c fired OnStart after a later advance")
+	}
+}
+
+func TestScratchClearDiscardsQueuedFlushes(t *testing.T) {
+	n := schedNode(t, 1, 2, 150_000_000)
+	rec := newFlushRecorder()
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := n.FlushSubmit(rec.req(fkey(i), float64(i), "", 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.ScratchClear()
+	if q := n.QueuedFlushes(); q != 0 {
+		t.Fatalf("QueuedFlushes = %d after ScratchClear, want 0", q)
+	}
+	n.AdvanceFlushes(1e9)
+	if _, fired := rec.starts["b"]; fired {
+		t.Fatal("queued flush b survived ScratchClear")
+	}
+}
+
+func TestAdvanceFlushesIsLazyInVirtualTime(t *testing.T) {
+	const sim = 150_000_000
+	n := schedNode(t, 1, 2, sim)
+	rec := newFlushRecorder()
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := n.FlushSubmit(rec.req(fkey(i), float64(i), "", 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b's start is a's end (~0.1005); an advance short of it commits
+	// nothing, an advance past it commits b.
+	if n.AdvanceFlushes(0.05); rec.starts["b"] != 0 {
+		t.Fatalf("flush b committed at advance t=0.05, before its start")
+	}
+	if _, ok := n.pfs.Exists("b"); ok {
+		t.Fatal("queued flush b visible in the PFS before its start")
+	}
+	n.AdvanceFlushes(0.2)
+	start, fired := rec.starts["b"]
+	if !fired {
+		t.Fatal("flush b not committed by advance past its start")
+	}
+	if want := rec.ends["a"]; start != want {
+		t.Fatalf("flush b started at %v, want a's end %v (window 1)", start, want)
+	}
+	if _, ok := n.pfs.Exists("b"); !ok {
+		t.Fatal("committed flush b missing from the PFS")
+	}
+}

@@ -113,6 +113,9 @@ func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 	}
 	cost := w.machine.CollectiveTime(len(alive), bytes)
 	if congested {
+		// The whole rendezvous is slowed by one congested member; credit
+		// the inflation to the MPI-visible flush wait counter.
+		w.obs.Registry().Counter(obs.MFlushWaitSeconds).Add(cost * (w.machine.CongestionFactor - 1))
 		cost *= w.machine.CongestionFactor
 	}
 	end := maxClock + cost
@@ -145,6 +148,9 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 	seq := p.nextSeq(seqSpace)
 	key := collKey{comm: seqSpace, seq: seq}
 	start := p.clock.Now()
+	// Probed before taking the world lock: the congestion query may advance
+	// the node's flush scheduler, which can fire observability callbacks.
+	congested := p.node.CongestedAt(start)
 
 	w := c.world
 	w.mu.Lock()
@@ -174,7 +180,7 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 	r.arrivals[p.rank] = &arrival{
 		commRank:  commRank,
 		clock:     start,
-		congested: p.node.CongestedAt(start),
+		congested: congested,
 		payload:   payload,
 		bytes:     bytes,
 	}

@@ -171,7 +171,7 @@ func (c *Comm) SendSized(p *Proc, dst, tag int, data []byte, simBytes int) error
 	if c.hasDeparted(p.rank) {
 		return p.failMPI(ErrRevoked)
 	}
-	cost := p.world.machine.TransferTime(simBytes) * p.congestionFactor()
+	cost := p.congest(p.world.machine.TransferTime(simBytes))
 	p.clock.Advance(cost)
 	p.rec.Add(trace.AppMPI, cost)
 
@@ -208,7 +208,7 @@ func (c *Comm) Recv(p *Proc, src, tag int) ([]byte, error) {
 		return nil, c.fail(p, err)
 	}
 	p.clock.AdvanceTo(msg.arriveAt)
-	recvOverhead := p.world.machine.NetLatency * p.congestionFactor()
+	recvOverhead := p.congest(p.world.machine.NetLatency)
 	p.clock.Advance(recvOverhead)
 	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
 	return msg.data, nil

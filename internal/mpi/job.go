@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 
 	"repro/internal/cluster"
@@ -53,6 +54,11 @@ type JobConfig struct {
 	// every launch (see Injector); the chaos engine uses it to kill ranks
 	// at adversarial moments. Nil disables injection at near-zero cost.
 	Inject Injector
+	// Flush configures the per-node checkpoint flush scheduler
+	// (cluster.FlushPolicy). The zero value keeps the unscheduled
+	// start-immediately behaviour; a positive Window bounds in-flight
+	// flushes per node, with optional coalescing of superseded versions.
+	Flush cluster.FlushPolicy
 }
 
 func (cfg *JobConfig) normalize() {
@@ -135,6 +141,7 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 	if cl == nil {
 		cl = cluster.New(nodes, cfg.Machine)
 	}
+	cl.SetFlushPolicy(cfg.Flush)
 
 	res := &JobResult{
 		PerRank: make([]trace.Times, cfg.Ranks),
@@ -175,6 +182,13 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 			}
 		}
 		jobTime = endTime
+
+		// Finalize barrier for the flush scheduler (VELOC_Finalize waits out
+		// async flushes): commit every still-queued flush so its events and
+		// metrics land in the log deterministically. Rank clocks are final;
+		// draining does not extend the job's wall time, matching the
+		// unscheduled model where flush windows may outlive the job.
+		cl.AdvanceFlushes(math.Inf(1))
 
 		emitEnd := func() {
 			cfg.Obs.Emit(res.WallTime, -1, obs.LayerMPI, obs.EvJobEnd,

@@ -54,7 +54,7 @@ func (c *Comm) IsendSized(p *Proc, dst, tag int, data []byte, simBytes int) (*Re
 	if c.hasDeparted(p.rank) {
 		return nil, p.failMPI(ErrRevoked)
 	}
-	cost := p.world.machine.TransferTime(simBytes) * p.congestionFactor()
+	cost := p.congest(p.world.machine.TransferTime(simBytes))
 	// Post overhead only; the transfer itself proceeds in the background.
 	post := p.world.machine.NetLatency
 	p.clock.Advance(post)

@@ -126,6 +126,10 @@ func (p *Proc) Exit() {
 // kill each of the node's ranks via Exit.
 func (p *Proc) CrashNode() {
 	now := p.clock.Now()
+	// Settle the flush queue as of the crash instant before wiping scratch:
+	// flushes that had started by now die as interrupted PFS writes
+	// (FailPending below); the rest are discarded unstarted.
+	p.node.CrashFlushes(now)
 	p.node.ScratchClear()
 	pfs := p.world.cluster.PFS()
 	for _, q := range p.world.procs {
@@ -153,6 +157,19 @@ func (p *Proc) congestionFactor() float64 {
 		return p.world.machine.CongestionFactor
 	}
 	return 1
+}
+
+// congest inflates a base MPI cost by the congestion factor in effect at
+// the process's current time, crediting the inflation to the
+// veloc_flush_wait_seconds counter — the MPI-visible time cost of
+// in-flight checkpoint flushes.
+func (p *Proc) congest(base float64) float64 {
+	f := p.congestionFactor()
+	if f <= 1 {
+		return base
+	}
+	p.world.obs.Registry().Counter(obs.MFlushWaitSeconds).Add(base * (f - 1))
+	return base * f
 }
 
 // failMPI funnels every MPI error through the world's failure disposition:

@@ -118,6 +118,10 @@ type Span struct {
 	// RecomputedIters counts re-executed iterations attributed to this
 	// span, across all ranks.
 	RecomputedIters int `json:"recomputed_iters"`
+	// FlushWaitSeconds sums the scheduler queue wait (flush_start
+	// wait_seconds) of flushes started inside the span's window — how much
+	// flush backlog overlapped this recovery episode.
+	FlushWaitSeconds float64 `json:"flush_wait_seconds,omitempty"`
 	// Phases is the critical-path duration of each recovery phase.
 	Phases PhaseBreakdown `json:"phases"`
 	// PerRank breaks detection/restore/recompute down by world rank.
@@ -136,6 +140,13 @@ type CheckpointGen struct {
 	FlushesCompleted int     `json:"flushes_completed"`
 	FlushSeconds     float64 `json:"flush_seconds"`
 	Restores         int     `json:"restores"`
+	// Flush-scheduler accounting (zero when scheduling is off). A flush
+	// queued but never started was coalesced away by a newer version or
+	// discarded by the owning node's crash:
+	// cancelled = FlushesQueued - FlushesStarted.
+	FlushesQueued    int     `json:"flushes_queued,omitempty"`
+	FlushesStarted   int     `json:"flushes_started,omitempty"`
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
 }
 
 // Report is the full analysis of one event log.
@@ -257,6 +268,14 @@ func Analyze(events []obs.Event) (*Report, error) {
 			}
 		case obs.EvVeloCFlushBegin:
 			gen(e).Flushes++
+		case obs.EvVeloCFlushQueued:
+			gen(e).FlushesQueued++
+		case obs.EvVeloCFlushStart:
+			g := gen(e)
+			g.FlushesStarted++
+			if w, ok := attrNum(e, "wait_seconds"); ok {
+				g.QueueWaitSeconds += w
+			}
 		case obs.EvVeloCFlushEnd:
 			g := gen(e)
 			g.FlushesCompleted++
@@ -405,6 +424,10 @@ func buildSpan(events []obs.Event, a anchor, start, windowEnd float64) Span {
 				if s, ok := attrNum(e, "seconds"); ok {
 					rank(e.Rank).Restore += s
 				}
+			}
+		case obs.EvVeloCFlushStart:
+			if w, ok := attrNum(e, "wait_seconds"); ok {
+				sp.FlushWaitSeconds += w
 			}
 		case obs.EvRecomputeBegin:
 			if e.Time < a.time {

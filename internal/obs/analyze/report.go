@@ -55,13 +55,31 @@ func (r *Report) WriteTable(w io.Writer) error {
 	}
 
 	if len(r.Checkpoints) > 0 {
-		fmt.Fprintf(&b, "\ncheckpoint generations (veloc):\n")
-		fmt.Fprintf(&b, "%-8s %6s %10s %10s %8s %6s %10s %8s\n",
-			"version", "ckpts", "MiB", "scratch-s", "flushes", "done", "flush-s", "restores")
+		scheduled := false
 		for _, g := range r.Checkpoints {
-			fmt.Fprintf(&b, "%-8d %6d %10.1f %10.4f %8d %6d %10.4f %8d\n",
-				g.Version, g.Checkpoints, float64(g.Bytes)/(1<<20), g.ScratchSeconds,
-				g.Flushes, g.FlushesCompleted, g.FlushSeconds, g.Restores)
+			if g.FlushesQueued > 0 {
+				scheduled = true
+				break
+			}
+		}
+		fmt.Fprintf(&b, "\ncheckpoint generations (veloc):\n")
+		if scheduled {
+			fmt.Fprintf(&b, "%-8s %6s %10s %10s %8s %7s %6s %10s %10s %8s\n",
+				"version", "ckpts", "MiB", "scratch-s", "queued", "started", "done", "queue-s", "flush-s", "restores")
+			for _, g := range r.Checkpoints {
+				fmt.Fprintf(&b, "%-8d %6d %10.1f %10.4f %8d %7d %6d %10.4f %10.4f %8d\n",
+					g.Version, g.Checkpoints, float64(g.Bytes)/(1<<20), g.ScratchSeconds,
+					g.FlushesQueued, g.FlushesStarted, g.FlushesCompleted,
+					g.QueueWaitSeconds, g.FlushSeconds, g.Restores)
+			}
+		} else {
+			fmt.Fprintf(&b, "%-8s %6s %10s %10s %8s %6s %10s %8s\n",
+				"version", "ckpts", "MiB", "scratch-s", "flushes", "done", "flush-s", "restores")
+			for _, g := range r.Checkpoints {
+				fmt.Fprintf(&b, "%-8d %6d %10.1f %10.4f %8d %6d %10.4f %8d\n",
+					g.Version, g.Checkpoints, float64(g.Bytes)/(1<<20), g.ScratchSeconds,
+					g.Flushes, g.FlushesCompleted, g.FlushSeconds, g.Restores)
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -43,11 +43,13 @@ const (
 	EvKRRestoreEnd      = "kr.restore_commit"
 
 	// veloc: data layer (scratch copy + asynchronous flush).
-	EvVeloCInit       = "veloc.init"
-	EvVeloCCheckpoint = "veloc.checkpoint"
-	EvVeloCFlushBegin = "veloc.flush_begin"
-	EvVeloCFlushEnd   = "veloc.flush_end"
-	EvVeloCRestart    = "veloc.restart"
+	EvVeloCInit        = "veloc.init"
+	EvVeloCCheckpoint  = "veloc.checkpoint"
+	EvVeloCFlushBegin  = "veloc.flush_begin"
+	EvVeloCFlushQueued = "veloc.flush_queued"
+	EvVeloCFlushStart  = "veloc.flush_start"
+	EvVeloCFlushEnd    = "veloc.flush_end"
+	EvVeloCRestart     = "veloc.restart"
 
 	// core: integrated-session lifecycle.
 	EvSessionStart    = "core.session_start"
@@ -67,7 +69,8 @@ func EventNames() []string {
 		EvFenixInit, EvFenixRebuild, EvFenixRoleChange, EvFenixIMRExchange, EvFenixIMRRestore,
 		EvKRInit, EvKRRecoveryArmed, EvKRReset, EvKRCheckpointBegin, EvKRCheckpointEnd,
 		EvKRRestoreBegin, EvKRRestoreEnd,
-		EvVeloCInit, EvVeloCCheckpoint, EvVeloCFlushBegin, EvVeloCFlushEnd, EvVeloCRestart,
+		EvVeloCInit, EvVeloCCheckpoint, EvVeloCFlushBegin, EvVeloCFlushQueued,
+		EvVeloCFlushStart, EvVeloCFlushEnd, EvVeloCRestart,
 		EvSessionStart, EvFailureInjected, EvRecomputeBegin, EvRecomputeEnd,
 		EvChaosKill,
 	}
@@ -96,9 +99,12 @@ const (
 	MRestoreSeconds        = "restore_seconds"         // histogram; label: layer
 	MKRRegions             = "kr_regions_total"
 
-	MFlushes         = "veloc_flushes_total"
-	MFlushSeconds    = "veloc_flush_seconds"     // histogram
-	MFlushQueueDepth = "veloc_flush_queue_depth" // gauge, sampled at checkpoint time
+	MFlushes               = "veloc_flushes_total"
+	MFlushSeconds          = "veloc_flush_seconds"            // histogram
+	MFlushQueueDepth       = "veloc_flush_queue_depth"        // gauge, sampled at flush submit and completion
+	MFlushCoalesced        = "veloc_flush_coalesced_total"    // scheduler: superseded versions cancelled
+	MFlushWaitSeconds      = "veloc_flush_wait_seconds"       // counter: MPI-visible flush wait (congestion inflation + restore stalls)
+	MFlushQueueWaitSeconds = "veloc_flush_queue_wait_seconds" // histogram: scheduler queue wait per flush
 
 	MRecomputeIters = "recompute_iterations_total"
 )
@@ -113,6 +119,7 @@ func MetricNames() []string {
 		MCheckpoints, MCheckpointBytes, MCheckpointSyncSeconds,
 		MRestores, MRestoreBytes, MRestoreSeconds, MKRRegions,
 		MFlushes, MFlushSeconds, MFlushQueueDepth,
+		MFlushCoalesced, MFlushWaitSeconds, MFlushQueueWaitSeconds,
 		MRecomputeIters,
 	}
 }

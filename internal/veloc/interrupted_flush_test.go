@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/mpi"
 	"repro/internal/trace"
 )
@@ -81,6 +82,77 @@ func TestRestartSkipsInterruptedFlush(t *testing.T) {
 		}
 		if !bytes.Equal(restored, []byte("generation-2b!-data")) {
 			t.Errorf("restored %q, want the recomputed generation-2 data", restored)
+		}
+		return nil
+	})
+}
+
+// TestRestartSkipsQueuedAndCancelledFlushes extends the node-crash
+// contract to the flush scheduler: when the node dies, the version whose
+// flush was in flight is interrupted (as before), a version still queued
+// is discarded unstarted, and a version cancelled earlier by coalescing
+// never existed on the PFS at all. Restart must fall back past all three
+// to the newest version whose flush completed.
+func TestRestartSkipsQueuedAndCancelledFlushes(t *testing.T) {
+	runRanks(t, 1, func(p *mpi.Proc) error {
+		p.World().Cluster().SetFlushPolicy(cluster.FlushPolicy{Window: 1, Coalesce: true})
+		c, err := New(p, Config{Mode: Single})
+		if err != nil {
+			return err
+		}
+		buf := []byte("generation-zero-data")
+		c.Protect(0, SliceRegion{&buf})
+
+		if err := c.Checkpoint("ck", 0); err != nil {
+			return err
+		}
+		// Let version 0's flush drain; the window is free again.
+		p.ChargeTime(trace.AppCompute, 1e6)
+
+		// Version 1 starts immediately; versions 2 and 3 arrive while it is
+		// still in flight, so 2 queues and is then cancelled by 3's
+		// submission (same checkpoint, newer version).
+		copy(buf, []byte("generation-one!-data"))
+		if err := c.Checkpoint("ck", 1); err != nil {
+			return err
+		}
+		copy(buf, []byte("generation-two!-data"))
+		if err := c.Checkpoint("ck", 2); err != nil {
+			return err
+		}
+		copy(buf, []byte("generation-tri!-data"))
+		if err := c.Checkpoint("ck", 3); err != nil {
+			return err
+		}
+
+		// The node dies: version 1's in-flight PFS write never completes,
+		// and version 3 is discarded from the queue unstarted.
+		p.CrashNode()
+
+		for v := 1; v <= 3; v++ {
+			if c.Available("ck", v) {
+				t.Errorf("version %d reported available after the node crash", v)
+			}
+		}
+		if !c.Available("ck", 0) {
+			t.Error("version 0 (completed flush) should remain available")
+		}
+
+		r, err := New(p, Config{Mode: Single})
+		if err != nil {
+			return err
+		}
+		restored := make([]byte, len(buf))
+		r.Protect(0, SliceRegion{&restored})
+		v, err := r.RestartLatest("ck")
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			t.Errorf("restarted from version %d, want 0 (1 interrupted, 2 coalesced, 3 discarded)", v)
+		}
+		if !bytes.Equal(restored, []byte("generation-zero-data")) {
+			t.Errorf("restored %q, want generation-zero data", restored)
 		}
 		return nil
 	})

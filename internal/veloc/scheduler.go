@@ -1,0 +1,94 @@
+// The VeloC-side flush scheduling policy. The mechanism — a per-node
+// bounded window over in-flight flushes with a deadline-ordered,
+// coalescible queue — lives in cluster.FlushSubmit; this file computes the
+// scheduling inputs (deadline, coalesce key) and emits the scheduler's
+// observability: veloc.flush_queued at submission, veloc.flush_start /
+// veloc.flush_end stamped with the committed window, and the coalescing
+// and queue-wait metrics.
+//
+// Scheduling is enabled per job through mpi.JobConfig.Flush (the
+// -flush-window / -flush-coalesce flags on cmd/heatdis and cmd/minimd);
+// with the zero policy Checkpoint keeps the classic unmanaged
+// one-flush-per-checkpoint behaviour.
+package veloc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// flushDeadline estimates when the submitted flush must complete to stay
+// off the application's critical path: one checkpoint cadence from now,
+// i.e. around the rank's next checkpoint commit. The first checkpoint has
+// no cadence history and gets an unbounded deadline (lowest priority).
+func (c *Client) flushDeadline(now float64) float64 {
+	if c.lastCkptAt < 0 {
+		return math.Inf(1)
+	}
+	return now + (now - c.lastCkptAt)
+}
+
+// coalesceKey groups flushes that supersede one another: all versions of
+// one checkpoint name written by one logical rank.
+func (c *Client) coalesceKey(name string) string {
+	return fmt.Sprintf("%s/rank%d", name, c.rank)
+}
+
+// scheduleFlush submits the checkpoint's PFS flush to the node's flush
+// scheduler. now is the submission time (the caller's clock when the
+// scratch copy finished).
+func (c *Client) scheduleFlush(name string, version, simSize int, now float64) error {
+	node := c.p.Node()
+	rec := c.p.Obs()
+	rank := c.p.Rank()
+	key := dataKey(name, version, c.rank)
+	req := cluster.FlushRequest{
+		Key:         key,
+		PFSKey:      key,
+		Owner:       rank,
+		Deadline:    c.flushDeadline(now),
+		CoalesceKey: c.coalesceKey(name),
+		Version:     version,
+	}
+	if rec.Enabled() {
+		// Emitted before submission so flush_queued orders ahead of the
+		// flush_start that a free window slot triggers immediately.
+		rec.Emit(now, rank, obs.LayerVeloC, obs.EvVeloCFlushQueued,
+			obs.KV("name", name), obs.KV("version", version),
+			obs.KV("bytes", simSize), obs.KV("deadline", req.Deadline),
+			obs.KV("queue_depth", node.QueuedFlushes()+node.InFlightAt(now)))
+		reg := rec.Registry()
+		req.OnStart = func(start, end float64, depthAtEnd int) {
+			// Stamped with the committed window's virtual times, ahead of
+			// the emitting rank's clock (the recorder re-orders by time).
+			rec.Emit(start, rank, obs.LayerVeloC, obs.EvVeloCFlushStart,
+				obs.KV("name", name), obs.KV("version", version),
+				obs.KV("bytes", simSize), obs.KV("wait_seconds", start-now))
+			rec.Emit(end, rank, obs.LayerVeloC, obs.EvVeloCFlushEnd,
+				obs.KV("name", name), obs.KV("version", version),
+				obs.KV("bytes", simSize), obs.KV("seconds", end-now),
+				obs.KV("queue_depth", depthAtEnd))
+			reg.Histogram(obs.MFlushSeconds, obs.TimeBuckets).Observe(end - now)
+			reg.Histogram(obs.MFlushQueueWaitSeconds, obs.TimeBuckets).Observe(start - now)
+			reg.Gauge(obs.MFlushQueueDepth).Set(float64(depthAtEnd))
+		}
+	}
+	_, _, coalesced, err := node.FlushSubmit(req, now)
+	if err != nil {
+		return err
+	}
+	if coalesced > 0 {
+		rec.Registry().Counter(obs.MFlushCoalesced).Add(float64(coalesced))
+	}
+	return nil
+}
+
+// syncFlushes advances every node's flush scheduler to the caller's
+// current time, so queued flushes whose start times have been reached are
+// visible to the PFS reads that follow. A no-op when scheduling is off.
+func (c *Client) syncFlushes() {
+	c.p.World().Cluster().AdvanceFlushes(c.p.Now())
+}

@@ -110,6 +110,10 @@ type Client struct {
 	rank    int
 	regions map[int]Region
 	ids     []int
+	// lastCkptAt is the virtual time of the previous Checkpoint call
+	// (negative before the first one); the flush scheduler derives its
+	// deadline from the observed checkpoint cadence.
+	lastCkptAt float64
 }
 
 // initCost is the virtual cost of VeloC client initialization (connecting
@@ -119,7 +123,7 @@ const initCost = 5e-3
 // New creates a VeloC client for process p. It charges the resilience
 // initialization cost to p's clock.
 func New(p *mpi.Proc, cfg Config) (*Client, error) {
-	c := &Client{p: p, mode: cfg.Mode, comm: cfg.Comm, regions: make(map[int]Region)}
+	c := &Client{p: p, mode: cfg.Mode, comm: cfg.Comm, regions: make(map[int]Region), lastCkptAt: -1}
 	switch cfg.Mode {
 	case Collective:
 		if cfg.Comm == nil {
@@ -292,30 +296,42 @@ func (c *Client) Checkpoint(name string, version int) error {
 	now := c.p.Now()
 	c.p.Event(obs.LayerVeloC, obs.EvVeloCFlushBegin,
 		obs.KV("name", name), obs.KV("version", version), obs.KV("bytes", simSize))
-	// The flush is owner-tagged with this process's world rank: if the
-	// process's node crashes before the flush window closes
-	// (mpi.Proc.CrashNode), the PFS copy never becomes readable and restart
-	// falls back to an older complete version.
-	end, err := node.FlushAsyncFor(dataKey(name, version, c.rank), dataKey(name, version, c.rank), now, c.p.Rank())
-	if err != nil {
-		return err
-	}
 	if rec := c.p.Obs(); rec.Enabled() {
-		// The flush completes asynchronously on the node's server; the end
-		// event is stamped with its virtual completion time, ahead of the
-		// emitting rank's clock.
-		rec.Emit(end, c.p.Rank(), obs.LayerVeloC, obs.EvVeloCFlushEnd,
-			obs.KV("name", name), obs.KV("version", version),
-			obs.KV("bytes", simSize), obs.KV("seconds", end-now))
 		reg := rec.Registry()
 		layer := obs.L("layer", "veloc")
 		reg.Counter(obs.MCheckpoints, layer).Inc()
 		reg.Counter(obs.MCheckpointBytes, layer).Add(float64(simSize))
 		reg.Histogram(obs.MCheckpointSyncSeconds, obs.TimeBuckets, layer).Observe(cost)
 		reg.Counter(obs.MFlushes).Inc()
-		reg.Histogram(obs.MFlushSeconds, obs.TimeBuckets).Observe(end - now)
-		reg.Gauge(obs.MFlushQueueDepth).Set(float64(node.InFlightAt(now)))
 	}
+	// The flush is owner-tagged with this process's world rank: if the
+	// process's node crashes before the flush window closes
+	// (mpi.Proc.CrashNode), the PFS copy never becomes readable and restart
+	// falls back to an older complete version.
+	if node.FlushPolicy().Enabled() {
+		if err := c.scheduleFlush(name, version, simSize, now); err != nil {
+			return err
+		}
+	} else {
+		end, err := node.FlushAsyncFor(dataKey(name, version, c.rank), dataKey(name, version, c.rank), now, c.p.Rank())
+		if err != nil {
+			return err
+		}
+		if rec := c.p.Obs(); rec.Enabled() {
+			// The flush completes asynchronously on the node's server; the end
+			// event is stamped with its virtual completion time, ahead of the
+			// emitting rank's clock. queue_depth is sampled at completion so
+			// the analyzer sees the queue drain, not just its growth.
+			rec.Emit(end, c.p.Rank(), obs.LayerVeloC, obs.EvVeloCFlushEnd,
+				obs.KV("name", name), obs.KV("version", version),
+				obs.KV("bytes", simSize), obs.KV("seconds", end-now),
+				obs.KV("queue_depth", node.InFlightAt(end)))
+			reg := rec.Registry()
+			reg.Histogram(obs.MFlushSeconds, obs.TimeBuckets).Observe(end - now)
+			reg.Gauge(obs.MFlushQueueDepth).Set(float64(node.InFlightAt(now)))
+		}
+	}
+	c.lastCkptAt = now
 	// Publish the PFS meta entry; its availability follows the data flush.
 	c.p.World().Cluster().PFS().Write(metaKey(name, c.rank), encodeVersion(version), c.p.Now())
 	// The flush window is still open here: a kill at this point models a
@@ -334,6 +350,7 @@ func (c *Client) Checkpoint(name string, version int) error {
 // the newest *complete* version (older versions persist — the core stack
 // never garbage-collects them).
 func (c *Client) localLatest(name string) (int, bool) {
+	c.syncFlushes()
 	v, ok := -1, false
 	if b, _, sok := c.p.Node().ScratchRead(metaKey(name, c.rank)); sok {
 		if dv, dok := decodeVersion(b); dok {
@@ -409,6 +426,7 @@ func (c *Client) BestCommonVersion(name string, comm *mpi.Comm) (int, error) {
 // (typically a replacement process on a spare node) read from the PFS,
 // waiting out any still-running flush. Time is charged to DataRecovery.
 func (c *Client) Restart(name string, version int) error {
+	c.syncFlushes()
 	key := dataKey(name, version, c.rank)
 	// noteRestart records the restore with the cost-model size stored
 	// alongside the checkpoint, matching the units of
@@ -438,6 +456,14 @@ func (c *Client) Restart(name string, version int) error {
 	blob, ready, ok := pfs.Read(key, c.p.Now())
 	if !ok {
 		return fmt.Errorf("%w: %s version %d (rank %d)", ErrNoCheckpoint, name, version, c.rank)
+	}
+	if now := c.p.Now(); ready > now {
+		// The checkpoint's flush is still draining: the stall until it
+		// becomes readable is MPI-visible flush wait, same budget as the
+		// congestion inflation charged on communication.
+		if reg := c.p.Obs().Registry(); reg != nil {
+			reg.Counter(obs.MFlushWaitSeconds).Add(ready - now)
+		}
 	}
 	waited := c.p.Clock().AdvanceTo(ready)
 	c.p.Recorder().Add(trace.DataRecovery, waited)
@@ -491,6 +517,7 @@ func (c *Client) GCBefore(name string, keepFrom int) {
 // Available reports whether version `version` of `name` is restorable by
 // this rank from scratch or the PFS.
 func (c *Client) Available(name string, version int) bool {
+	c.syncFlushes()
 	key := dataKey(name, version, c.rank)
 	if _, _, ok := c.p.Node().ScratchRead(key); ok {
 		return true

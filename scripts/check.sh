@@ -1,37 +1,113 @@
 #!/bin/sh
-# Full verification: build, vet, race-enabled tests, the observability
-# overhead benchmarks, and an end-to-end obsreport smoke test. Supersedes
-# `make check` for environments without make.
-set -eux
+# Full verification, shared by `make check` and the CI workflow: build,
+# vet, race-enabled tests, the observability and flush-scheduler
+# benchmarks, an end-to-end obsreport smoke test, and the chaos campaign
+# with pinned-seed replays.
+#
+# Usage: scripts/check.sh [section ...]
+#   sections: build vet race bench report chaos   (default: all)
+#
+# Environment:
+#   CHAOS_SEEDS  number of campaign seeds to sweep (default 36; CI's
+#                per-commit job reduces this to 12, nightly runs raise it)
+#
+# Runs under `set -e`: the first failing command aborts the script with a
+# non-zero exit, and the banner of the section it died in is the last one
+# printed.
+set -eu
 cd "$(dirname "$0")/.."
-go build ./...
-go vet ./...
-go test -race ./...
 
-# Observability overhead: the same failure-injected Heatdis cell with
-# recording off, on, and streaming (one iteration each; a smoke check
-# that the instrumented paths stay healthy end to end).
-go test -run '^$' -bench 'BenchmarkHeatdisObs' -benchtime 1x .
+CHAOS_SEEDS=${CHAOS_SEEDS:-36}
 
-# Recovery-timeline pipeline: stream a failure-injected run's events and
-# analyze them with obsreport (table and JSON forms).
+banner() {
+    echo ""
+    echo "==> $*"
+}
+
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-go run ./cmd/heatdis -ranks 8 -data-mb 64 -iters 30 -interval 5 \
-    -fail -stream -events "$tmp/events.jsonl"
-go run ./cmd/obsreport "$tmp/events.jsonl" | grep -q 'unrepaired 0'
-go run ./cmd/obsreport -json "$tmp/events.jsonl" > "$tmp/report.json"
-grep -q '"failures_repaired": 1' "$tmp/report.json"
-grep -q '"failures_unrepaired": 0' "$tmp/report.json"
 
-# Chaos campaign: a short adversarial sweep over the full mode x app
-# matrix under the race detector (kills inside checkpoint regions and
-# flush windows, nested failures, correlated node loss, spare exhaustion
-# with and without shrinking). Then replay a storm-shrink seed with its
-# event log streamed, and cross-check that obsreport surfaces the shrink
-# events and per-span shrunk-slot accounting.
-go run -race ./cmd/chaos -seeds 36 -json "$tmp/campaign.json"
-grep -q '"violated": 0' "$tmp/campaign.json"
-go run ./cmd/chaos -seed 7 -json "$tmp/chaosrun.json" -events "$tmp/chaos-events.jsonl"
-grep -q '"shrunk": 2' "$tmp/chaosrun.json"
-go run ./cmd/obsreport "$tmp/chaos-events.jsonl" | grep -q 'shrink events: 2'
+run_build() {
+    banner "build: go build ./..."
+    go build ./...
+}
+
+run_vet() {
+    banner "vet: go vet ./... and gofmt"
+    go vet ./...
+    unformatted=$(gofmt -l . 2>/dev/null)
+    if [ -n "$unformatted" ]; then
+        echo "gofmt needed on:"
+        echo "$unformatted"
+        exit 1
+    fi
+}
+
+run_race() {
+    banner "race: go test -race ./..."
+    go test -race ./...
+}
+
+run_bench() {
+    # Observability overhead and flush scheduling: the same
+    # failure-injected Heatdis cells with recording off/on/streaming and
+    # with unscheduled vs windowed flushing (one iteration each; a smoke
+    # check that the instrumented paths stay healthy end to end).
+    banner "bench: BenchmarkHeatdisObs* + BenchmarkHeatdisFlushSched (1x)"
+    go test -run '^$' -bench 'BenchmarkHeatdisObs|BenchmarkHeatdisFlushSched' -benchtime 1x .
+}
+
+run_report() {
+    # Recovery-timeline pipeline: stream a failure-injected run's events
+    # (with the flush scheduler enabled) and analyze them with obsreport.
+    banner "report: heatdis -stream | obsreport"
+    go run ./cmd/heatdis -ranks 8 -data-mb 64 -iters 30 -interval 5 \
+        -fail -flush-window 2 -stream -events "$tmp/events.jsonl"
+    go run ./cmd/obsreport "$tmp/events.jsonl" | grep -q 'unrepaired 0'
+    go run ./cmd/obsreport -json "$tmp/events.jsonl" > "$tmp/report.json"
+    grep -q '"failures_repaired": 1' "$tmp/report.json"
+    grep -q '"failures_unrepaired": 0' "$tmp/report.json"
+}
+
+run_chaos() {
+    # Chaos campaign: an adversarial sweep over the full mode x app matrix
+    # under the race detector (kills inside checkpoint regions and flush
+    # windows, nested failures, correlated node loss, spare exhaustion
+    # with and without shrinking), with the flush scheduler on in every
+    # cell. Then replay pinned seeds and cross-check their reports:
+    #   seed 7  storm-shrink cell; obsreport must surface the shrink
+    #           events and per-span shrunk-slot accounting
+    #   seed 3  flush-mode cell with a node crash; the scheduler's
+    #           queued/started accounting must replay exactly
+    banner "chaos: $CHAOS_SEEDS-seed campaign under -race"
+    go run -race ./cmd/chaos -seeds "$CHAOS_SEEDS" -json "$tmp/campaign.json"
+    grep -q '"violated": 0' "$tmp/campaign.json"
+
+    banner "chaos: seed 7 replay (storm shrink)"
+    go run ./cmd/chaos -seed 7 -json "$tmp/chaosrun.json" -events "$tmp/chaos-events.jsonl"
+    grep -q '"shrunk": 2' "$tmp/chaosrun.json"
+    go run ./cmd/obsreport "$tmp/chaos-events.jsonl" | grep -q 'shrink events: 2'
+
+    banner "chaos: seed 3 replay (flush scheduler, node crash)"
+    go run ./cmd/chaos -seed 3 -json "$tmp/flushrun.json"
+    grep -q '"flushes_queued": 20' "$tmp/flushrun.json"
+    grep -q '"flushes_started": 20' "$tmp/flushrun.json"
+}
+
+sections=${*:-"build vet race bench report chaos"}
+for s in $sections; do
+    case "$s" in
+    build)  run_build ;;
+    vet)    run_vet ;;
+    race)   run_race ;;
+    bench)  run_bench ;;
+    report) run_report ;;
+    chaos)  run_chaos ;;
+    *)
+        echo "unknown section: $s (want build|vet|race|bench|report|chaos)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+banner "all sections passed: $sections"
