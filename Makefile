@@ -31,10 +31,13 @@ check:
 # Short adversarial campaign under the race detector: fixed seeds sweeping
 # the full mode × app matrix (kills inside checkpoint regions and flush
 # windows, nested failures, spare-pool exhaustion with and without
-# shrinking). Fails on any hang or cross-layer invariant violation; replay
-# a finding with `go run ./cmd/chaos -seed <k>`.
+# shrinking, multi-wave exhaustion storms). Fails on any hang or
+# cross-layer invariant violation; replay a finding with
+# `go run ./cmd/chaos -seed <k>`. CHAOS_SCALE widens the storm-wave
+# cells' world (e.g. `make chaos CHAOS_SCALE=64` for the 64-rank storm).
+CHAOS_SCALE ?= 32
 chaos:
-	$(GO) run -race ./cmd/chaos -seeds 36
+	$(GO) run -race ./cmd/chaos -seeds 36 -storm-ranks $(CHAOS_SCALE)
 
 figures:
 	$(GO) run ./cmd/figures

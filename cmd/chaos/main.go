@@ -31,30 +31,32 @@ func main() {
 		seed     = flag.Int64("seed", -1, "replay a single seed instead of sweeping (prints its JSON report)")
 		mode     = flag.String("mode", "", "pin every run to one campaign mode (default: sweep the matrix)")
 		app      = flag.String("app", "", "pin every run to one application: heatdis or minimd")
+		stormN   = flag.Int("storm-ranks", 0, "storm-wave world size override (0 = the 32-rank default; 64 via make chaos CHAOS_SCALE=64)")
 		timeout  = flag.Duration("timeout", chaos.DefaultTimeout, "per-run real-time hang watchdog")
 		jsonPath = flag.String("json", "", "write the JSON campaign report to this file ('-' for stdout)")
 		events   = flag.String("events", "", "with -seed: stream the run's event log as JSONL to this file (obsreport input)")
 		verbose  = flag.Bool("v", false, "print one line per run, not just failures")
 	)
 	flag.Parse()
-	if err := run(*seeds, *start, *seed, *mode, *app, *timeout, *jsonPath, *events, *verbose); err != nil {
+	if err := run(*seeds, *start, *seed, *mode, *app, *stormN, *timeout, *jsonPath, *events, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(seeds int, start uint64, seed int64, mode, app string, timeout time.Duration, jsonPath, events string, verbose bool) error {
+func run(seeds int, start uint64, seed int64, mode, app string, stormRanks int, timeout time.Duration, jsonPath, events string, verbose bool) error {
 	if seed >= 0 {
-		return replay(uint64(seed), mode, app, timeout, jsonPath, events)
+		return replay(uint64(seed), mode, app, stormRanks, timeout, jsonPath, events)
 	}
 	if events != "" {
 		return fmt.Errorf("-events requires -seed (stream one replayed run's log)")
 	}
 	camp, err := chaos.RunCampaign(chaos.CampaignConfig{
-		Seeds:   chaos.SeedRange(start, seeds),
-		Mode:    mode,
-		App:     app,
-		Timeout: timeout,
+		Seeds:      chaos.SeedRange(start, seeds),
+		Mode:       mode,
+		App:        app,
+		StormRanks: stormRanks,
+		Timeout:    timeout,
 		Progress: func(r *chaos.RunReport) {
 			if verbose || !r.OK() {
 				fmt.Println(r.Line())
@@ -81,8 +83,8 @@ func run(seeds int, start uint64, seed int64, mode, app string, timeout time.Dur
 
 // replay runs one seed and prints its full report, the debugging loop for
 // a campaign finding.
-func replay(seed uint64, mode, app string, timeout time.Duration, jsonPath, events string) error {
-	cfg, err := chaos.ConfigForSeed(seed, mode, app)
+func replay(seed uint64, mode, app string, stormRanks int, timeout time.Duration, jsonPath, events string) error {
+	cfg, err := chaos.ConfigForSeedScaled(seed, mode, app, stormRanks)
 	if err != nil {
 		return err
 	}

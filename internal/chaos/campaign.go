@@ -39,12 +39,22 @@ const (
 	// ModeStormFail kills more members than there are spares with
 	// shrinking disabled: the only correct outcome is ErrOutOfSpares.
 	ModeStormFail = "storm-fail"
+	// ModeStormWave is the spare-exhaustion storm at scale: 2-3 kill waves
+	// against a 32-rank (or larger, via the scale override) world with two
+	// spares and shrink-on-exhaustion. The first wave fires one more kill
+	// than there are spares — both spares are consumed and the first shrink
+	// happens in the same storm — and every later wave kills two more
+	// members of the already-compacted world, forcing a further shrink with
+	// the pool empty.
+	ModeStormWave = "storm-wave"
 )
 
-// Modes lists every campaign mode, in matrix order.
+// Modes lists every campaign mode, in matrix order. New modes are appended
+// so existing (seed -> cell) assignments — including the replay seeds
+// pinned in scripts/check.sh — keep deriving the same configurations.
 var Modes = []string{
 	ModeIteration, ModeRegion, ModeCollective, ModeFlush, ModeNested,
-	ModeSpare, ModeNode, ModeStormShrink, ModeStormFail,
+	ModeSpare, ModeNode, ModeStormShrink, ModeStormFail, ModeStormWave,
 }
 
 // Apps lists the campaign applications, in matrix order.
@@ -57,6 +67,10 @@ const (
 	cRanks    = 4
 	cIters    = 24
 	cInterval = 6
+	// cStormRanks is the storm-wave world size when no scale override is
+	// given: large enough that two shrink waves still leave a wide world to
+	// re-decompose, small enough for the per-commit CI sweep.
+	cStormRanks = 32
 )
 
 // ConfigForSeed derives a full run configuration from a seed. The matrix
@@ -66,6 +80,16 @@ const (
 // (for filtered campaigns and replay experiments) without changing the
 // rest of the derivation.
 func ConfigForSeed(seed uint64, mode, app string) (RunConfig, error) {
+	return ConfigForSeedScaled(seed, mode, app, 0)
+}
+
+// ConfigForSeedScaled is ConfigForSeed with a storm-scale override:
+// stormRanks (when positive) replaces the default 32-rank world of the
+// storm-wave mode, e.g. 64 for the large cell behind `make chaos
+// CHAOS_SCALE=64`. Victim draws depend on the world size, so each scale is
+// its own deterministic family; all other modes ignore the override
+// entirely and derive identically at every scale.
+func ConfigForSeedScaled(seed uint64, mode, app string, stormRanks int) (RunConfig, error) {
 	cell := int(seed % uint64(len(Modes)*len(Apps)))
 	if mode == "" {
 		mode = Modes[cell%len(Modes)]
@@ -159,6 +183,45 @@ func ConfigForSeed(seed uint64, mode, app string) (RunConfig, error) {
 			{Rank: v, Point: PointIteration, Hit: h},
 			{Rank: (v + 1 + rng.Intn(cfg.Ranks-1)) % cfg.Ranks, Point: PointIteration, Hit: h + 4 + rng.Intn(2)},
 		}
+	case ModeStormWave:
+		if stormRanks > 0 {
+			cfg.Ranks = stormRanks
+		} else {
+			cfg.Ranks = cStormRanks
+		}
+		cfg.Spares = 2
+		cfg.Shrink = true
+		waves := 2 + rng.Intn(2)
+		// Victims are drawn without replacement: every kill targets an
+		// original member that is still alive when its wave arrives (world
+		// ranks are stable identities; compaction only retires dead slots).
+		picked := make(map[int]bool)
+		victim := func() int {
+			for {
+				v := rng.Intn(cfg.Ranks)
+				if !picked[v] {
+					picked[v] = true
+					return v
+				}
+			}
+		}
+		// Wave hits are visit counts at core.iteration, spaced far enough
+		// apart that each wave's repairs complete (and its recomputed
+		// iterations replay) before the next wave lands, and low enough
+		// that the last wave still fires before the 24-iteration run ends.
+		h := 2 + rng.Intn(3)
+		var kills []Kill
+		for w := 0; w < waves; w++ {
+			n := 2
+			if w == 0 {
+				n = cfg.Spares + 1 // exhaust the pool and shrink in one storm
+			}
+			for i := 0; i < n; i++ {
+				kills = append(kills, Kill{Rank: victim(), Point: PointIteration, Hit: h})
+			}
+			h += 5 + rng.Intn(2)
+		}
+		cfg.Schedule.Kills = kills
 	default:
 		return RunConfig{}, fmt.Errorf("chaos: unknown mode %q", mode)
 	}
@@ -172,6 +235,9 @@ type CampaignConfig struct {
 	// Mode and App, when non-empty, pin every run to that mode/app instead
 	// of sweeping the matrix.
 	Mode, App string
+	// StormRanks, when positive, overrides the storm-wave world size
+	// (ConfigForSeedScaled); zero keeps the 32-rank default.
+	StormRanks int
 	// Timeout is the per-run real-time watchdog (DefaultTimeout if zero).
 	Timeout time.Duration
 	// Progress, if non-nil, receives each finished run as it completes.
@@ -184,7 +250,7 @@ func RunCampaign(cc CampaignConfig) (*CampaignReport, error) {
 	refs := NewRefCache()
 	camp := &CampaignReport{ByMode: make(map[string]int)}
 	for _, seed := range cc.Seeds {
-		cfg, err := ConfigForSeed(seed, cc.Mode, cc.App)
+		cfg, err := ConfigForSeedScaled(seed, cc.Mode, cc.App, cc.StormRanks)
 		if err != nil {
 			return nil, err
 		}

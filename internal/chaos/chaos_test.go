@@ -34,7 +34,8 @@ func TestCampaignMatrix(t *testing.T) {
 // report to be identical byte for byte — the property that makes a
 // campaign finding debuggable with `chaos -seed <k>`.
 func TestSeedReplayIsByteStable(t *testing.T) {
-	for _, seed := range []uint64{3, 6, 7, 16} { // flush, node, storm-shrink, storm-fail cells
+	// flush, node, storm-shrink, storm-fail, and both storm-wave cells.
+	for _, seed := range []uint64{3, 6, 7, 16, 9, 19} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			var out [2]bytes.Buffer
@@ -103,6 +104,80 @@ func TestExpectFailOutcome(t *testing.T) {
 		}
 		if rep.Repaired != 1 || rep.Unrepaired != 1 {
 			t.Errorf("%s: repaired %d unrepaired %d, want 1 and 1", app, rep.Repaired, rep.Unrepaired)
+		}
+	}
+}
+
+// TestStormWaveMatrix pins the spare-exhaustion storm contract at scale,
+// on both applications and at both world sizes: cumulative kills exceed
+// the spare pool mid-campaign, so the run must survive at least two
+// separate shrink waves — the first wave consumes both spares AND shrinks
+// in the same rebuild (a mixed spare-repair/shrink-repair generation),
+// every later wave repairs by shrinking alone — and finish on a
+// communicator compacted by exactly the slots the storm took.
+func TestStormWaveMatrix(t *testing.T) {
+	for _, ranks := range []int{32, 64} {
+		if ranks > 32 && testing.Short() {
+			continue // the 64-rank cells ride behind `make chaos CHAOS_SCALE=64`
+		}
+		for _, app := range Apps {
+			// Seeds 9 and 19 are the storm-wave cells of the natural matrix
+			// (also pinned as replay seeds in scripts/check.sh).
+			seed := uint64(9)
+			if app == AppMiniMD {
+				seed = 19
+			}
+			t.Run(fmt.Sprintf("%s-%dranks", app, ranks), func(t *testing.T) {
+				cfg, err := ConfigForSeedScaled(seed, ModeStormWave, app, ranks)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(cfg.Schedule.Kills) <= cfg.Spares+1 {
+					t.Fatalf("storm too small: %d kills for %d spares", len(cfg.Schedule.Kills), cfg.Spares)
+				}
+				rep := RunOne(cfg, NewRefCache(), 0)
+				for _, v := range rep.Violations {
+					t.Error(v)
+				}
+				if rep.JobFailed {
+					t.Fatalf("storm killed the job: %s", rep.Error)
+				}
+				if rep.Shrinks < 2 {
+					t.Errorf("mpi_shrinks %d, want >= 2 (a shrink per post-exhaustion wave)", rep.Shrinks)
+				}
+				if rep.SparesActivated != cfg.Spares {
+					t.Errorf("spares activated %d, want the whole pool (%d)", rep.SparesActivated, cfg.Spares)
+				}
+				if want := cfg.Ranks - rep.Shrunk; rep.FinalSize != want {
+					t.Errorf("final size %d, want %d (%d ranks - %d shrunk)", rep.FinalSize, want, cfg.Ranks, rep.Shrunk)
+				}
+				if rep.Survived != rep.Injected || rep.Unrepaired != 0 {
+					t.Errorf("survived %d of %d injected (unrepaired %d), want all survived",
+						rep.Survived, rep.Injected, rep.Unrepaired)
+				}
+				// One span per rebuild, generations strictly increasing, and
+				// the mix: at least one generation must combine spare
+				// substitution with shrinking, and at least one must shrink
+				// with the pool already empty.
+				if len(rep.Spans) != rep.Rebuilds {
+					t.Fatalf("%d spans for %d rebuilds, want one per rebuild", len(rep.Spans), rep.Rebuilds)
+				}
+				var mixed, shrinkOnly bool
+				for i, sp := range rep.Spans {
+					if i > 0 && sp.Generation <= rep.Spans[i-1].Generation {
+						t.Errorf("span %d generation %d not after %d", i, sp.Generation, rep.Spans[i-1].Generation)
+					}
+					if sp.Replaced > 0 && sp.Shrunk > 0 {
+						mixed = true
+					}
+					if sp.Replaced == 0 && sp.Shrunk > 0 {
+						shrinkOnly = true
+					}
+				}
+				if !mixed || !shrinkOnly {
+					t.Errorf("span mix mixed=%v shrinkOnly=%v, want both (spans %+v)", mixed, shrinkOnly, rep.Spans)
+				}
+			})
 		}
 	}
 }

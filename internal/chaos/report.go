@@ -43,14 +43,18 @@ type RunReport struct {
 	Rebuilds        int `json:"rebuilds"`
 	SparesActivated int `json:"spares_activated"`
 	Shrunk          int `json:"shrunk"`
+	Shrinks         int `json:"mpi_shrinks,omitempty"`
 	FinalSize       int `json:"final_size"`
 
 	// Flush-scheduler accounting (zero when cfg.Flush is the zero policy).
-	// Queued counts flush_queued events, Started flush_start events; the
-	// difference is flushes cancelled by coalescing or by node crashes.
+	// Queued counts flush_queued events, Started flush_start events; every
+	// queued flush that never started was either coalesced away by a newer
+	// version or discarded with its node (crash, or owner shrunk away
+	// mid-queue): Queued - Started = Coalesced + Discarded.
 	FlushesQueued    int `json:"flushes_queued,omitempty"`
 	FlushesStarted   int `json:"flushes_started,omitempty"`
 	FlushesCoalesced int `json:"flushes_coalesced,omitempty"`
+	FlushesDiscarded int `json:"flushes_discarded,omitempty"`
 
 	Checksum float64     `json:"checksum,omitempty"`
 	Spans    []SpanBrief `json:"spans,omitempty"`

@@ -168,15 +168,26 @@ func (n *Node) ScratchSimBytes() int {
 // ScratchClear drops all scratch contents, modeling node memory loss. A
 // node crash also takes the VeloC server's flush queue with it: queued
 // flushes read from the scratch that was just lost, so they are discarded
-// (their OnStart callbacks never fire).
+// (their OnStart callbacks never fire; OnCancel fires with reason
+// "scratch-lost", stamped at each request's submission time — the loss has
+// no clock of its own here, and CrashNode has already settled the queue as
+// of the crash instant before calling this).
 func (n *Node) ScratchClear() {
+	var fire []func()
 	n.mu.Lock()
 	n.scratch = make(map[string]stored)
-	for i := range n.pending {
+	for i, e := range n.pending {
+		if cb := e.req.OnCancel; cb != nil {
+			at := e.enqueued
+			fire = append(fire, func() { cb(at, "scratch-lost", 0) })
+		}
 		n.pending[i] = nil
 	}
 	n.pending = n.pending[:0]
 	n.mu.Unlock()
+	for _, f := range fire {
+		f()
+	}
 }
 
 // FlushAsync starts an asynchronous flush of the scratch entry under key to
@@ -301,16 +312,39 @@ func (p *PFS) WriteSized(key string, data []byte, start float64, simBytes int) (
 // WriteSizedFor is WriteSized with the write attributed to an owner world
 // rank, allowing FailPending to invalidate it if the owner dies mid-write.
 func (p *PFS) WriteSizedFor(key string, data []byte, start float64, simBytes int, owner int) (end float64) {
+	return p.write(key, data, start, simBytes, owner, 0)
+}
+
+// WriteSharedFor is WriteSizedFor with the congestion divisor fixed by the
+// caller: share is the number of writers known to contend for the aggregate
+// bandwidth — for a synchronized checkpoint, every rank of the committing
+// communicator. The arrival-count model below depends on the real-time
+// order in which concurrent writers reach the PFS, which is fine for the
+// unmanaged legacy path but a replay-determinism hazard once a world-sized
+// flush storm ties on virtual time (32 scheduler goroutines racing for the
+// ladder of congestion shares); scheduled flushes therefore carry an
+// explicit share instead.
+func (p *PFS) WriteSharedFor(key string, data []byte, start float64, simBytes int, owner, share int) (end float64) {
+	return p.write(key, data, start, simBytes, owner, share)
+}
+
+// write stores data under key. With share > 0 the effective bandwidth is
+// the aggregate cap split share ways (capped per client); otherwise the
+// divisor is counted from already-recorded writes overlapping start.
+func (p *PFS) write(key string, data []byte, start float64, simBytes int, owner, share int) (end float64) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
 
-	concurrent := 1
-	for _, w := range p.active {
-		if w.end > start {
-			concurrent++
+	concurrent := share
+	if concurrent <= 0 {
+		concurrent = 1
+		for _, w := range p.active {
+			if w.end > start {
+				concurrent++
+			}
 		}
 	}
 	bw := p.machine.PFSAggregateBandwidth / float64(concurrent)

@@ -66,11 +66,28 @@ type FlushRequest struct {
 	// Version orders requests within a CoalesceKey: a submission cancels
 	// queued requests with the same key and Version <= its own.
 	Version int
+	// Share, when positive, fixes the PFS congestion divisor for this write
+	// (PFS.WriteSharedFor): the number of ranks flushing the same
+	// synchronized checkpoint. Zero falls back to the arrival-count model,
+	// whose bandwidth shares depend on the real-time order in which racing
+	// writers reach the PFS — not replay-deterministic under world-sized
+	// flush storms that tie on virtual time.
+	Share int
 	// OnStart, if non-nil, is invoked — outside all cluster locks — when
 	// the flush is committed, with its window [start, end) and the node's
 	// flush queue depth (in-flight + queued) at end. It is never invoked
 	// for a cancelled request.
 	OnStart func(start, end float64, depthAtEnd int)
+	// OnCancel, if non-nil, is invoked — outside all cluster locks — when
+	// the queued request is dropped without ever starting for any reason
+	// other than coalescing (which FlushSubmit reports to the submitter):
+	// the node's flush daemon crashed ("crash"), node scratch was lost
+	// ("scratch-lost"), or the scratch entry was GC'd while queued
+	// ("scratch-gone"). t is the discard's virtual time and depth the
+	// node's remaining flush queue depth (in-flight + queued). Exactly one
+	// of OnStart/OnCancel fires for every request a scheduler accepted,
+	// except requests cancelled by coalescing, which fire neither.
+	OnCancel func(t float64, reason string, depth int)
 }
 
 // pendingFlush is one queued, not-yet-started flush.
@@ -137,21 +154,35 @@ func (n *Node) AdvanceFlushes(t float64) {
 // queued flushes whose scheduled start had been reached by t are committed
 // first — their PFS writes were in flight and fail through PFS.FailPending
 // like any interrupted window — and the remainder of the queue is
-// discarded, their OnStart callbacks never invoked. Committing before
-// discarding keeps the started/discarded split a pure function of virtual
-// time, independent of which rank's goroutine last observed the scheduler.
+// discarded, their OnStart callbacks never invoked (OnCancel fires with
+// reason "crash" instead, so the policy layer can reconcile its flush
+// accounting). Committing before discarding keeps the started/discarded
+// split a pure function of virtual time, independent of which rank's
+// goroutine last observed the scheduler.
 func (n *Node) CrashFlushes(t float64) {
 	var fire []func()
 	n.mu.Lock()
 	n.advanceLocked(t, &fire)
-	for i := range n.pending {
-		n.pending[i] = nil
-	}
-	n.pending = n.pending[:0]
+	n.discardPendingLocked(t, "crash", &fire)
 	n.mu.Unlock()
 	for _, f := range fire {
 		f()
 	}
+}
+
+// discardPendingLocked drops every queued flush, appending their OnCancel
+// callbacks (depth = the in-flight count at t; the queue itself is now
+// empty) to fire. Caller holds n.mu.
+func (n *Node) discardPendingLocked(t float64, reason string, fire *[]func()) {
+	depth := n.openAtLocked(t)
+	for i, e := range n.pending {
+		if cb := e.req.OnCancel; cb != nil {
+			at := t
+			*fire = append(*fire, func() { cb(at, reason, depth) })
+		}
+		n.pending[i] = nil
+	}
+	n.pending = n.pending[:0]
 }
 
 // FlushSubmit routes one flush through the node's scheduler. With
@@ -235,9 +266,14 @@ func (n *Node) advanceLocked(t float64, fire *[]func()) {
 		if !ok {
 			// The scratch entry was dropped (GC) while queued; nothing to
 			// flush.
+			if cb := e.req.OnCancel; cb != nil {
+				at := start
+				depth := n.openAtLocked(start) + len(n.pending)
+				*fire = append(*fire, func() { cb(at, "scratch-gone", depth) })
+			}
 			continue
 		}
-		end := n.pfs.WriteSizedFor(e.req.PFSKey, s.data, start, s.simBytes, e.req.Owner)
+		end := n.pfs.WriteSharedFor(e.req.PFSKey, s.data, start, s.simBytes, e.req.Owner, e.req.Share)
 		n.recordFlushLocked(start, end)
 		e.started, e.start, e.end = true, start, end
 		if e.req.OnStart != nil {

@@ -4,14 +4,27 @@ import (
 	"testing"
 )
 
-// flushRecorder collects committed windows through OnStart callbacks.
+// flushCancel is one recorded OnCancel invocation.
+type flushCancel struct {
+	t      float64
+	reason string
+	depth  int
+}
+
+// flushRecorder collects committed windows through OnStart callbacks and
+// discards through OnCancel.
 type flushRecorder struct {
-	starts map[string]float64
-	ends   map[string]float64
+	starts  map[string]float64
+	ends    map[string]float64
+	cancels map[string]flushCancel
 }
 
 func newFlushRecorder() *flushRecorder {
-	return &flushRecorder{starts: map[string]float64{}, ends: map[string]float64{}}
+	return &flushRecorder{
+		starts:  map[string]float64{},
+		ends:    map[string]float64{},
+		cancels: map[string]flushCancel{},
+	}
 }
 
 func (r *flushRecorder) req(key string, deadline float64, ckey string, version int) FlushRequest {
@@ -22,6 +35,21 @@ func (r *flushRecorder) req(key string, deadline float64, ckey string, version i
 			r.starts[key] = start
 			r.ends[key] = end
 		},
+		OnCancel: func(t float64, reason string, depth int) {
+			r.cancels[key] = flushCancel{t: t, reason: reason, depth: depth}
+		},
+	}
+}
+
+// checkExactlyOne asserts the exactly-one-of OnStart/OnCancel contract for
+// a request the scheduler accepted (not coalesced away).
+func (r *flushRecorder) checkExactlyOne(t *testing.T, key string) {
+	t.Helper()
+	_, started := r.starts[key]
+	_, cancelled := r.cancels[key]
+	if started == cancelled {
+		t.Errorf("flush %s: started=%v cancelled=%v, want exactly one of OnStart/OnCancel",
+			key, started, cancelled)
 	}
 }
 
@@ -133,6 +161,9 @@ func TestFlushCoalesceCancelsSupersededVersion(t *testing.T) {
 	if _, fired := rec.starts["b"]; fired {
 		t.Fatal("cancelled flush b fired OnStart")
 	}
+	if _, fired := rec.cancels["b"]; fired {
+		t.Fatal("coalesced flush b fired OnCancel; coalescing is reported to the submitter, not the callback")
+	}
 	if _, ok := n.pfs.Exists("b"); ok {
 		t.Fatal("cancelled flush b reached the PFS")
 	}
@@ -191,6 +222,23 @@ func TestCrashFlushesCommitsReachedThenDiscardsRest(t *testing.T) {
 	if _, fired := rec.starts["c"]; fired {
 		t.Fatal("discarded flush c fired OnStart after a later advance")
 	}
+	// Exactly one of OnStart/OnCancel per accepted request: a and b
+	// started, c was discarded with the crash's clock and reason.
+	for _, k := range []string{"a", "b", "c"} {
+		rec.checkExactlyOne(t, k)
+	}
+	c, ok := rec.cancels["c"]
+	if !ok {
+		t.Fatal("discarded flush c never fired OnCancel")
+	}
+	if c.reason != "crash" || c.t != 0.15 {
+		t.Fatalf("flush c cancelled (t=%v, reason=%q), want (0.15, crash)", c.t, c.reason)
+	}
+	// b's window (started ~0.1) still spans the crash instant: the
+	// reported remaining queue depth must count it.
+	if c.depth != 1 {
+		t.Fatalf("flush c cancel depth = %d, want 1 (b in flight at the crash)", c.depth)
+	}
 }
 
 func TestScratchClearDiscardsQueuedFlushes(t *testing.T) {
@@ -208,6 +256,57 @@ func TestScratchClearDiscardsQueuedFlushes(t *testing.T) {
 	n.AdvanceFlushes(1e9)
 	if _, fired := rec.starts["b"]; fired {
 		t.Fatal("queued flush b survived ScratchClear")
+	}
+	// a had started (window 1, submitted first); b is discarded with
+	// reason "scratch-lost" stamped at its submission time.
+	rec.checkExactlyOne(t, "a")
+	rec.checkExactlyOne(t, "b")
+	c, ok := rec.cancels["b"]
+	if !ok {
+		t.Fatal("queued flush b never fired OnCancel")
+	}
+	if c.reason != "scratch-lost" || c.t != 0 {
+		t.Fatalf("flush b cancelled (t=%v, reason=%q), want (0, scratch-lost)", c.t, c.reason)
+	}
+}
+
+// TestScratchDeleteDiscardsQueuedFlush drops a single scratch entry while
+// its flush is still queued: when the scheduler reaches the request's
+// start there is nothing left to flush, so OnCancel fires with reason
+// "scratch-gone" at the would-be start time and the PFS never sees the
+// key.
+func TestScratchDeleteDiscardsQueuedFlush(t *testing.T) {
+	const sim = 150_000_000
+	n := schedNode(t, 1, 2, sim)
+	rec := newFlushRecorder()
+	for i := 0; i < 2; i++ {
+		if _, _, _, err := n.FlushSubmit(rec.req(fkey(i), float64(i), "", 0), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.ScratchDelete("b") // GC'd while queued behind a
+	n.AdvanceFlushes(1e9)
+	if _, fired := rec.starts["b"]; fired {
+		t.Fatal("flush of deleted scratch entry b fired OnStart")
+	}
+	if _, ok := n.pfs.Exists("b"); ok {
+		t.Fatal("flush of deleted scratch entry b reached the PFS")
+	}
+	rec.checkExactlyOne(t, "a")
+	rec.checkExactlyOne(t, "b")
+	c, ok := rec.cancels["b"]
+	if !ok {
+		t.Fatal("flush of deleted scratch entry b never fired OnCancel")
+	}
+	if c.reason != "scratch-gone" {
+		t.Fatalf("flush b cancel reason = %q, want scratch-gone", c.reason)
+	}
+	// The discard is noticed at b's scheduled start: a's completion.
+	if want := rec.ends["a"]; c.t != want {
+		t.Fatalf("flush b cancelled at %v, want a's end %v", c.t, want)
+	}
+	if c.depth != 0 {
+		t.Fatalf("flush b cancel depth = %d, want 0 (nothing in flight at a's end)", c.depth)
 	}
 }
 

@@ -35,8 +35,10 @@ func TestObsFailureEventOrdering(t *testing.T) {
 		t.Fatal("no events recorded")
 	}
 
-	// The sorted log must be non-decreasing in (time, seq), and every name
-	// must come from the documented taxonomy.
+	// The sorted log must be non-decreasing in (time, rank, seq) — rank
+	// breaks same-instant ties between causally unordered emitters, seq is
+	// the within-rank causal order — and every name must come from the
+	// documented taxonomy.
 	known := map[string]bool{}
 	for _, n := range obs.EventNames() {
 		known[n] = true
@@ -47,8 +49,11 @@ func TestObsFailureEventOrdering(t *testing.T) {
 		}
 		if i > 0 {
 			prev := events[i-1]
-			if e.Time < prev.Time || (e.Time == prev.Time && e.Seq < prev.Seq) {
-				t.Fatalf("event %d out of order: (%v,%d) after (%v,%d)", i, e.Time, e.Seq, prev.Time, prev.Seq)
+			if e.Time < prev.Time ||
+				(e.Time == prev.Time && e.Rank < prev.Rank) ||
+				(e.Time == prev.Time && e.Rank == prev.Rank && e.Seq < prev.Seq) {
+				t.Fatalf("event %d out of order: (%v,r%d,%d) after (%v,r%d,%d)",
+					i, e.Time, e.Rank, e.Seq, prev.Time, prev.Rank, prev.Seq)
 			}
 		}
 	}
@@ -354,6 +359,135 @@ func TestObsFailureStormShrink(t *testing.T) {
 	}
 	if got := reg.CounterValue(obs.MShrinks); got < 2 {
 		t.Errorf("%s = %v, want >= 2", obs.MShrinks, got)
+	}
+}
+
+// TestObsFailureStormMixed is the storm matrix's mixed-generation cell:
+// spare repairs and shrink repairs interleave across overlapping rebuilds.
+// Generation 1 substitutes a spare; generation 2 takes two simultaneous
+// kills with one spare left, so ONE rebuild both substitutes and shrinks;
+// generation 3 then kills the previously recovered spare at its logical
+// slot with the pool empty, forcing a second shrink. The streamed log,
+// the span reconstruction, and the layer counters must all tell that
+// story consistently.
+func TestObsFailureStormMixed(t *testing.T) {
+	rec := obs.New()
+	var stream strings.Builder
+	rec.StreamJSONL(&stream, 0)
+	sink := newSink()
+	cfg := Config{
+		Strategy:           StrategyFenixKRVeloC,
+		Spares:             2,
+		ShrinkOnExhaustion: true,
+		CheckpointInterval: 5,
+		CheckpointName:     "mini",
+		Failures: []*FailurePlan{
+			{Slot: 1, Iteration: 8}, // repaired by the first spare
+			// Simultaneous kills with one spare left: the lower failed slot
+			// is substituted, the higher one shrunk away — a single rebuild
+			// with mixed disposition.
+			{Slot: 2, Iteration: 12},
+			{Slot: 3, Iteration: 12},
+			// The recovered spare now holds logical slot 1; killing it with
+			// the pool empty forces a pure shrink of a previously
+			// spare-repaired slot.
+			{Slot: 1, Iteration: 17},
+		},
+	}
+	job := mpi.JobConfig{Ranks: tRanks + 2, Machine: quietMachine(), Seed: 17, Obs: rec}
+	res := Run(job, cfg, miniApp(tIters, tVecLen, sink))
+	if res.Failed || res.Err() != nil {
+		t.Fatalf("mixed storm failed: %v (launches %d)", res.Err(), res.Launches)
+	}
+	for i, fp := range cfg.Failures {
+		if !fp.Fired() {
+			t.Fatalf("failure plan %d never fired", i)
+		}
+	}
+	// Two slots shrunk away (3 in gen 2, 1 in gen 3): the world ends at
+	// tRanks-2 slots, each delivering a result.
+	for r := 0; r < tRanks-2; r++ {
+		if sink.get(r) == nil {
+			t.Errorf("slot %d produced no result after the storm", r)
+		}
+	}
+
+	// Streaming must survive the interleaved detection/revoke/shrink
+	// traffic of overlapping rebuilds byte-for-byte.
+	if err := rec.FlushStream(); err != nil {
+		t.Fatalf("stream flush: %v", err)
+	}
+	var post strings.Builder
+	if err := rec.WriteJSONL(&post); err != nil {
+		t.Fatal(err)
+	}
+	if stream.String() != post.String() {
+		t.Error("streamed JSONL differs from post-hoc WriteJSONL")
+	}
+	if got := rec.StreamLate(); got != 0 {
+		t.Errorf("%d events overflowed the reorder window", got)
+	}
+
+	rep, err := analyze.Analyze(rec.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := rec.Registry()
+	rebuilds := int(reg.CounterValue(obs.MRebuilds))
+	if rebuilds != 3 {
+		t.Errorf("rebuilds = %d, want 3", rebuilds)
+	}
+	if len(rep.Spans) != rebuilds {
+		t.Fatalf("got %d spans for %d rebuilds, want one per rebuild", len(rep.Spans), rebuilds)
+	}
+	wantDisposition := []struct{ replaced, shrunk int }{{1, 0}, {1, 1}, {0, 1}}
+	shrinkSpans := 0
+	for i, sp := range rep.Spans {
+		if sp.Kind != "fenix" {
+			t.Errorf("span %d kind = %q, want fenix", i, sp.Kind)
+		}
+		if sp.Replaced != wantDisposition[i].replaced || sp.Shrunk != wantDisposition[i].shrunk {
+			t.Errorf("span %d disposed (replaced %d, shrunk %d), want (%d, %d)",
+				i, sp.Replaced, sp.Shrunk, wantDisposition[i].replaced, wantDisposition[i].shrunk)
+		}
+		if sp.Shrunk > 0 {
+			shrinkSpans++
+		}
+		// Phase ordering must hold within every span, including the mixed
+		// substitute-and-shrink rebuild.
+		if sp.Repair < sp.Start || sp.End < sp.Repair {
+			t.Errorf("span %d phases inverted: start %v repair %v end %v",
+				i, sp.Start, sp.Repair, sp.End)
+		}
+		if i > 0 {
+			if sp.Generation <= rep.Spans[i-1].Generation {
+				t.Errorf("span %d generation %d not increasing", i, sp.Generation)
+			}
+			if sp.Start < rep.Spans[i-1].Start {
+				t.Errorf("span %d starts before span %d", i, i-1)
+			}
+		}
+	}
+	// failures_survived_total and mpi_shrinks must agree with the spans:
+	// every injected failure survived (4 = 2 replaced + 2 shrunk), and one
+	// mpi.shrink per compacting rebuild.
+	if rep.FailuresInjected != 4 || rep.FailuresRepaired != 4 || rep.FailuresUnrepaired != 0 {
+		t.Errorf("injected %d repaired %d unrepaired %d, want 4/4/0",
+			rep.FailuresInjected, rep.FailuresRepaired, rep.FailuresUnrepaired)
+	}
+	if got := reg.CounterValue(obs.MFailuresSurvived); got != 4 {
+		t.Errorf("%s = %v, want 4", obs.MFailuresSurvived, got)
+	}
+	if got := reg.CounterValue(obs.MSparesActivated); got != 2 {
+		t.Errorf("%s = %v, want 2 (the whole pool)", obs.MSparesActivated, got)
+	}
+	if got := int(reg.CounterValue(obs.MShrinks)); got != shrinkSpans || got != 2 {
+		t.Errorf("%s = %d, want 2 (= spans with shrunk slots, got %d)",
+			obs.MShrinks, got, shrinkSpans)
+	}
+	if rep.Shrinks != int(reg.CounterValue(obs.MShrinks)) {
+		t.Errorf("analyzer shrinks %d != %s %v",
+			rep.Shrinks, obs.MShrinks, reg.CounterValue(obs.MShrinks))
 	}
 }
 

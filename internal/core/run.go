@@ -163,6 +163,9 @@ func sessionForEntry(held *Session, fctx *fenix.Context, cfg *Config, prog *prog
 		if err != nil {
 			return nil, err
 		}
+		// The comm is not used for collectives in Single mode, but the flush
+		// scheduler needs it for the PFS congestion share.
+		client.SetComm(fctx.Comm())
 		s.manual = &manualCtx{client: client, name: cfg.CheckpointName, interval: cfg.CheckpointInterval, latest: -1}
 		return s, s.manual.resync(fctx.Comm(), p)
 	case StrategyFenixKRVeloC, StrategyPartialRollback:

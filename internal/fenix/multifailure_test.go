@@ -264,3 +264,51 @@ func TestOutOfSparesWithConcurrentFailure(t *testing.T) {
 		}
 	}
 }
+
+// TestShrinkOnExhaustionWithBlockedSpare is the same exhaustion storm with
+// ShrinkOnExhaustion enabled: three members die against one spare while
+// that spare is still blocked in Fenix initialization. Instead of failing
+// the job, the single rebuild must pull the blocked spare out of its wait
+// and substitute it into the lowest dead slot, shrink the other two slots
+// away, and let the survivor and the activated spare finish cleanly on the
+// compacted communicator.
+func TestShrinkOnExhaustionWithBlockedSpare(t *testing.T) {
+	inj := &testInjector{
+		kills: map[string]map[int]int{"fenix.recover": {3: 0}},
+	}
+	var mu sync.Mutex
+	sizes := map[int]int{}
+	roles := map[int]Role{}
+	errs, _ := runFenixInject(5, Config{Spares: 1, ShrinkOnExhaustion: true}, inj, func(ctx *Context) error {
+		if ctx.Role() == RoleInitial && (ctx.p.Rank() == 0 || ctx.p.Rank() == 2) {
+			ctx.p.Exit()
+		}
+		sum, err := ctx.Comm().AllreduceInt(ctx.p, 1, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		sizes[ctx.p.Rank()] = ctx.Size()
+		roles[ctx.p.Rank()] = ctx.Role()
+		mu.Unlock()
+		if sum != ctx.Size() {
+			t.Errorf("rank %d: allreduce = %d over a %d-slot comm", ctx.p.Rank(), sum, ctx.Size())
+		}
+		return nil
+	})
+	// Member 1 survives and the spare (world rank 4) is recovered into the
+	// lowest dead slot; slots for the other two dead members are shrunk
+	// away. Neither may see an error: exhaustion resolved by compaction.
+	checkNoErrs(t, errs, 0, 2, 3)
+	for _, wr := range []int{1, 4} {
+		if sizes[wr] != 2 {
+			t.Errorf("rank %d finished on a %d-slot comm, want 2", wr, sizes[wr])
+		}
+	}
+	if roles[1] != RoleSurvivor {
+		t.Errorf("rank 1 role = %v, want survivor", roles[1])
+	}
+	if roles[4] != RoleRecovered {
+		t.Errorf("rank 4 role = %v, want recovered (blocked spare must be activated)", roles[4])
+	}
+}

@@ -115,6 +115,12 @@ func MakeContext(p *mpi.Proc, comm *mpi.Comm, backend Backend, cfg Config) (*Con
 		return nil, errors.New("kr: Recovered callback only meaningful with RestoreSurvivors=false")
 	}
 	ctx := &Context{p: p, comm: comm, backend: backend, cfg: cfg, latest: -1, aliases: make(map[string]bool)}
+	// Wire the communicator through to the backend from the start, not only
+	// on Reset: the VeloC flush scheduler derives its PFS congestion share
+	// from the comm size, and a fresh context (initial entry, or a recovered
+	// replacement building its session from scratch) otherwise leaves the
+	// client comm-less until the first repair.
+	backend.SetComm(comm)
 	p.ChargeTime(trace.ResilienceInit, perRegionOverhead)
 	p.Event(obs.LayerKR, obs.EvKRInit, obs.KV("comm_size", comm.Size()))
 	v, err := backend.LatestVersion(comm)

@@ -247,15 +247,18 @@ func (c *Comm) SendrecvSized(p *Proc, dst, sendTag int, data []byte, simBytes, s
 func (c *Comm) Revoke(p *Proc) {
 	c.checkMember(p, "Revoke")
 	if !c.revoked.Swap(true) {
-		// Event and counter record the revocation once, attributed to the
-		// first caller to reach it.
-		p.Event(obs.LayerMPI, obs.EvRevoke, obs.KV("comm", c.id), obs.KV("size", len(c.group)))
+		// The counter records the revocation once per communicator.
 		p.world.obs.Registry().Counter(obs.MRevokes).Inc()
 	}
 	// Every caller pays its own propagation cost (a reliable broadcast
-	// across the comm) and records its own departure. Charging only the
-	// first caller would make each rank's clock depend on which goroutine
-	// won the real-time race to set the flag, breaking replay determinism.
+	// across the comm), emits its own mpi.revoke event, and records its own
+	// departure. Attributing any of these to "the first caller to reach the
+	// flag" would stamp them with whichever goroutine won the real-time
+	// race, breaking replay determinism; per-caller emission keeps each
+	// rank's revocation anchored to its own deterministic clock (and is
+	// what ULFM semantics look like at the member: each process observes
+	// the revocation on its own call path).
+	p.Event(obs.LayerMPI, obs.EvRevoke, obs.KV("comm", c.id), obs.KV("size", len(c.group)))
 	cost := p.world.machine.CollectiveTime(len(c.group), 4)
 	p.clock.Advance(cost)
 	p.rec.Add(trace.AppMPI, cost)

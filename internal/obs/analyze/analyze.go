@@ -141,11 +141,14 @@ type CheckpointGen struct {
 	FlushSeconds     float64 `json:"flush_seconds"`
 	Restores         int     `json:"restores"`
 	// Flush-scheduler accounting (zero when scheduling is off). A flush
-	// queued but never started was coalesced away by a newer version or
-	// discarded by the owning node's crash:
-	// cancelled = FlushesQueued - FlushesStarted.
+	// queued but never started was either coalesced away by a newer
+	// version (no event: the submitter's counter carries it) or discarded
+	// with its node — daemon crash or scratch loss, e.g. the owner rank
+	// shrunk away mid-queue — which emits veloc.flush_discarded:
+	// FlushesQueued - FlushesStarted = coalesced + FlushesDiscarded.
 	FlushesQueued    int     `json:"flushes_queued,omitempty"`
 	FlushesStarted   int     `json:"flushes_started,omitempty"`
+	FlushesDiscarded int     `json:"flushes_discarded,omitempty"`
 	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
 }
 
@@ -282,6 +285,8 @@ func Analyze(events []obs.Event) (*Report, error) {
 			if s, ok := attrNum(e, "seconds"); ok {
 				g.FlushSeconds += s
 			}
+		case obs.EvVeloCFlushDiscarded:
+			gen(e).FlushesDiscarded++
 		case obs.EvVeloCRestart:
 			gen(e).Restores++
 		}

@@ -207,6 +207,144 @@ func TestAnalyzeMultiRepairSpans(t *testing.T) {
 	}
 }
 
+// TestAnalyzeTwoWaveShrink pins the report's shrunk-slot arithmetic over
+// multiple shrink waves: wave 1 both substitutes the last spare and
+// shrinks one slot, wave 2 shrinks two more with the pool empty. The
+// analyzer must count one mpi.shrink per wave and the table's "slots
+// shrunk away" figure must sum every wave's compaction, not just the
+// last one.
+func TestAnalyzeTwoWaveShrink(t *testing.T) {
+	rep, err := Analyze(twoWaveShrinkLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shrinks != 2 {
+		t.Errorf("shrinks = %d, want one per wave (2)", rep.Shrinks)
+	}
+	if len(rep.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(rep.Spans))
+	}
+	s0, s1 := rep.Spans[0], rep.Spans[1]
+	if s0.Replaced != 1 || s0.Shrunk != 1 {
+		t.Errorf("span 0 disposed (replaced %d, shrunk %d), want the mixed wave (1, 1)",
+			s0.Replaced, s0.Shrunk)
+	}
+	if s1.Replaced != 0 || s1.Shrunk != 2 {
+		t.Errorf("span 1 disposed (replaced %d, shrunk %d), want the pure shrink wave (0, 2)",
+			s1.Replaced, s1.Shrunk)
+	}
+	if rep.FailuresInjected != 4 || rep.FailuresRepaired != 4 {
+		t.Errorf("failure accounting: injected %d repaired %d, want 4/4",
+			rep.FailuresInjected, rep.FailuresRepaired)
+	}
+	var tbl strings.Builder
+	if err := rep.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if want := "shrink events: 2 (communicator compacted; 3 slots shrunk away)"; !strings.Contains(tbl.String(), want) {
+		t.Errorf("table shrink line wrong: want %q in:\n%s", want, tbl.String())
+	}
+}
+
+// twoWaveShrinkLog is the TestAnalyzeTwoWaveShrink fixture: a 7-rank job
+// compacted to 3 slots over two shrink waves.
+func twoWaveShrinkLog() []obs.Event {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 0), obs.KV("ranks", 7), obs.KV("nodes", 7))
+	b.add(2.0, 1, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 1), obs.KV("iter", 8))
+	b.add(2.0, 3, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 3), obs.KV("iter", 8))
+	b.add(2.25, 0, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 1))
+	b.add(2.5, 0, obs.LayerMPI, obs.EvRevoke, obs.KV("comm", 2), obs.KV("size", 6))
+	b.add(2.75, -1, obs.LayerMPI, obs.EvShrink, obs.KV("from_size", 6), obs.KV("to_size", 5))
+	b.add(3.0, -1, obs.LayerFenix, obs.EvFenixRebuild,
+		obs.KV("generation", 1), obs.KV("replaced", 1), obs.KV("shrunk", 1), obs.KV("size", 5))
+	b.add(3.25, 6, obs.LayerCore, obs.EvRecomputeBegin, obs.KV("slot", 1), obs.KV("iter", 5))
+	b.add(3.5, 6, obs.LayerCore, obs.EvRecomputeEnd, obs.KV("slot", 1), obs.KV("iter", 5))
+	b.add(5.0, 2, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 2), obs.KV("iter", 12))
+	b.add(5.0, 4, obs.LayerCore, obs.EvFailureInjected, obs.KV("slot", 4), obs.KV("iter", 12))
+	b.add(5.25, 0, obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", 2))
+	b.add(5.5, 0, obs.LayerMPI, obs.EvRevoke, obs.KV("comm", 3), obs.KV("size", 5))
+	b.add(5.75, -1, obs.LayerMPI, obs.EvShrink, obs.KV("from_size", 5), obs.KV("to_size", 3))
+	b.add(6.0, -1, obs.LayerFenix, obs.EvFenixRebuild,
+		obs.KV("generation", 2), obs.KV("replaced", 0), obs.KV("shrunk", 2), obs.KV("size", 3))
+	b.add(6.5, 0, obs.LayerCore, obs.EvRecomputeBegin, obs.KV("slot", 0), obs.KV("iter", 10))
+	b.add(6.75, 0, obs.LayerCore, obs.EvRecomputeEnd, obs.KV("slot", 0), obs.KV("iter", 10))
+	b.add(8.0, -1, obs.LayerMPI, obs.EvJobEnd,
+		obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 8.0))
+	return b.events
+}
+
+// TestDiffRankAlignmentAcrossWorldSizes pins the -baseline per-rank delta
+// table for runs that end at different world sizes: a 5-rank baseline
+// whose single failure is spare-repaired (ranks 0, 2, 4 have phase data)
+// against a 7-rank subject compacted to 3 slots over two shrink waves
+// (ranks 0, 6 have phase data). Rows must align by rank id — never by
+// table position — and ranks with data on only one side must carry an
+// explicit note instead of a fabricated zero-baseline delta.
+func TestDiffRankAlignmentAcrossWorldSizes(t *testing.T) {
+	var base evb
+	base.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 0), obs.KV("ranks", 5), obs.KV("nodes", 5))
+	fenixEpisode(&base)
+	base.add(6.0, -1, obs.LayerMPI, obs.EvJobEnd,
+		obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 6.0))
+	baseline, err := Analyze(base.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Analyze(twoWaveShrinkLog())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := Diff(run, baseline)
+	// Union of ranks with phase data: baseline {0, 2, 4}, run {0, 6}.
+	wantRows := []RankDelta{
+		// Rank 0 appears on both sides: detection 0.25+0.25 vs 0.125,
+		// restore 0 vs 0.125, recompute 0.25 vs 0. No note.
+		{Rank: 0, Detection: 0.375, Restore: -0.125, Recompute: 0.25},
+		// Ranks 2 and 4 have baseline data only; the run shrank three
+		// slots away, so the missing side is labeled as compacted.
+		{Rank: 2, Detection: -0.1875, Note: "shrunk away in run"},
+		{Rank: 4, Restore: -0.25, Recompute: -0.5, Note: "shrunk away in run"},
+		// Rank 6 (the activated spare) exists in the run only; the
+		// baseline did not shrink, so it is merely one-sided.
+		{Rank: 6, Recompute: 0.25, Note: "run only"},
+	}
+	if len(d.PerRank) != len(wantRows) {
+		t.Fatalf("per-rank rows = %+v, want %d rows", d.PerRank, len(wantRows))
+	}
+	for i, want := range wantRows {
+		if d.PerRank[i] != want {
+			t.Errorf("row %d = %+v, want %+v", i, d.PerRank[i], want)
+		}
+	}
+
+	var tbl strings.Builder
+	if err := d.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"per-rank phase deltas", "shrunk away in run", "run only"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("delta table missing %q:\n%s", want, tbl.String())
+		}
+	}
+
+	// The reverse diff labels the shrunk side symmetrically: rank 2 is
+	// missing because the (now-)baseline compacted it away; rank 6 never
+	// existed on the run side at all.
+	rev := Diff(baseline, run)
+	for _, rd := range rev.PerRank {
+		if rd.Rank == 2 && rd.Note != "shrunk away in baseline" {
+			t.Errorf("reverse diff rank 2 note = %q, want shrunk away in baseline", rd.Note)
+		}
+		if rd.Rank == 6 && rd.Note != "baseline only" {
+			t.Errorf("reverse diff rank 6 note = %q, want baseline only", rd.Note)
+		}
+	}
+}
+
 func TestAnalyzeRelaunchSpan(t *testing.T) {
 	var b evb
 	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -109,6 +110,104 @@ type Delta struct {
 	FailuresRepaired   int            `json:"failures_repaired_delta"`
 	PhaseTotals        PhaseBreakdown `json:"phase_totals_delta"`
 	CheckpointsWritten int            `json:"checkpoints_delta"`
+	// PerRank compares recovery-phase time by world rank. Rows are keyed
+	// and aligned by rank id, never by table position: with shrink-mode
+	// repairs the two runs can end at different world sizes, so position-
+	// based alignment would pair unrelated ranks (or index out of range).
+	// Ranks with data on only one side carry an explicit Note instead of a
+	// silently misleading zero baseline.
+	PerRank []RankDelta `json:"per_rank,omitempty"`
+}
+
+// RankDelta is one world rank's phase-time comparison (run - baseline),
+// summed over every recovery span the rank participated in.
+type RankDelta struct {
+	Rank      int     `json:"rank"`
+	Detection float64 `json:"detection_s_delta"`
+	Restore   float64 `json:"restore_s_delta"`
+	Recompute float64 `json:"recompute_s_delta"`
+	// Note is empty when both runs have phase data for the rank.
+	// "shrunk away in run" / "shrunk away in baseline" marks a rank whose
+	// side compacted slots away and has no data for it; "run only" /
+	// "baseline only" marks one-sided data without a shrink to blame
+	// (e.g. a failure-free baseline has no recovery activity at all).
+	Note string `json:"note,omitempty"`
+}
+
+// rankPhaseTotals aggregates a report's per-span, per-rank phase times
+// into one total per world rank.
+func rankPhaseTotals(r *Report) map[int]RankPhases {
+	m := map[int]RankPhases{}
+	for _, sp := range r.Spans {
+		for _, rp := range sp.PerRank {
+			agg := m[rp.Rank]
+			agg.Rank = rp.Rank
+			agg.Detection += rp.Detection
+			agg.Restore += rp.Restore
+			agg.Recompute += rp.Recompute
+			m[rp.Rank] = agg
+		}
+	}
+	return m
+}
+
+// shrunkSlots sums the slots a report's repairs compacted away.
+func shrunkSlots(r *Report) int {
+	n := 0
+	for _, sp := range r.Spans {
+		n += sp.Shrunk
+	}
+	return n
+}
+
+// diffPerRank builds the rank-aligned phase comparison. The union of
+// ranks from both reports is walked in rank order; a rank missing from
+// one side still yields a row (its missing side contributes zero) with a
+// Note naming which side lacks it and whether that side shrank.
+func diffPerRank(run, baseline *Report) []RankDelta {
+	rt, bt := rankPhaseTotals(run), rankPhaseTotals(baseline)
+	if len(rt) == 0 && len(bt) == 0 {
+		return nil
+	}
+	ranks := make([]int, 0, len(rt)+len(bt))
+	for r := range rt {
+		ranks = append(ranks, r)
+	}
+	for r := range bt {
+		if _, dup := rt[r]; !dup {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	out := make([]RankDelta, 0, len(ranks))
+	for _, rank := range ranks {
+		rv, rok := rt[rank]
+		bv, bok := bt[rank]
+		rd := RankDelta{
+			Rank:      rank,
+			Detection: rv.Detection - bv.Detection,
+			Restore:   rv.Restore - bv.Restore,
+			Recompute: rv.Recompute - bv.Recompute,
+		}
+		switch {
+		case rok && bok:
+			// both sides present: plain delta, no note
+		case bok: // baseline only
+			if shrunkSlots(run) > 0 {
+				rd.Note = "shrunk away in run"
+			} else {
+				rd.Note = "baseline only"
+			}
+		default: // run only
+			if shrunkSlots(baseline) > 0 {
+				rd.Note = "shrunk away in baseline"
+			} else {
+				rd.Note = "run only"
+			}
+		}
+		out = append(out, rd)
+	}
+	return out
 }
 
 // Diff returns run - baseline: positive wall delta means the run was
@@ -133,6 +232,7 @@ func Diff(run, baseline *Report) Delta {
 	for _, g := range baseline.Checkpoints {
 		d.CheckpointsWritten -= g.Checkpoints
 	}
+	d.PerRank = diffPerRank(run, baseline)
 	return d
 }
 
@@ -146,6 +246,15 @@ func (d Delta) WriteTable(w io.Writer) error {
 		fmt.Fprintf(&b, "  %s %+.4f", name, d.PhaseTotals.Get(name))
 	}
 	fmt.Fprintf(&b, "\n")
+	if len(d.PerRank) > 0 {
+		fmt.Fprintf(&b, "\nper-rank phase deltas (run - baseline, virtual seconds):\n")
+		fmt.Fprintf(&b, "%-5s %10s %10s %10s  %s\n",
+			"rank", "detect", "restore", "recompute", "note")
+		for _, rd := range d.PerRank {
+			fmt.Fprintf(&b, "%-5d %+10.4f %+10.4f %+10.4f  %s\n",
+				rd.Rank, rd.Detection, rd.Restore, rd.Recompute, rd.Note)
+		}
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

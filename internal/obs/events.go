@@ -43,13 +43,14 @@ const (
 	EvKRRestoreEnd      = "kr.restore_commit"
 
 	// veloc: data layer (scratch copy + asynchronous flush).
-	EvVeloCInit        = "veloc.init"
-	EvVeloCCheckpoint  = "veloc.checkpoint"
-	EvVeloCFlushBegin  = "veloc.flush_begin"
-	EvVeloCFlushQueued = "veloc.flush_queued"
-	EvVeloCFlushStart  = "veloc.flush_start"
-	EvVeloCFlushEnd    = "veloc.flush_end"
-	EvVeloCRestart     = "veloc.restart"
+	EvVeloCInit           = "veloc.init"
+	EvVeloCCheckpoint     = "veloc.checkpoint"
+	EvVeloCFlushBegin     = "veloc.flush_begin"
+	EvVeloCFlushQueued    = "veloc.flush_queued"
+	EvVeloCFlushStart     = "veloc.flush_start"
+	EvVeloCFlushEnd       = "veloc.flush_end"
+	EvVeloCFlushDiscarded = "veloc.flush_discarded"
+	EvVeloCRestart        = "veloc.restart"
 
 	// core: integrated-session lifecycle.
 	EvSessionStart    = "core.session_start"
@@ -70,7 +71,7 @@ func EventNames() []string {
 		EvKRInit, EvKRRecoveryArmed, EvKRReset, EvKRCheckpointBegin, EvKRCheckpointEnd,
 		EvKRRestoreBegin, EvKRRestoreEnd,
 		EvVeloCInit, EvVeloCCheckpoint, EvVeloCFlushBegin, EvVeloCFlushQueued,
-		EvVeloCFlushStart, EvVeloCFlushEnd, EvVeloCRestart,
+		EvVeloCFlushStart, EvVeloCFlushEnd, EvVeloCFlushDiscarded, EvVeloCRestart,
 		EvSessionStart, EvFailureInjected, EvRecomputeBegin, EvRecomputeEnd,
 		EvChaosKill,
 	}
@@ -101,8 +102,9 @@ const (
 
 	MFlushes               = "veloc_flushes_total"
 	MFlushSeconds          = "veloc_flush_seconds"            // histogram
-	MFlushQueueDepth       = "veloc_flush_queue_depth"        // gauge, sampled at flush submit and completion
+	MFlushQueueDepth       = "veloc_flush_queue_depth"        // gauge, sampled at flush submit, completion, and discard
 	MFlushCoalesced        = "veloc_flush_coalesced_total"    // scheduler: superseded versions cancelled
+	MFlushDiscarded        = "veloc_flush_discarded_total"    // scheduler: queued flushes lost with their node (crash / scratch loss)
 	MFlushWaitSeconds      = "veloc_flush_wait_seconds"       // counter: MPI-visible flush wait (congestion inflation + restore stalls)
 	MFlushQueueWaitSeconds = "veloc_flush_queue_wait_seconds" // histogram: scheduler queue wait per flush
 
@@ -119,7 +121,7 @@ func MetricNames() []string {
 		MCheckpoints, MCheckpointBytes, MCheckpointSyncSeconds,
 		MRestores, MRestoreBytes, MRestoreSeconds, MKRRegions,
 		MFlushes, MFlushSeconds, MFlushQueueDepth,
-		MFlushCoalesced, MFlushWaitSeconds, MFlushQueueWaitSeconds,
+		MFlushCoalesced, MFlushDiscarded, MFlushWaitSeconds, MFlushQueueWaitSeconds,
 		MRecomputeIters,
 	}
 }

@@ -238,6 +238,13 @@ func (r *Recorder) Events() []Event {
 		if out[i].Time != out[j].Time {
 			return out[i].Time < out[j].Time
 		}
+		// Same-instant events from different ranks have no causal order; the
+		// emission sequence reflects the racy real-time arrival of their
+		// goroutines, so rank breaks the tie to keep the log replay-stable
+		// (Seq stays the within-rank causal order).
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
 		return out[i].Seq < out[j].Seq
 	})
 	return out

@@ -201,8 +201,11 @@ func TestConcurrentRanks(t *testing.T) {
 	events := r.Events()
 	for i := 1; i < len(events); i++ {
 		a, b := events[i-1], events[i]
-		if a.Time > b.Time || (a.Time == b.Time && a.Seq > b.Seq) {
-			t.Fatalf("events out of order at %d: (%v,%d) before (%v,%d)", i, a.Time, a.Seq, b.Time, b.Seq)
+		if a.Time > b.Time ||
+			(a.Time == b.Time && a.Rank > b.Rank) ||
+			(a.Time == b.Time && a.Rank == b.Rank && a.Seq > b.Seq) {
+			t.Fatalf("events out of order at %d: (%v,r%d,%d) before (%v,r%d,%d)",
+				i, a.Time, a.Rank, a.Seq, b.Time, b.Rank, b.Seq)
 		}
 	}
 }

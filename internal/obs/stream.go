@@ -11,20 +11,19 @@ import "io"
 const DefaultReorderWindow = 30.0
 
 // jsonlStream is an incremental JSONL sink with a time-based reorder
-// window. Events are buffered in a min-heap ordered by (Time, Seq) and
-// written once the watermark — the maximum event time seen so far — has
-// advanced past their time by at least the window, which restores the
-// global (time, seq) sort order as long as no event is stamped more than
-// `window` virtual seconds behind the watermark. All fields are guarded by
-// the owning Recorder's mutex.
+// window. Events are buffered in a min-heap ordered by (Time, Rank, Seq)
+// and written once the watermark — the maximum event time seen so far —
+// has advanced past their time by at least the window, which restores the
+// global (time, rank, seq) sort order as long as no event is stamped more
+// than `window` virtual seconds behind the watermark. All fields are
+// guarded by the owning Recorder's mutex.
 type jsonlStream struct {
 	w       io.Writer
 	window  float64
-	heap    []Event // min-heap by (Time, Seq)
+	heap    []Event // min-heap by (Time, Rank, Seq)
 	highest float64 // watermark: max event time pushed
 	wrote   bool    // at least one event written
-	lastT   float64 // (Time, Seq) of the last written event,
-	lastSeq uint64  // for late-arrival detection
+	last    Event   // ordering key of the last written event (late detection)
 	late    uint64
 	written uint64
 	err     error // sticky write error
@@ -33,7 +32,7 @@ type jsonlStream struct {
 
 // StreamJSONL attaches an incremental JSONL sink to the recorder: every
 // event — past and future — is written to w as one JSON line, ordered by
-// (virtual time, emission sequence) under a reorder window of `window`
+// (virtual time, rank, emission sequence) under a reorder window of `window`
 // virtual seconds (DefaultReorderWindow if window <= 0). The window
 // absorbs the documented out-of-order case, veloc.flush_end being stamped
 // ahead of the emitting rank's clock; an event arriving more than a window
@@ -139,10 +138,10 @@ func (s *jsonlStream) drain(n int) {
 }
 
 func (s *jsonlStream) writeOne(e Event) {
-	if s.wrote && (e.Time < s.lastT || (e.Time == s.lastT && e.Seq < s.lastSeq)) {
+	if s.wrote && eventLess(e, s.last) {
 		s.late++
 	}
-	s.wrote, s.lastT, s.lastSeq = true, e.Time, e.Seq
+	s.wrote, s.last = true, Event{Time: e.Time, Rank: e.Rank, Seq: e.Seq}
 	s.written++
 	if s.err != nil {
 		return
@@ -154,10 +153,15 @@ func (s *jsonlStream) writeOne(e Event) {
 	}
 }
 
-// eventLess orders the heap by (Time, Seq), matching Recorder.Events.
+// eventLess orders the heap by (Time, Rank, Seq), matching
+// Recorder.Events: rank breaks same-instant ties between causally
+// unordered emitters, Seq keeps the within-rank causal order.
 func eventLess(a, b Event) bool {
 	if a.Time != b.Time {
 		return a.Time < b.Time
+	}
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
 	}
 	return a.Seq < b.Seq
 }

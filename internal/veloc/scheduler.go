@@ -53,6 +53,15 @@ func (c *Client) scheduleFlush(name string, version, simSize int, now float64) e
 		CoalesceKey: c.coalesceKey(name),
 		Version:     version,
 	}
+	if c.comm != nil {
+		// Checkpoints are committed collectively, so every rank of the
+		// communicator flushes this version together: fixing the PFS
+		// congestion share to the comm size keeps flush windows a pure
+		// function of virtual time (replay-determinism under storm cells
+		// whose synchronized ranks would otherwise race for bandwidth
+		// shares in arrival order).
+		req.Share = c.comm.Size()
+	}
 	if rec.Enabled() {
 		// Emitted before submission so flush_queued orders ahead of the
 		// flush_start that a free window slot triggers immediately.
@@ -74,6 +83,20 @@ func (c *Client) scheduleFlush(name string, version, simSize int, now float64) e
 			reg.Histogram(obs.MFlushSeconds, obs.TimeBuckets).Observe(end - now)
 			reg.Histogram(obs.MFlushQueueWaitSeconds, obs.TimeBuckets).Observe(start - now)
 			reg.Gauge(obs.MFlushQueueDepth).Set(float64(depthAtEnd))
+		}
+		req.OnCancel = func(at float64, reason string, depth int) {
+			// The queued flush was lost with its node (daemon crash or
+			// scratch loss) before it ever started — typically because the
+			// owner rank was killed or shrunk away mid-queue. It contributes
+			// no queue-wait observation (it never started); the discard event
+			// and counter keep queued = started + coalesced + discarded
+			// reconcilable, and the depth gauge reflects the drained queue.
+			rec.Emit(at, rank, obs.LayerVeloC, obs.EvVeloCFlushDiscarded,
+				obs.KV("name", name), obs.KV("version", version),
+				obs.KV("bytes", simSize), obs.KV("reason", reason),
+				obs.KV("queue_depth", depth))
+			reg.Counter(obs.MFlushDiscarded).Inc()
+			reg.Gauge(obs.MFlushQueueDepth).Set(float64(depth))
 		}
 	}
 	_, _, coalesced, err := node.FlushSubmit(req, now)

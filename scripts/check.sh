@@ -79,6 +79,12 @@ run_chaos() {
     #           events and per-span shrunk-slot accounting
     #   seed 3  flush-mode cell with a node crash; the scheduler's
     #           queued/started accounting must replay exactly
+    #   seed 9  storm-wave cell (heatdis, 32 ranks): multi-wave kill
+    #           schedule past spare exhaustion — one mixed rebuild, then
+    #           pure shrinks; final size and shrink count must replay
+    #   seed 19 storm-wave cell (minimd): the allreduce-synchronized
+    #           flush-storm cell that caught the arrival-order PFS
+    #           congestion leak; its flush ledger must replay exactly
     banner "chaos: $CHAOS_SEEDS-seed campaign under -race"
     go run -race ./cmd/chaos -seeds "$CHAOS_SEEDS" -json "$tmp/campaign.json"
     grep -q '"violated": 0' "$tmp/campaign.json"
@@ -92,6 +98,20 @@ run_chaos() {
     go run ./cmd/chaos -seed 3 -json "$tmp/flushrun.json"
     grep -q '"flushes_queued": 20' "$tmp/flushrun.json"
     grep -q '"flushes_started": 20' "$tmp/flushrun.json"
+
+    banner "chaos: seed 9 replay (storm wave, heatdis)"
+    go run ./cmd/chaos -seed 9 -json "$tmp/stormrun.json" -events "$tmp/storm-events.jsonl"
+    grep -q '"shrunk": 3' "$tmp/stormrun.json"
+    grep -q '"mpi_shrinks": 2' "$tmp/stormrun.json"
+    grep -q '"final_size": 29' "$tmp/stormrun.json"
+    go run ./cmd/obsreport "$tmp/storm-events.jsonl" | grep -q 'shrink events: 2'
+
+    banner "chaos: seed 19 replay (storm wave, minimd flush storm)"
+    go run ./cmd/chaos -seed 19 -json "$tmp/stormrun2.json"
+    grep -q '"shrunk": 5' "$tmp/stormrun2.json"
+    grep -q '"mpi_shrinks": 3' "$tmp/stormrun2.json"
+    grep -q '"flushes_queued": 175' "$tmp/stormrun2.json"
+    grep -q '"flushes_started": 175' "$tmp/stormrun2.json"
 }
 
 sections=${*:-"build vet race bench report chaos"}
