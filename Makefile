@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench check chaos figures report clean
+.PHONY: all build vet test race bench perf check chaos figures report clean
 
 all: check
 
@@ -19,9 +19,18 @@ race:
 	$(GO) test -race ./...
 
 # Single-iteration sweep of the observability-overhead and flush-scheduler
-# benchmarks (virtual-time metrics; host ns/op is incidental).
+# benchmarks (virtual-time metrics; host ns/op is incidental), plus the
+# simulator-throughput benchmark (host-time metrics; see PERFORMANCE.md).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkHeatdisObs|BenchmarkHeatdisFlushSched' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSimThroughput' -benchtime 1s ./internal/mpi/
+
+# Simulator-throughput regression gate: fails if BenchmarkSimThroughput
+# falls more than 20% below the checked-in, machine-speed-normalized
+# baseline, or if the tree engine's speedup over the flat engine drops
+# below 5x at 256 ranks.
+perf:
+	sh scripts/bench_gate.sh
 
 # Full verification, shared with CI. Sections and the CHAOS_SEEDS override
 # are documented in scripts/check.sh.

@@ -1,0 +1,35 @@
+package chaos
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestInjectionPointsDocumented cross-checks the machine-readable injection
+// point constants against DESIGN.md: the engine's determinism contract
+// (§10) promises that every point sits before any engine state change, so
+// the full point set must be spelled out there. Adding a point without
+// documenting its placement fails this test.
+func TestInjectionPointsDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	text := string(doc)
+	for _, point := range []string{
+		PointCollective,
+		PointIteration,
+		PointKRRegion,
+		PointKRCommit,
+		PointVeloCCheckpoint,
+		PointVeloCFlush,
+		PointFenixRecover,
+		PointFenixSpareWait,
+		PointFenixSpareActivate,
+	} {
+		if !strings.Contains(text, "`"+point+"`") {
+			t.Errorf("injection point %s is not documented in DESIGN.md", point)
+		}
+	}
+}

@@ -71,6 +71,13 @@ func buildApp(cfg RunConfig) (appRun, error) {
 		if cfg.Ranks > 8 {
 			bytesPerRank = 512 << 10
 		}
+		if cfg.Ranks > 1024 {
+			// O(4k)-rank scale cells: keep the aggregate problem (and the
+			// per-rank checkpoint payload the scratch layer copies) small
+			// enough that a -race replay pair fits CI memory; the collective
+			// and flush machinery being exercised is size-independent.
+			bytesPerRank = 64 << 10
+		}
 		hc := heatdis.Config{
 			BytesPerRank:       bytesPerRank,
 			Iterations:         cfg.Iters,

@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// scaleTimeout replaces the default 30s watchdog for the O(1k-4k)-rank
+// cells: a 4096-rank replay pair legitimately needs a few minutes under
+// -race, and a hang still fails fast relative to the test binary timeout.
+const scaleTimeout = 5 * time.Minute
+
+// Scale cells: the tree collective engine's acceptance runs. A 4096-rank
+// heatdis job with a mid-run failure must complete — repair, recompute,
+// and converge to the failure-free checksum — and produce a byte-identical
+// report across two replays of the same seed. These ride behind -short so
+// the quick edit loop stays quick; CI and scripts/check.sh run them in
+// full (plus `make chaos CHAOS_SCALE=1024` for the storm-wave smoke).
+
+// scale4096Config is a hand-built 4096-rank heatdis cell: one rank per
+// node (the campaign's standard topology — co-resident ranks with deep
+// virtual skew make flush coalescing wall-order dependent, see the
+// determinism notes in cluster/flushsched.go), one spare, the flush
+// scheduler on, and one mid-run rank kill so the repair path (failure
+// detection, spare substitution, rollback, recompute) runs at full width.
+func scale4096Config() RunConfig {
+	return RunConfig{
+		Seed: 4096, App: AppHeatdis, Mode: ModeIteration,
+		Ranks: 4096, Spares: 1, RanksPerNode: 1,
+		Iters: 6, Interval: 2,
+		Flush:    cluster.FlushPolicy{Window: 2, Coalesce: true},
+		Schedule: Schedule{Kills: []Kill{{Rank: 1234, Point: PointIteration, Hit: 3}}},
+	}
+}
+
+func TestScale4096HeatdisReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("4096-rank cell skipped in -short mode")
+	}
+	var out [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		rep := RunOne(scale4096Config(), NewRefCache(), scaleTimeout)
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+		if rep.JobFailed {
+			t.Fatalf("4096-rank run failed: %s", rep.Error)
+		}
+		if rep.Survived != 1 || rep.Unrepaired != 0 {
+			t.Fatalf("survived %d, unrepaired %d; want the mid-run kill repaired", rep.Survived, rep.Unrepaired)
+		}
+		if err := rep.WriteJSON(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Errorf("4096-rank replay differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			out[0].String(), out[1].String())
+	}
+}
+
+// TestScale1024StormWaveReplay pins replay determinism for the 1024-rank
+// storm-wave family (the CHAOS_SCALE=1024 smoke cell): multiple shrink
+// waves, spare exhaustion, and a world-sized flush storm must all be a
+// pure function of the seed at this width too.
+func TestScale1024StormWaveReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-rank storm cell skipped in -short mode")
+	}
+	var out [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		cfg, err := ConfigForSeedScaled(9, ModeStormWave, AppHeatdis, 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := RunOne(cfg, NewRefCache(), scaleTimeout)
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+		if rep.JobFailed {
+			t.Fatalf("1024-rank storm failed: %s", rep.Error)
+		}
+		if err := rep.WriteJSON(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Errorf("1024-rank storm replay differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			out[0].String(), out[1].String())
+	}
+}

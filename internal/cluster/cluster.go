@@ -75,12 +75,13 @@ type Node struct {
 	scratch map[string]stored
 	flushes []window
 	// Flush scheduling state (see flushsched.go). policy zero = unscheduled;
-	// pending holds queued, not-yet-started flushes; flushFrontier is the
-	// latest start assigned to a committed flush (starts are monotone).
-	policy        FlushPolicy
-	pending       []*pendingFlush
-	flushSeq      int
-	flushFrontier float64
+	// pending holds queued, not-yet-started flushes; flushSeq numbers
+	// submissions (a last-resort queue tie-break only — queue order is
+	// derived from virtual-time-deterministic request fields, never from
+	// the wall-clock order in which racing ranks reached the scheduler).
+	policy   FlushPolicy
+	pending  []*pendingFlush
+	flushSeq int
 }
 
 // stored is a scratch or PFS object: real contents plus the simulated size

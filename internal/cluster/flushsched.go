@@ -11,8 +11,12 @@
 //   - Window bounds the number of concurrently in-flight flushes the node
 //     starts; excess requests wait in a queue.
 //   - The queue is ordered deadline-aware: the request whose completion
-//     gates the earliest next checkpoint commit starts first (ties broken
-//     by submission order).
+//     gates the earliest next checkpoint commit starts first. Ties are
+//     broken by virtual-time-deterministic request fields (enqueue time,
+//     owner rank, coalesce key, version) — never by the wall-clock order
+//     in which racing rank goroutines reached the scheduler, which is the
+//     difference between a replayable schedule and a flaky one (see
+//     flushBefore).
 //   - Coalesce cancels a queued, not-yet-started flush when a newer
 //     version of the same checkpoint (same CoalesceKey) is submitted: the
 //     superseded version's bytes never reach the PFS at all.
@@ -98,6 +102,33 @@ type pendingFlush struct {
 
 	started    bool
 	start, end float64
+}
+
+// flushBefore is the queue priority: earlier deadline first, then earlier
+// (virtual) enqueue time, then owner rank, coalesce key, and version. Every
+// component is a pure function of virtual time and request identity, so the
+// committed schedule does not depend on the wall-clock order in which
+// same-node ranks — each at its own virtual clock — raced into FlushSubmit.
+// seq (submission order) remains only as a last resort for requests
+// identical in all deterministic fields, which a single rank can only
+// produce by submitting the same key twice at one virtual instant.
+func flushBefore(a, b *pendingFlush) bool {
+	if a.req.Deadline != b.req.Deadline {
+		return a.req.Deadline < b.req.Deadline
+	}
+	if a.enqueued != b.enqueued {
+		return a.enqueued < b.enqueued
+	}
+	if a.req.Owner != b.req.Owner {
+		return a.req.Owner < b.req.Owner
+	}
+	if a.req.CoalesceKey != b.req.CoalesceKey {
+		return a.req.CoalesceKey < b.req.CoalesceKey
+	}
+	if a.req.Version != b.req.Version {
+		return a.req.Version < b.req.Version
+	}
+	return a.seq < b.seq
 }
 
 // SetFlushPolicy installs the flush policy on every node.
@@ -240,7 +271,7 @@ func (n *Node) FlushSubmit(req FlushRequest, now float64) (started bool, end flo
 }
 
 // advanceLocked commits every queued flush whose scheduled start has been
-// reached by virtual time t, in (deadline, submission) order. Committing
+// reached by virtual time t, in flushBefore priority order. Committing
 // performs the PFS write at the computed start; entries still queued
 // afterwards remain cancellable. OnStart callbacks are appended to fire
 // for invocation after the node lock is released. Caller holds n.mu.
@@ -248,9 +279,7 @@ func (n *Node) advanceLocked(t float64, fire *[]func()) {
 	for len(n.pending) > 0 {
 		best := 0
 		for i, e := range n.pending {
-			b := n.pending[best]
-			if e.req.Deadline < b.req.Deadline ||
-				(e.req.Deadline == b.req.Deadline && e.seq < b.seq) {
+			if flushBefore(e, n.pending[best]) {
 				best = i
 			}
 		}
@@ -284,16 +313,21 @@ func (n *Node) advanceLocked(t float64, fire *[]func()) {
 	}
 }
 
-// nextStartLocked returns the earliest virtual time — no earlier than
-// `after` or any previously assigned start (the frontier) — at which the
-// number of in-flight flushes is below the policy window. Assigned starts
-// are monotone non-decreasing in commit order, which keeps the window
-// bound valid at every future instant. Caller holds n.mu.
+// nextStartLocked returns the earliest virtual time no earlier than
+// `after` at which the number of in-flight flushes is below the policy
+// window. The start is a function of the request's own enqueue time and
+// the committed windows — deliberately NOT of a global "latest assigned
+// start" frontier: a frontier makes the schedule depend on the wall-clock
+// order in which same-node ranks (each at its own virtual clock) commit,
+// so a rank that is virtually earlier but arrives later in real time
+// would be pushed behind its peer in one run and not the other. Without
+// it, a virtually-stale submission can transiently exceed the window
+// bound by overlapping an already-committed later window — accepted, as
+// same-node ranks resynchronize every collective and the skew is bounded
+// by one compute step, while the determinism is what seeded replays pin.
+// Caller holds n.mu.
 func (n *Node) nextStartLocked(after float64) float64 {
 	t := after
-	if n.flushFrontier > t {
-		t = n.flushFrontier
-	}
 	for {
 		var ends []float64
 		for _, w := range n.flushes {
@@ -322,13 +356,10 @@ func (n *Node) openAtLocked(t float64) int {
 	return depth
 }
 
-// recordFlushLocked appends a committed flush window, advancing the start
-// frontier and pruning windows that ended well before the new flush began
-// to bound memory over long runs. Caller holds n.mu.
+// recordFlushLocked appends a committed flush window, pruning windows that
+// ended well before the new flush began to bound memory over long runs.
+// Caller holds n.mu.
 func (n *Node) recordFlushLocked(start, end float64) {
-	if start > n.flushFrontier {
-		n.flushFrontier = start
-	}
 	n.flushes = append(n.flushes, window{start: start, end: end})
 	if len(n.flushes) > 64 {
 		kept := n.flushes[:0]

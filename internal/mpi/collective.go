@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -16,31 +17,77 @@ type collKey struct {
 	seq  int64
 }
 
-// arrival is one process's entry into a rendezvous.
-type arrival struct {
-	commRank  int
-	clock     float64
+// memberState is one member's terminal state within a rendezvous.
+type memberState uint8
+
+const (
+	// memberPending: no terminal event yet.
+	memberPending memberState = iota
+	// memberArrived: the member entered the collective.
+	memberArrived
+	// memberDead: the member died before arriving.
+	memberDead
+	// memberDeparted: the member departed the communicator before arriving
+	// (regular collectives only; Shrink/Agree ignore departures).
+	memberDeparted
+)
+
+// slot records one member's terminal state, indexed by comm rank. The
+// first terminal event per member wins; slots are only written under
+// world.mu, from the goroutine that owns the event (the arriving, dying,
+// or departing rank), which anchors every outcome in that rank's own
+// program order and virtual clock.
+type slot struct {
+	state     memberState
+	clock     float64 // arrival time (memberArrived)
+	stamp     float64 // death time (memberDead) or departure stamp (memberDeparted)
 	congested bool
-	payload   any
 	bytes     int
+	payload   any
 }
 
-// rendezvous synchronizes one collective. Processes register their arrival
-// under world.mu; the rendezvous completes when every live member has
-// arrived (or, upon a failure, when every remaining live member has
-// arrived). Completion publishes the synchronized clock time, any error,
-// and the frozen set of dead members, then closes done.
+// rendezvous synchronizes one collective. Members register terminal states
+// under world.mu; the rendezvous completes when every member is accounted
+// for. Completion publishes the synchronized clock time, any error, and
+// the frozen set of dead members, then closes done. The struct is pooled:
+// see acquireOpLocked / release in tree.go.
 type rendezvous struct {
 	comm     *Comm
 	tolerant bool // Shrink/Agree: dead members do not poison the result
-	arrivals map[int]*arrival
+	key      collKey
 	done     chan struct{}
+
+	// slots and treeLeft are indexed by comm rank; treeLeft holds the
+	// binomial tree's per-node pending counters (tree engine only).
+	slots    []slot
+	treeLeft []int32
+
+	// Aggregate scalars maintained incrementally as terminal events land,
+	// so completion needs no full-group scan in the failure-free case.
+	nArrived    int
+	nDead       int
+	nDeparted   int
+	maxClock    float64 // latest arrival clock
+	maxDeadAt   float64 // latest death stamp among dead members
+	departStamp float64 // latest departure stamp among departed members
+	congested   bool
+	maxBytes    int
+
+	// refs counts arrived members that have not yet released the op back
+	// to the pool (one reference per arrival).
+	refs atomic.Int32
 
 	completed bool
 	err       error
 	syncTime  float64
-	deadAtEnd []int // world ranks dead at completion
+	deadAtEnd []int // world ranks dead at completion, in comm rank order
 	result    any   // memoized collective result (e.g. the shrunk comm)
+
+	// reduced memoizes the shared element-wise reduction so P members cost
+	// one O(P·n) pass instead of P of them. Guarded by world.mu.
+	reduced   []float64
+	reduceErr error
+	reducedOK bool
 }
 
 func (r *rendezvous) hasMember(worldRank int) bool {
@@ -58,13 +105,15 @@ func (r *rendezvous) finishLocked(syncTime float64) {
 	close(r.done)
 }
 
-// tryCompleteLocked completes the rendezvous once every member is
-// accounted for: arrived, dead, or — for regular (non-tolerant)
+// tryCompleteFlatLocked is the flat (legacy) engine: it re-derives the
+// full classification — alive, dead, departed — from world state with an
+// O(P) scan on every terminal event, completing the rendezvous once every
+// member is accounted for: arrived, dead, or — for regular (non-tolerant)
 // collectives — departed from the communicator. Tolerant collectives
 // (Shrink/Agree) ignore departures: a member that abandoned the comm after
 // an error still participates in the recovery-side agreement, as in ULFM.
 // Caller holds world.mu.
-func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
+func (w *World) tryCompleteFlatLocked(r *rendezvous) {
 	if r.completed {
 		return
 	}
@@ -81,7 +130,7 @@ func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 	}
 	departStamp, hasDeparted := 0.0, false
 	for _, wr := range alive {
-		if _, ok := r.arrivals[wr]; ok {
+		if r.slots[r.comm.index[wr]].state == memberArrived {
 			continue
 		}
 		if !r.tolerant {
@@ -95,20 +144,24 @@ func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 		}
 		return
 	}
-	r.deadAtEnd = dead
+	r.deadAtEnd = append(r.deadAtEnd[:0], dead...)
 	if !r.tolerant && len(dead) > 0 {
 		r.err = newFailedError(dead)
 	} else if hasDeparted {
 		r.err = ErrRevoked
 	}
 	maxClock, congested, bytes := 0.0, false, 0
-	for _, a := range r.arrivals {
-		if a.clock > maxClock {
-			maxClock = a.clock
+	for i := range r.slots {
+		s := &r.slots[i]
+		if s.state != memberArrived {
+			continue
 		}
-		congested = congested || a.congested
-		if a.bytes > bytes {
-			bytes = a.bytes
+		if s.clock > maxClock {
+			maxClock = s.clock
+		}
+		congested = congested || s.congested
+		if s.bytes > bytes {
+			bytes = s.bytes
 		}
 	}
 	cost := w.machine.CollectiveTime(len(alive), bytes)
@@ -128,13 +181,16 @@ func (w *World) tryCompleteLocked(key collKey, r *rendezvous) {
 	if hasDeparted && departStamp > end {
 		end = departStamp
 	}
-	delete(w.colls, key)
+	delete(w.colls, r.key)
 	r.finishLocked(end)
 }
 
 // collective runs one rendezvous for the calling process and returns the
 // completed rendezvous. payload is this process's contribution; bytes is
-// its wire size for the cost model.
+// its wire size for the cost model. On success the caller owns one
+// reference on the returned rendezvous and must release it (r.release)
+// after extracting its results; on error the reference has already been
+// released.
 func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rendezvous, error) {
 	p.Inject("mpi.collective")
 	commRank := c.checkMember(p, "collective")
@@ -165,26 +221,25 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 	}
 	r, ok := w.colls[key]
 	if !ok {
-		r = &rendezvous{
-			comm:     c,
-			tolerant: tolerant,
-			arrivals: make(map[int]*arrival),
-			done:     make(chan struct{}),
-		}
+		r = w.acquireOpLocked(c, tolerant, key)
 		w.colls[key] = r
+		if w.engine == EngineTree {
+			w.seedTerminalLocked(r)
+		}
 	}
 	if r.tolerant != tolerant {
 		w.mu.Unlock()
 		panic(fmt.Sprintf("mpi: mismatched collective kinds on comm %d seq %d", c.id, seq))
 	}
-	r.arrivals[p.rank] = &arrival{
-		commRank:  commRank,
-		clock:     start,
-		congested: congested,
-		payload:   payload,
-		bytes:     bytes,
+	r.refs.Add(1)
+	if w.engine == EngineTree {
+		w.accountArrivalLocked(r, commRank, start, congested, payload, bytes)
+	} else {
+		s := &r.slots[commRank]
+		s.state, s.clock, s.congested, s.payload, s.bytes = memberArrived, start, congested, payload, bytes
+		r.nArrived++
+		w.tryCompleteFlatLocked(r)
 	}
-	w.tryCompleteLocked(key, r)
 	w.mu.Unlock()
 
 	<-r.done
@@ -192,28 +247,22 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 	p.clock.AdvanceTo(r.syncTime)
 	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
 	if r.err != nil {
-		return nil, c.fail(p, r.err)
+		err := c.fail(p, r.err)
+		r.release(w)
+		return nil, err
 	}
 	return r, nil
-}
-
-// orderedArrivals returns the rendezvous arrivals sorted by comm rank.
-// Safe after done is closed (arrivals are frozen).
-func (r *rendezvous) orderedArrivals() []*arrival {
-	out := make([]*arrival, 0, len(r.arrivals))
-	for cr := 0; cr < len(r.comm.group); cr++ {
-		if a, ok := r.arrivals[r.comm.group[cr]]; ok {
-			out = append(out, a)
-		}
-	}
-	return out
 }
 
 // Barrier blocks until all live members arrive. It fails with FailedError
 // if any member has died.
 func (c *Comm) Barrier(p *Proc) error {
-	_, err := c.collective(p, false, nil, 0)
-	return err
+	r, err := c.collective(p, false, nil, 0)
+	if err != nil {
+		return err
+	}
+	r.release(c.world)
+	return nil
 }
 
 // Bcast distributes root's buffer to every member and returns each
@@ -232,12 +281,12 @@ func (c *Comm) Bcast(p *Proc, root int, data []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	rootW := c.WorldRank(root)
-	a, ok := r.arrivals[rootW]
-	if !ok || a.payload == nil {
-		return nil, c.fail(p, newFailedError([]int{rootW}))
+	defer r.release(c.world)
+	s := &r.slots[root]
+	if s.state != memberArrived || s.payload == nil {
+		return nil, c.fail(p, newFailedError([]int{c.WorldRank(root)}))
 	}
-	src := a.payload.([]byte)
+	src := s.payload.([]byte)
 	out := make([]byte, len(src))
 	copy(out, src)
 	return out, nil
@@ -255,6 +304,7 @@ const (
 	OpMax
 )
 
+// String names the reduction operator (for logs and error messages).
 func (op ReduceOp) String() string {
 	switch op {
 	case OpSum:
@@ -279,24 +329,52 @@ func (op ReduceOp) apply(acc, v float64) float64 {
 	panic("mpi: unknown reduce op")
 }
 
-func reduceArrivals(r *rendezvous, op ReduceOp, n int) ([]float64, error) {
-	out := make([]float64, n)
-	first := true
-	for _, a := range r.orderedArrivals() {
-		vec := a.payload.([]float64)
-		if len(vec) != n {
-			return nil, fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(vec), n)
+// reduceShared computes the element-wise reduction over the rendezvous'
+// arrived payloads exactly once and returns a fresh copy per caller.
+// Reduction is in comm rank order regardless of engine or arrival order,
+// so results are bitwise reproducible; memoization turns P members' O(P·n)
+// passes into one.
+func (c *Comm) reduceShared(r *rendezvous, op ReduceOp, n int) ([]float64, error) {
+	w := c.world
+	w.mu.Lock()
+	if !r.reducedOK {
+		r.reducedOK = true
+		var out []float64
+		if cap(r.reduced) >= n {
+			out = r.reduced[:n]
+		} else {
+			out = make([]float64, n)
 		}
-		if first {
-			copy(out, vec)
-			first = false
-			continue
+		first := true
+		for i := range r.slots {
+			s := &r.slots[i]
+			if s.state != memberArrived {
+				continue
+			}
+			vec := s.payload.([]float64)
+			if len(vec) != n {
+				r.reduceErr = fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(vec), n)
+				break
+			}
+			if first {
+				copy(out, vec)
+				first = false
+				continue
+			}
+			for j, v := range vec {
+				out[j] = op.apply(out[j], v)
+			}
 		}
-		for i, v := range vec {
-			out[i] = op.apply(out[i], v)
-		}
+		r.reduced = out
 	}
-	return out, nil
+	res, err := r.reduced, r.reduceErr
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]float64, n)
+	copy(cp, res)
+	return cp, nil
 }
 
 // AllreduceF64 reduces data element-wise across all members with op and
@@ -309,11 +387,8 @@ func (c *Comm) AllreduceF64(p *Proc, data []float64, op ReduceOp) ([]float64, er
 	if err != nil {
 		return nil, err
 	}
-	out, rerr := reduceArrivals(r, op, len(data))
-	if rerr != nil {
-		return nil, rerr
-	}
-	return out, nil
+	defer r.release(c.world)
+	return c.reduceShared(r, op, len(data))
 }
 
 // ReduceF64 reduces to root; non-root members receive nil.
@@ -324,10 +399,11 @@ func (c *Comm) ReduceF64(p *Proc, root int, data []float64, op ReduceOp) ([]floa
 	if err != nil {
 		return nil, err
 	}
+	defer r.release(c.world)
 	if c.Rank(p) != root {
 		return nil, nil
 	}
-	return reduceArrivals(r, op, len(data))
+	return c.reduceShared(r, op, len(data))
 }
 
 // AllreduceInt reduces a single integer across members (exact for values up
@@ -349,12 +425,17 @@ func (c *Comm) AllgatherB(p *Proc, data []byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer r.release(c.world)
 	out := make([][]byte, len(c.group))
-	for wr, a := range r.arrivals {
-		src := a.payload.([]byte)
+	for cr := range r.slots {
+		s := &r.slots[cr]
+		if s.state != memberArrived {
+			continue
+		}
+		src := s.payload.([]byte)
 		buf := make([]byte, len(src))
 		copy(buf, src)
-		out[c.index[wr]] = buf
+		out[cr] = buf
 	}
 	return out, nil
 }
@@ -385,6 +466,7 @@ func (c *Comm) Shrink(p *Proc) (*Comm, error) {
 	}
 	shrunk := r.result.(*Comm)
 	w.mu.Unlock()
+	r.release(w)
 	// Emitted by every participant (rank attribute distinguishes them).
 	p.Event(obs.LayerMPI, obs.EvShrink,
 		obs.KV("comm", c.id), obs.KV("from_size", len(c.group)), obs.KV("to_size", shrunk.Size()))
@@ -401,11 +483,16 @@ func (c *Comm) Agree(p *Proc, flag uint32) (uint32, error) {
 		return 0, err
 	}
 	out := ^uint32(0)
-	for _, a := range r.orderedArrivals() {
-		out &= a.payload.(uint32)
+	for cr := range r.slots {
+		s := &r.slots[cr]
+		if s.state == memberArrived {
+			out &= s.payload.(uint32)
+		}
 	}
+	participants, failed := r.nArrived, len(r.deadAtEnd)
+	r.release(c.world)
 	p.Event(obs.LayerMPI, obs.EvAgree,
-		obs.KV("comm", c.id), obs.KV("participants", len(r.arrivals)), obs.KV("failed", len(r.deadAtEnd)))
+		obs.KV("comm", c.id), obs.KV("participants", participants), obs.KV("failed", failed))
 	p.world.obs.Registry().Counter(obs.MAgreements).Inc()
 	return out, nil
 }

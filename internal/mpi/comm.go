@@ -25,6 +25,10 @@ type Comm struct {
 	// released with ErrRevoked at the departure stamp, which keeps failure
 	// propagation deterministic in virtual time (see Comm.fail).
 	departed map[int]float64
+	// treeLeft0 holds the initial binomial-tree pending counters for this
+	// group size, computed once at comm creation and copied into each
+	// pooled rendezvous (see tree.go). Immutable.
+	treeLeft0 []int32
 }
 
 // Size returns the number of processes in the communicator.
@@ -129,9 +133,19 @@ func (c *Comm) departLocked(wr int, stamp float64) {
 		return
 	}
 	c.departed[wr] = stamp
-	for key, rv := range c.world.colls {
-		if rv.comm == c {
-			c.world.tryCompleteLocked(key, rv)
+	w := c.world
+	for _, rv := range w.colls {
+		if rv.comm != c {
+			continue
+		}
+		if w.engine == EngineTree {
+			// Tolerant ops (Shrink/Agree) ignore departures: the departed
+			// member still arrives on the recovery path.
+			if !rv.tolerant {
+				w.accountDepartedLocked(rv, c.index[wr], stamp)
+			}
+		} else {
+			w.tryCompleteFlatLocked(rv)
 		}
 	}
 }
@@ -283,14 +297,21 @@ func (c *Comm) Split(p *Proc, color, key int) (*Comm, error) {
 	}
 	w := c.world
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	defer func() {
+		w.mu.Unlock()
+		r.release(w)
+	}()
 	if r.result == nil {
 		// Build all sub-communicators once, deterministically.
 		type member struct{ color, key, oldRank, worldRank int }
 		var members []member
-		for wr, a := range r.arrivals {
-			pl := a.payload.([2]int)
-			members = append(members, member{pl[0], pl[1], c.index[wr], wr})
+		for cr := range r.slots {
+			s := &r.slots[cr]
+			if s.state != memberArrived {
+				continue
+			}
+			pl := s.payload.([2]int)
+			members = append(members, member{pl[0], pl[1], cr, c.group[cr]})
 		}
 		// Sort by (color, key, old rank).
 		for i := 0; i < len(members); i++ {

@@ -1,0 +1,37 @@
+package mpi
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestEngineDesignDocumented cross-checks the engine against DESIGN.md §10
+// ("Simulator engine"), the way the obs taxonomy is cross-checked against
+// OBSERVABILITY.md: the section must exist and must document the engine
+// names, the throughput gate, and the determinism contract's total event
+// order. This keeps the architecture document from silently drifting away
+// from the code it describes.
+func TestEngineDesignDocumented(t *testing.T) {
+	doc, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	text := string(doc)
+	if !strings.Contains(text, "## 10. Simulator engine") {
+		t.Fatalf("DESIGN.md is missing the '## 10. Simulator engine' section")
+	}
+	sect := text[strings.Index(text, "## 10. Simulator engine"):]
+	for _, anchor := range []string{
+		"`EngineTree`",
+		"`EngineFlat`",
+		"`BenchmarkSimThroughput`",
+		"(time, rank, seq)",
+		"`sync.Pool`",
+		"FailureDetectionLatency",
+	} {
+		if !strings.Contains(sect, anchor) {
+			t.Errorf("DESIGN.md §10 does not mention %s", anchor)
+		}
+	}
+}

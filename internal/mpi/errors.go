@@ -13,6 +13,7 @@ type FailedError struct {
 	WorldRanks []int
 }
 
+// Error implements the error interface.
 func (e *FailedError) Error() string {
 	return fmt.Sprintf("mpi: process failure detected (world ranks %v)", e.WorldRanks)
 }

@@ -15,15 +15,20 @@ func (c *Comm) GatherB(p *Proc, root int, data []byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer r.release(c.world)
 	if c.Rank(p) != root {
 		return nil, nil
 	}
 	out := make([][]byte, len(c.group))
-	for wr, a := range r.arrivals {
-		src := a.payload.([]byte)
+	for cr := range r.slots {
+		s := &r.slots[cr]
+		if s.state != memberArrived {
+			continue
+		}
+		src := s.payload.([]byte)
 		buf := make([]byte, len(src))
 		copy(buf, src)
-		out[c.index[wr]] = buf
+		out[cr] = buf
 	}
 	return out, nil
 }
@@ -48,12 +53,12 @@ func (c *Comm) ScatterB(p *Proc, root int, chunks [][]byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	rootW := c.WorldRank(root)
-	a, ok := r.arrivals[rootW]
-	if !ok || a.payload == nil {
-		return nil, c.fail(p, newFailedError([]int{rootW}))
+	defer r.release(c.world)
+	s := &r.slots[root]
+	if s.state != memberArrived || s.payload == nil {
+		return nil, c.fail(p, newFailedError([]int{c.WorldRank(root)}))
 	}
-	all := a.payload.([][]byte)
+	all := s.payload.([][]byte)
 	me := c.Rank(p)
 	if me >= len(all) {
 		return nil, nil
@@ -81,13 +86,18 @@ func (c *Comm) AlltoallB(p *Proc, chunks [][]byte) ([][]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer r.release(c.world)
 	me := c.Rank(p)
 	out := make([][]byte, c.Size())
-	for wr, a := range r.arrivals {
-		src := a.payload.([][]byte)
+	for cr := range r.slots {
+		s := &r.slots[cr]
+		if s.state != memberArrived {
+			continue
+		}
+		src := s.payload.([][]byte)
 		buf := make([]byte, len(src[me]))
 		copy(buf, src[me])
-		out[c.index[wr]] = buf
+		out[cr] = buf
 	}
 	return out, nil
 }
@@ -106,7 +116,8 @@ func (c *Comm) ReduceScatterF64(p *Proc, data []float64, op ReduceOp) ([]float64
 	if err != nil {
 		return nil, err
 	}
-	full, rerr := reduceArrivals(r, op, len(data))
+	defer r.release(c.world)
+	full, rerr := c.reduceShared(r, op, len(data))
 	if rerr != nil {
 		return nil, rerr
 	}

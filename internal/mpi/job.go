@@ -59,6 +59,10 @@ type JobConfig struct {
 	// start-immediately behaviour; a positive Window bounds in-flight
 	// flushes per node, with optional coalescing of superseded versions.
 	Flush cluster.FlushPolicy
+	// Engine selects the collective rendezvous engine (see tree.go). The
+	// zero value, EngineTree, is the production engine; EngineFlat is the
+	// legacy reference kept for equivalence testing.
+	Engine Engine
 }
 
 func (cfg *JobConfig) normalize() {
@@ -157,6 +161,7 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 		w := NewWorld(cl, cfg.Ranks, cfg.RanksPerNode, cfg.FailRestart, cfg.Seed+uint64(attempt)*1e9, start)
 		w.SetObs(cfg.Obs)
 		w.SetInjector(cfg.Inject)
+		w.SetEngine(cfg.Engine)
 		res.Launches++
 		cfg.Obs.Emit(start, -1, obs.LayerMPI, obs.EvJobLaunch,
 			obs.KV("attempt", attempt), obs.KV("ranks", cfg.Ranks), obs.KV("nodes", nodes))

@@ -17,25 +17,57 @@ type message struct {
 	arriveAt float64
 }
 
+// msgQueue is one matching queue: a slice consumed from head so dequeue
+// never reallocates, recycled through the mailbox freelist once drained.
+type msgQueue struct {
+	head int
+	msgs []message
+}
+
 // mailbox is a process's incoming message store. Senders enqueue without
 // blocking (eager protocol); receivers block on the condition variable
 // until a matching message arrives, the sender dies, or the communicator
 // is revoked.
+//
+// Queue blocks are pooled: a queue drained by receive is reset and parked
+// on a freelist for the next burst on any key, so steady-state
+// point-to-point traffic (for example the per-step halo exchanges of a
+// Cartesian stencil) does not allocate a fresh slice per message.
 type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
-	q    map[msgKey][]message
+	q    map[msgKey]*msgQueue
+	free []*msgQueue
 }
 
 func (m *mailbox) init() {
 	m.cond = sync.NewCond(&m.mu)
-	m.q = make(map[msgKey][]message)
+	m.q = make(map[msgKey]*msgQueue)
+}
+
+// getQueueLocked returns the queue for key, reusing a drained block from
+// the freelist when one is available. Caller holds m.mu.
+func (m *mailbox) getQueueLocked(key msgKey) *msgQueue {
+	if q, ok := m.q[key]; ok {
+		return q
+	}
+	var q *msgQueue
+	if n := len(m.free); n > 0 {
+		q = m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+	} else {
+		q = &msgQueue{}
+	}
+	m.q[key] = q
+	return q
 }
 
 // deliver enqueues a message and wakes any blocked receivers.
 func (m *mailbox) deliver(key msgKey, msg message) {
 	m.mu.Lock()
-	m.q[key] = append(m.q[key], msg)
+	q := m.getQueueLocked(key)
+	q.msgs = append(q.msgs, msg)
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -53,12 +85,14 @@ func (m *mailbox) receive(key msgKey, giveUp func() error) (message, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		if q := m.q[key]; len(q) > 0 {
-			msg := q[0]
-			if len(q) == 1 {
+		if q, ok := m.q[key]; ok && q.head < len(q.msgs) {
+			msg := q.msgs[q.head]
+			q.msgs[q.head] = message{} // drop the payload reference
+			q.head++
+			if q.head == len(q.msgs) {
+				q.head, q.msgs = 0, q.msgs[:0]
 				delete(m.q, key)
-			} else {
-				m.q[key] = q[1:]
+				m.free = append(m.free, q)
 			}
 			return msg, nil
 		}
@@ -73,5 +107,8 @@ func (m *mailbox) receive(key msgKey, giveUp func() error) (message, error) {
 func (m *mailbox) pending(key msgKey) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.q[key])
+	if q, ok := m.q[key]; ok {
+		return len(q.msgs) - q.head
+	}
+	return 0
 }

@@ -40,6 +40,11 @@ type World struct {
 	// injector, when non-nil, is consulted at named execution points (see
 	// inject.go). Set once before ranks start; read-only afterwards.
 	injector Injector
+	// engine selects the collective rendezvous algorithm (see tree.go).
+	// The zero value is EngineTree; set via SetEngine before ranks start.
+	engine Engine
+	// opPool recycles rendezvous state across collectives (tree.go).
+	opPool sync.Pool
 
 	mu     sync.Mutex
 	dead   []bool
@@ -104,6 +109,15 @@ func identityGroup(n int) []int {
 // recording.
 func (w *World) SetObs(r *obs.Recorder) { w.obs = r }
 
+// SetEngine selects the collective rendezvous engine. It must be called
+// before any rank goroutine starts; the zero value (EngineTree) is the
+// default. EngineFlat is the legacy reference implementation kept for
+// equivalence testing.
+func (w *World) SetEngine(e Engine) { w.engine = e }
+
+// CollectiveEngine returns the world's collective engine.
+func (w *World) CollectiveEngine() Engine { return w.engine }
+
 // Obs returns the world's observability recorder (possibly nil).
 func (w *World) Obs() *obs.Recorder { return w.obs }
 
@@ -151,7 +165,7 @@ func (w *World) newCommLocked(group []int) *Comm {
 		idx[r] = i
 	}
 	w.nComm++
-	return &Comm{world: w, id: w.nComm, group: cp, index: idx}
+	return &Comm{world: w, id: w.nComm, group: cp, index: idx, treeLeft0: buildTreeInit(len(cp))}
 }
 
 // isDead reports whether world rank r has failed.
@@ -223,9 +237,14 @@ func (w *World) markDead(r int) {
 	w.deadAt[r] = w.procs[r].clock.Now()
 	w.nDead++
 	w.deadLs = append(w.deadLs, r)
-	for key, rv := range w.colls {
-		if rv.hasMember(r) {
-			w.tryCompleteLocked(key, rv)
+	for _, rv := range w.colls {
+		if !rv.hasMember(r) {
+			continue
+		}
+		if w.engine == EngineTree {
+			w.accountDeadLocked(rv, rv.comm.index[r], w.deadAt[r])
+		} else {
+			w.tryCompleteFlatLocked(rv)
 		}
 	}
 	hooks := make([]func(int), len(w.hooks))

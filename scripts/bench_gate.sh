@@ -1,0 +1,69 @@
+#!/bin/sh
+# Simulator-throughput regression gate (see PERFORMANCE.md).
+#
+# Runs BenchmarkSimThroughput (tree engine) and BenchmarkSimThroughputFlat
+# (legacy engine) at 256 ranks and enforces two bounds:
+#
+#   1. tree/flat speedup >= 5x — the tree engine's acceptance floor. This
+#      ratio is machine-independent: both engines run on the same host.
+#   2. tree events/sec >= 80% of the checked-in baseline, after scaling
+#      the baseline by this machine's flat-engine speed relative to the
+#      reference machine. The flat engine is frozen (it exists as the
+#      executable spec), so its throughput is a pure machine-speed probe;
+#      normalizing by it turns the absolute baseline into a relative
+#      regression gate that works on slower CI hosts.
+#
+# Usage: scripts/bench_gate.sh [output-file]
+#   output-file: where to tee the raw `go test -bench` output (default
+#   bench-throughput.txt in the current directory; CI uploads it as an
+#   artifact).
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-bench-throughput.txt}
+baseline=scripts/bench_baseline.txt
+
+go test -run '^$' -bench 'BenchmarkSimThroughput(Flat)?$/ranks=256' \
+    -benchtime=1s -count=3 ./internal/mpi/ | tee "$out"
+
+events() {
+    # benchstat-style line: "BenchmarkX/ranks=256-8  N  ns/op  V events/sec ..."
+    # Take the best of the -count runs: max events/sec is the least noisy
+    # estimate of what the engine can do (scheduler hiccups only subtract).
+    awk -v pat="$1" '$0 ~ pat {
+        for (i = 1; i < NF; i++) if ($(i+1) == "events/sec" && $i > best) best = $i
+    } END { print best + 0 }' "$out"
+}
+base() {
+    awk -v k="$1" '$1 == k { print $2 }' "$baseline"
+}
+
+tree_now=$(events '^BenchmarkSimThroughput/ranks=256')
+flat_now=$(events '^BenchmarkSimThroughputFlat/ranks=256')
+tree_base=$(base tree256)
+flat_base=$(base flat256)
+
+if [ "${tree_now:-0}" = "0" ] || [ "${flat_now:-0}" = "0" ]; then
+    echo "bench_gate: could not parse events/sec from $out" >&2
+    exit 2
+fi
+
+awk -v tn="$tree_now" -v fn="$flat_now" -v tb="$tree_base" -v fb="$flat_base" '
+BEGIN {
+    ratio = tn / fn
+    printf "bench_gate: tree %.0f events/sec, flat %.0f events/sec, speedup %.1fx\n", tn, fn, ratio
+    fail = 0
+    if (ratio < 5.0) {
+        printf "bench_gate: FAIL tree/flat speedup %.1fx below the 5x floor\n", ratio
+        fail = 1
+    }
+    scale = fn / fb
+    floor = 0.8 * tb * scale
+    printf "bench_gate: machine speed %.2fx of reference; regression floor %.0f events/sec\n", scale, floor
+    if (tn < floor) {
+        printf "bench_gate: FAIL tree throughput %.0f below 80%% of scaled baseline %.0f\n", tn, tb * scale
+        fail = 1
+    }
+    exit fail
+}'
+echo "bench_gate: ok"

@@ -5,7 +5,7 @@
 # with pinned-seed replays.
 #
 # Usage: scripts/check.sh [section ...]
-#   sections: build vet race bench report chaos   (default: all)
+#   sections: build vet race bench perf report chaos   (default: all)
 #
 # Environment:
 #   CHAOS_SEEDS  number of campaign seeds to sweep (default 36; CI's
@@ -55,6 +55,13 @@ run_bench() {
     # check that the instrumented paths stay healthy end to end).
     banner "bench: BenchmarkHeatdisObs* + BenchmarkHeatdisFlushSched (1x)"
     go test -run '^$' -bench 'BenchmarkHeatdisObs|BenchmarkHeatdisFlushSched' -benchtime 1x .
+}
+
+run_perf() {
+    # Simulator throughput regression gate: BenchmarkSimThroughput vs the
+    # checked-in baseline (machine-speed normalized; see PERFORMANCE.md).
+    banner "perf: BenchmarkSimThroughput regression gate"
+    sh scripts/bench_gate.sh "$tmp/bench-throughput.txt"
 }
 
 run_report() {
@@ -112,19 +119,33 @@ run_chaos() {
     grep -q '"mpi_shrinks": 3' "$tmp/stormrun2.json"
     grep -q '"flushes_queued": 175' "$tmp/stormrun2.json"
     grep -q '"flushes_started": 175' "$tmp/stormrun2.json"
+
+    # The O(1k)-rank smoke cell: the storm-wave family at CHAOS_SCALE=1024.
+    # Multi-wave spare exhaustion, shrink repairs, and a 1024-rank flush
+    # ledger must replay exactly at this width too (the tree collective
+    # engine's scaled regression cell; the 4096-rank acceptance cell runs
+    # in the race section via TestScale4096HeatdisReplay).
+    banner "chaos: seed 9 at 1024 ranks (CHAOS_SCALE=1024 smoke)"
+    go run ./cmd/chaos -seed 9 -storm-ranks 1024 -timeout 5m -json "$tmp/storm1024.json"
+    grep -q '"shrunk": 3' "$tmp/storm1024.json"
+    grep -q '"mpi_shrinks": 2' "$tmp/storm1024.json"
+    grep -q '"final_size": 1021' "$tmp/storm1024.json"
+    grep -q '"flushes_queued": 4243' "$tmp/storm1024.json"
+    grep -q '"flushes_started": 4243' "$tmp/storm1024.json"
 }
 
-sections=${*:-"build vet race bench report chaos"}
+sections=${*:-"build vet race bench perf report chaos"}
 for s in $sections; do
     case "$s" in
     build)  run_build ;;
     vet)    run_vet ;;
     race)   run_race ;;
     bench)  run_bench ;;
+    perf)   run_perf ;;
     report) run_report ;;
     chaos)  run_chaos ;;
     *)
-        echo "unknown section: $s (want build|vet|race|bench|report|chaos)" >&2
+        echo "unknown section: $s (want build|vet|race|bench|perf|report|chaos)" >&2
         exit 2
         ;;
     esac
