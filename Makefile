@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench perf check chaos figures report clean
+.PHONY: all build vet test race bench perf check chaos sweep figures report clean
 
 all: check
 
@@ -47,6 +47,15 @@ check:
 CHAOS_SCALE ?= 32
 chaos:
 	$(GO) run -race ./cmd/chaos -seeds 36 -storm-ranks $(CHAOS_SCALE)
+
+# Cross-run sweep analytics: persist a 12-seed campaign's event logs
+# (plus manifest.json) and aggregate them into the per-(mode × app)
+# phase-duration table, then render one seed's recovery Gantt.
+sweep:
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/chaos -seeds 12 -out "$$tmp/runs" && \
+	$(GO) run ./cmd/obsreport -sweep "$$tmp/runs" && \
+	$(GO) run ./cmd/obsreport -timeline "$$tmp/runs/seed-7.jsonl"
 
 figures:
 	$(GO) run ./cmd/figures

@@ -35,17 +35,21 @@ func main() {
 		timeout  = flag.Duration("timeout", chaos.DefaultTimeout, "per-run real-time hang watchdog")
 		jsonPath = flag.String("json", "", "write the JSON campaign report to this file ('-' for stdout)")
 		events   = flag.String("events", "", "with -seed: stream the run's event log as JSONL to this file (obsreport input)")
+		outDir   = flag.String("out", "", "sweep only: write per-seed event logs plus a manifest.json to this directory (obsreport -sweep input)")
 		verbose  = flag.Bool("v", false, "print one line per run, not just failures")
 	)
 	flag.Parse()
-	if err := run(*seeds, *start, *seed, *mode, *app, *stormN, *timeout, *jsonPath, *events, *verbose); err != nil {
+	if err := run(*seeds, *start, *seed, *mode, *app, *stormN, *timeout, *jsonPath, *events, *outDir, *verbose); err != nil {
 		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(seeds int, start uint64, seed int64, mode, app string, stormRanks int, timeout time.Duration, jsonPath, events string, verbose bool) error {
+func run(seeds int, start uint64, seed int64, mode, app string, stormRanks int, timeout time.Duration, jsonPath, events, outDir string, verbose bool) error {
 	if seed >= 0 {
+		if outDir != "" {
+			return fmt.Errorf("-out is a sweep flag; with -seed use -events to stream the single run's log")
+		}
 		return replay(uint64(seed), mode, app, stormRanks, timeout, jsonPath, events)
 	}
 	if events != "" {
@@ -57,6 +61,7 @@ func run(seeds int, start uint64, seed int64, mode, app string, stormRanks int, 
 		App:        app,
 		StormRanks: stormRanks,
 		Timeout:    timeout,
+		EventsDir:  outDir,
 		Progress: func(r *chaos.RunReport) {
 			if verbose || !r.OK() {
 				fmt.Println(r.Line())

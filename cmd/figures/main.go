@@ -10,23 +10,28 @@
 //	figures -fig 6              # Figure 6, MiniMD weak scaling
 //	figures -fig 7              # Figure 7, view census
 //	figures -fig complexity     # Section VI-E complexity census
+//	figures -fig timeline       # SVG Gantt of one chaos run (-seed)
 //	figures -quick              # smaller sweeps for a fast smoke run
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/chaos"
 	"repro/internal/harness"
+	"repro/internal/obs/analyze"
 	"repro/internal/sim"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 5a, 5b, 6, 7, complexity, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 5a, 5b, 6, 7, complexity, timeline, all")
 	quick := flag.Bool("quick", false, "smaller sweeps (fewer sizes/node counts)")
 	format := flag.String("format", "table", "output format: table or csv")
 	machine := flag.String("machine", "xc40", "machine preset: xc40, commodity, exascale")
+	seed := flag.Uint64("seed", 7, "with -fig timeline: chaos seed whose run is rendered")
 	flag.Parse()
 
 	mk, ok := sim.Presets[*machine]
@@ -108,6 +113,35 @@ func main() {
 		did = true
 	case "7":
 		run7()
+		did = true
+	case "timeline":
+		// SVG artifact, not a table — excluded from "all". The seed's event
+		// log is replayed in-process, analyzed, and rendered as the per-rank
+		// recovery Gantt; deterministic replay makes the SVG reproducible.
+		cfg, err := chaos.ConfigForSeed(*seed, "", "")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeline:", err)
+			os.Exit(1)
+		}
+		var buf bytes.Buffer
+		rep := chaos.RunOneStreaming(cfg, chaos.NewRefCache(), 0, &buf)
+		if rep.Hung {
+			fmt.Fprintf(os.Stderr, "timeline: seed %d hung\n", *seed)
+			os.Exit(1)
+		}
+		events, err := analyze.ReadJSONL(&buf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeline:", err)
+			os.Exit(1)
+		}
+		arep, err := analyze.Analyze(events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "timeline:", err)
+			os.Exit(1)
+		}
+		tl := analyze.BuildTimeline(events, arep)
+		title := fmt.Sprintf("recovery timeline: chaos seed %d (%s/%s)", *seed, cfg.Mode, cfg.App)
+		fmt.Print(tl.RenderSVG(title))
 		did = true
 	case "complexity":
 		c, err := harness.ComplexityReport()

@@ -87,6 +87,13 @@ func main() {
 	if !strategy.UsesFenix() {
 		*spares = 0
 	}
+	// When "-" routes the event log (or metrics) to stdout, the human
+	// summary moves to stderr so the machine stream stays parseable:
+	// `heatdis -fail -events - | obsreport` must deliver pure JSONL.
+	out := io.Writer(os.Stdout)
+	if *eventsPath == "-" || *metricsPath == "-" {
+		out = os.Stderr
+	}
 
 	cfg := heatdis.Config{
 		BytesPerRank:       *dataMB << 20,
@@ -105,7 +112,7 @@ func main() {
 	if *fail {
 		it := (*iters / *interval)**interval - 1 - *interval + int(0.95*float64(*interval))
 		cc.Failures = []*core.FailurePlan{{Slot: *failRank, Iteration: it}}
-		fmt.Printf("injecting failure: logical rank %d exits before iteration %d\n", *failRank, it)
+		fmt.Fprintf(out, "injecting failure: logical rank %d exits before iteration %d\n", *failRank, it)
 	}
 
 	var app core.App
@@ -164,17 +171,17 @@ func main() {
 
 	res := core.Run(job, cc, app)
 
-	fmt.Printf("strategy=%s ranks=%d data=%dMB launches=%d wall=%.3fs failed=%v\n",
+	fmt.Fprintf(out, "strategy=%s ranks=%d data=%dMB launches=%d wall=%.3fs failed=%v\n",
 		strategy, *ranks, *dataMB, res.Launches, res.WallTime, res.Failed)
 	times := res.TimesWithOther()
 	for _, c := range []trace.Category{
 		trace.AppCompute, trace.AppMPI, trace.ResilienceInit,
 		trace.CheckpointFunc, trace.DataRecovery, trace.Recompute, trace.Other,
 	} {
-		fmt.Printf("  %-26s %8.3f s\n", c, times.Get(c))
+		fmt.Fprintf(out, "  %-26s %8.3f s\n", c, times.Get(c))
 	}
 	if r, ok := sink.Get(0); ok {
-		fmt.Printf("rank 0: iterations=%d residual=%.6f checksum=%.6g\n", r.Iterations, r.Delta, r.Checksum)
+		fmt.Fprintf(out, "rank 0: iterations=%d residual=%.6f checksum=%.6g\n", r.Iterations, r.Delta, r.Checksum)
 	}
 	if rec != nil {
 		if streamBuf != nil {

@@ -84,6 +84,13 @@ func main() {
 	if !strategy.UsesFenix() {
 		*spares = 0
 	}
+	// When "-" routes the event log (or metrics) to stdout, the human
+	// summary moves to stderr so the machine stream stays parseable:
+	// `minimd -fail -events - | obsreport` must deliver pure JSONL.
+	out := io.Writer(os.Stdout)
+	if *eventsPath == "-" || *metricsPath == "-" {
+		out = os.Stderr
+	}
 
 	cfg := minimd.Config{
 		Size:               *size,
@@ -99,7 +106,7 @@ func main() {
 	if *fail {
 		it := (*steps / *interval)**interval - 1 - *interval + int(0.95*float64(*interval))
 		cc.Failures = []*core.FailurePlan{{Slot: *failRank, Iteration: it}}
-		fmt.Printf("injecting failure: logical rank %d exits before step %d\n", *failRank, it)
+		fmt.Fprintf(out, "injecting failure: logical rank %d exits before step %d\n", *failRank, it)
 	}
 
 	sink := minimd.NewSink()
@@ -140,7 +147,7 @@ func main() {
 
 	res := core.Run(job, cc, minimd.App(cfg, sink))
 
-	fmt.Printf("strategy=%s ranks=%d size=%d^3 (%d atoms/rank simulated) launches=%d wall=%.3fs failed=%v\n",
+	fmt.Fprintf(out, "strategy=%s ranks=%d size=%d^3 (%d atoms/rank simulated) launches=%d wall=%.3fs failed=%v\n",
 		strategy, *ranks, *size, cfg.SimAtomsPerRank(*ranks), res.Launches, res.WallTime, res.Failed)
 	times := res.TimesWithOther()
 	for _, c := range []trace.Category{
@@ -148,10 +155,10 @@ func main() {
 		trace.ResilienceInit, trace.CheckpointFunc, trace.DataRecovery,
 		trace.Recompute, trace.Other,
 	} {
-		fmt.Printf("  %-26s %8.3f s\n", c, times.Get(c))
+		fmt.Fprintf(out, "  %-26s %8.3f s\n", c, times.Get(c))
 	}
 	if r, ok := sink.Get(0); ok {
-		fmt.Printf("rank 0: steps=%d T=%.4f PE=%.4f checksum=%.6g\n", r.Steps, r.Temp, r.PE, r.Checksum)
+		fmt.Fprintf(out, "rank 0: steps=%d T=%.4f PE=%.4f checksum=%.6g\n", r.Steps, r.Temp, r.PE, r.Checksum)
 	}
 	if rec != nil {
 		if streamBuf != nil {

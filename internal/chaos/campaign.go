@@ -2,9 +2,13 @@ package chaos
 
 import (
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs/analyze"
 	"repro/internal/sim"
 )
 
@@ -240,6 +244,11 @@ type CampaignConfig struct {
 	StormRanks int
 	// Timeout is the per-run real-time watchdog (DefaultTimeout if zero).
 	Timeout time.Duration
+	// EventsDir, when non-empty, streams each run's event log to
+	// <EventsDir>/seed-<seed>.jsonl and writes an analyze.Manifest tagging
+	// every file with its (mode × app) cell — the input layout
+	// `obsreport -sweep` aggregates. The directory is created if absent.
+	EventsDir string
 	// Progress, if non-nil, receives each finished run as it completes.
 	Progress func(*RunReport)
 }
@@ -247,14 +256,39 @@ type CampaignConfig struct {
 // RunCampaign sweeps the seeds sequentially (runs are internally parallel —
 // one goroutine per simulated rank) and aggregates the reports.
 func RunCampaign(cc CampaignConfig) (*CampaignReport, error) {
+	if cc.EventsDir != "" {
+		if err := os.MkdirAll(cc.EventsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+	}
 	refs := NewRefCache()
 	camp := &CampaignReport{ByMode: make(map[string]int)}
+	var manifest analyze.Manifest
 	for _, seed := range cc.Seeds {
 		cfg, err := ConfigForSeedScaled(seed, cc.Mode, cc.App, cc.StormRanks)
 		if err != nil {
 			return nil, err
 		}
-		rep := RunOne(cfg, refs, cc.Timeout)
+		var stream io.Writer
+		var eventsFile *os.File
+		if cc.EventsDir != "" {
+			name := fmt.Sprintf("seed-%d.jsonl", seed)
+			eventsFile, err = os.Create(filepath.Join(cc.EventsDir, name))
+			if err != nil {
+				return nil, fmt.Errorf("chaos: %w", err)
+			}
+			stream = eventsFile
+			manifest.Runs = append(manifest.Runs, analyze.RunMeta{
+				Seed: seed, Mode: cfg.Mode, App: cfg.App, Ranks: cfg.Ranks,
+				Events: name,
+			})
+		}
+		rep := RunOneStreaming(cfg, refs, cc.Timeout, stream)
+		if eventsFile != nil {
+			if err := eventsFile.Close(); err != nil {
+				return nil, fmt.Errorf("chaos: %w", err)
+			}
+		}
 		camp.Seeds++
 		camp.ByMode[cfg.Mode]++
 		switch {
@@ -268,6 +302,19 @@ func RunCampaign(cc CampaignConfig) (*CampaignReport, error) {
 		camp.Runs = append(camp.Runs, rep)
 		if cc.Progress != nil {
 			cc.Progress(rep)
+		}
+	}
+	if cc.EventsDir != "" {
+		f, err := os.Create(filepath.Join(cc.EventsDir, analyze.ManifestName))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		if err := manifest.WriteManifest(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
 		}
 	}
 	return camp, nil

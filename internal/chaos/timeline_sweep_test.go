@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/analyze"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// renderSeedASCII replays one chaos seed and renders its ASCII Gantt.
+func renderSeedASCII(t *testing.T, seed uint64, width int) string {
+	t.Helper()
+	cfg, err := ConfigForSeed(seed, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep := RunOneStreaming(cfg, NewRefCache(), 0, &buf)
+	if rep.Hung {
+		t.Fatalf("seed %d hung", seed)
+	}
+	events, err := analyze.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arep, err := analyze.Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return analyze.BuildTimeline(events, arep).RenderASCII(width)
+}
+
+// TestTimelineGoldenSeed7 pins the ASCII Gantt of chaos seed 7 (the
+// storm-shrink/heatdis cell): two fresh replays must render byte-identical
+// output, and that output must match the checked-in golden file.
+// Regenerate with `go test ./internal/chaos -run TimelineGolden -update`.
+func TestTimelineGoldenSeed7(t *testing.T) {
+	first := renderSeedASCII(t, 7, 100)
+	second := renderSeedASCII(t, 7, 100)
+	if first != second {
+		t.Fatalf("timeline render differs across replays:\n--- run 1 ---\n%s--- run 2 ---\n%s", first, second)
+	}
+
+	golden := filepath.Join("testdata", "timeline_seed7.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(first), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if first != string(want) {
+		t.Errorf("timeline diverged from golden file (run with -update if intended):\n--- got ---\n%s--- want ---\n%s", first, want)
+	}
+	// The storm-shrink cell must visibly compact: shrink markers on the
+	// world lane and at least one shrunk-away slot label.
+	for _, wantStr := range []string{"world", "(shrunk g", "legend:"} {
+		if !strings.Contains(first, wantStr) {
+			t.Errorf("seed 7 timeline missing %q:\n%s", wantStr, first)
+		}
+	}
+}
+
+// TestCampaignSweepDirectory runs a 3-seed mixed spare/shrink campaign
+// with -out semantics (EventsDir) and aggregates it with LoadSweep: the
+// manifest must tag every run, the (mode × app) groups must match the
+// seeds' derived cells, and the shrink cell must contribute shrink-
+// disposition spans whose timeline labels the compacted ranks.
+func TestCampaignSweepDirectory(t *testing.T) {
+	dir := t.TempDir()
+	seeds := []uint64{0, 3, 7} // iteration, flush, and storm-shrink cells
+	camp, err := RunCampaign(CampaignConfig{Seeds: seeds, EventsDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !camp.OK() {
+		t.Fatalf("campaign failed: %+v", camp)
+	}
+
+	sweep, err := analyze.LoadSweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.Manifest || sweep.Runs != len(seeds) {
+		t.Fatalf("sweep = %d runs, manifest %v; want %d manifested runs",
+			sweep.Runs, sweep.Manifest, len(seeds))
+	}
+
+	// Expected (mode × app) cells derive from the seeds themselves.
+	wantCells := map[string]bool{}
+	shrinkModes := map[string]bool{}
+	for _, seed := range seeds {
+		cfg, err := ConfigForSeed(seed, "", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCells[cfg.Mode+"/"+cfg.App] = true
+		if cfg.Mode == ModeStormShrink {
+			shrinkModes[cfg.Mode+"/"+cfg.App] = true
+		}
+	}
+	gotCells := map[string]bool{}
+	for _, g := range sweep.Groups {
+		gotCells[g.Mode+"/"+g.App] = true
+		if shrinkModes[g.Mode+"/"+g.App] && g.ShrinkSpans+g.MixedSpans == 0 {
+			t.Errorf("storm-shrink group %s/%s has no compacting spans: %+v", g.Mode, g.App, g)
+		}
+	}
+	if fmt.Sprint(wantCells) != fmt.Sprint(gotCells) {
+		t.Errorf("groups = %v, want cells %v", gotCells, wantCells)
+	}
+	if sweep.Overall.SlotsShrunk == 0 {
+		t.Errorf("mixed spare/shrink sweep reports no shrunk slots: %+v", sweep.Overall)
+	}
+	if sweep.Overall.Spans == 0 || sweep.Overall.CriticalPath.Count != sweep.Overall.Spans {
+		t.Errorf("critical-path stats do not cover every span: %+v", sweep.Overall)
+	}
+
+	// The shrink run's event file must rebuild into a timeline that labels
+	// the compacted ranks.
+	f, err := os.Open(filepath.Join(dir, "seed-7.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := analyze.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := analyze.Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := analyze.BuildTimeline(events, rep)
+	var shrunkLanes int
+	for _, l := range tl.Lanes {
+		if strings.Contains(l.Label, "(shrunk g") {
+			shrunkLanes++
+		}
+	}
+	if shrunkLanes == 0 {
+		t.Errorf("seed 7 timeline has no shrunk-rank lane labels: %+v", tl.Lanes)
+	}
+}

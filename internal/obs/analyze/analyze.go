@@ -152,6 +152,31 @@ type CheckpointGen struct {
 	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
 }
 
+// HistStats summarizes one latency distribution through an obs.Histogram:
+// sample count, mean, and bucket-interpolated p50/p99 via
+// obs.Histogram.Quantile over obs.TimeBuckets.
+type HistStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// histStats snapshots a histogram, or nil when it never observed (its
+// quantiles would be NaN, which the report's JSON form cannot carry).
+func histStats(h *obs.Histogram) *HistStats {
+	n := h.Count()
+	if n == 0 {
+		return nil
+	}
+	return &HistStats{
+		Count: n,
+		Mean:  h.Sum() / float64(n),
+		P50:   h.Quantile(0.5),
+		P99:   h.Quantile(0.99),
+	}
+}
+
 // Report is the full analysis of one event log.
 type Report struct {
 	Events             int     `json:"events"`
@@ -174,6 +199,14 @@ type Report struct {
 	Spans       []Span          `json:"spans"`
 	PhaseTotals PhaseBreakdown  `json:"phase_totals"`
 	Checkpoints []CheckpointGen `json:"checkpoints,omitempty"`
+	// FlushSeconds and FlushQueueWait are the per-flush latency
+	// distributions reconstructed from the event stream — flush duration
+	// from every veloc.flush_end (the veloc_flush_seconds histogram's event
+	// mirror) and scheduler queue wait from every veloc.flush_start
+	// wait_seconds (mirroring veloc_flush_queue_wait_seconds) — summarized
+	// through obs.Histogram.Quantile. Nil when the run had no such events.
+	FlushSeconds   *HistStats `json:"veloc_flush_seconds,omitempty"`
+	FlushQueueWait *HistStats `json:"veloc_flush_queue_wait_seconds,omitempty"`
 }
 
 // failure is one observed failure injection awaiting repair.
@@ -212,8 +245,14 @@ func Analyze(events []obs.Event) (*Report, error) {
 	rep := &Report{Events: len(events)}
 
 	// Pass 1: job shape, failures, repair anchors, checkpoint accounting.
+	// A private registry rebuilds the flush-latency histograms from event
+	// attributes so the report can surface Quantile estimates without the
+	// run's own metrics snapshot.
 	var failures []*failure
 	var anchors []anchor
+	hists := obs.NewRegistry()
+	flushDur := hists.Histogram(obs.MFlushSeconds, nil)
+	queueWait := hists.Histogram(obs.MFlushQueueWaitSeconds, nil)
 	gens := map[int]*CheckpointGen{}
 	gen := func(e obs.Event) *CheckpointGen {
 		v, _ := attrInt(e, "version")
@@ -278,12 +317,14 @@ func Analyze(events []obs.Event) (*Report, error) {
 			g.FlushesStarted++
 			if w, ok := attrNum(e, "wait_seconds"); ok {
 				g.QueueWaitSeconds += w
+				queueWait.Observe(w)
 			}
 		case obs.EvVeloCFlushEnd:
 			g := gen(e)
 			g.FlushesCompleted++
 			if s, ok := attrNum(e, "seconds"); ok {
 				g.FlushSeconds += s
+				flushDur.Observe(s)
 			}
 		case obs.EvVeloCFlushDiscarded:
 			gen(e).FlushesDiscarded++
@@ -351,6 +392,8 @@ func Analyze(events []obs.Event) (*Report, error) {
 	sort.Slice(rep.Checkpoints, func(i, j int) bool {
 		return rep.Checkpoints[i].Version < rep.Checkpoints[j].Version
 	})
+	rep.FlushSeconds = histStats(flushDur)
+	rep.FlushQueueWait = histStats(queueWait)
 	return rep, nil
 }
 

@@ -137,3 +137,13 @@ func attrBool(e obs.Event, key string) (bool, bool) {
 	b, ok := v.(bool)
 	return b, ok
 }
+
+// attrString returns a string attribute.
+func attrString(e obs.Event, key string) (string, bool) {
+	v, ok := attr(e, key)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}

@@ -83,6 +83,19 @@ func (r *Report) WriteTable(w io.Writer) error {
 			}
 		}
 	}
+
+	if r.FlushSeconds != nil || r.FlushQueueWait != nil {
+		fmt.Fprintf(&b, "\nflush latency quantiles (obs.Histogram.Quantile, bucket-interpolated):\n")
+		writeHistStats := func(name string, h *HistStats) {
+			if h == nil {
+				return
+			}
+			fmt.Fprintf(&b, "%-32s %6d %10.4f %10.4f %10.4f\n", name, h.Count, h.Mean, h.P50, h.P99)
+		}
+		fmt.Fprintf(&b, "%-32s %6s %10s %10s %10s\n", "histogram", "count", "mean", "p50", "p99")
+		writeHistStats("veloc_flush_seconds", r.FlushSeconds)
+		writeHistStats("veloc_flush_queue_wait_seconds", r.FlushQueueWait)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

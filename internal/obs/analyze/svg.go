@@ -1,0 +1,143 @@
+package analyze
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG geometry and palette. The categorical phase hues are assigned in
+// fixed causal order (identity follows the phase, never its rank in the
+// chart) and were validated for adjacent-pair CVD separation and contrast
+// against the light surface; the kill marker uses the reserved serious-
+// status red, never recycled as a sixth series.
+const (
+	svgLaneH   = 24
+	svgBarH    = 14
+	svgLeftW   = 170
+	svgPlotW   = 860
+	svgRightW  = 20
+	svgTopH    = 64
+	svgAxisH   = 34
+	svgSurface = "#fcfcfb"
+	svgInk     = "#0b0b0b"
+	svgInkSoft = "#52514e"
+	svgGrid    = "#e4e3df"
+	svgKill    = "#e34948"
+)
+
+// svgPhaseColor maps each segment kind to its categorical hue.
+var svgPhaseColor = map[string]string{
+	PhaseDetection:  "#2a78d6",
+	PhaseCommRepair: "#eb6834",
+	PhaseRebuild:    "#1baf7a",
+	PhaseRestore:    "#eda100",
+	PhaseRecompute:  "#e87ba4",
+	SegFlush:        "#8a8988", // neutral: data movement, not a recovery phase
+}
+
+// svgLegend lists the legend entries in fixed order.
+var svgLegend = []struct{ kind, label string }{
+	{PhaseDetection, "detection"},
+	{PhaseCommRepair, "comm repair"},
+	{PhaseRebuild, "rebuild"},
+	{PhaseRestore, "restore"},
+	{PhaseRecompute, "recompute"},
+	{SegFlush, "flush"},
+}
+
+func svgNum(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// svgX maps a time to a plot x coordinate.
+func (t *Timeline) svgX(x float64) float64 {
+	span := t.End - t.Start
+	if span <= 0 {
+		return svgLeftW
+	}
+	return svgLeftW + (x-t.Start)/span*svgPlotW
+}
+
+// RenderSVG renders the timeline as a standalone SVG document: one lane
+// per process under the world lane, phase-colored span segments, flush
+// bars, and kill/checkpoint markers, with a time axis in virtual seconds.
+// Output is deterministic for a given timeline.
+func (t *Timeline) RenderSVG(title string) string {
+	width := svgLeftW + svgPlotW + svgRightW
+	height := svgTopH + len(t.Lanes)*svgLaneH + svgAxisH
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", width, height, svgSurface)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="600" fill="%s">%s</text>`+"\n",
+		svgLeftW, svgInk, svgEscape(title))
+
+	// Legend: a swatch plus a visible text label per entry (identity is
+	// never color-alone).
+	x := svgLeftW
+	for _, le := range svgLegend {
+		fmt.Fprintf(&b, `<rect x="%d" y="32" width="12" height="12" rx="2" fill="%s"/>`+"\n", x, svgPhaseColor[le.kind])
+		fmt.Fprintf(&b, `<text x="%d" y="42" font-size="11" fill="%s">%s</text>`+"\n", x+16, svgInkSoft, le.label)
+		x += 16 + 8*len(le.label) + 18
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="32" x2="%d" y2="44" stroke="%s" stroke-width="2"/>`+"\n", x+4, x+4, svgKill)
+	fmt.Fprintf(&b, `<text x="%d" y="42" font-size="11" fill="%s">kill</text>`+"\n", x+12, svgInkSoft)
+
+	// Time axis: five gridlines with labels in virtual seconds.
+	plotBottom := svgTopH + len(t.Lanes)*svgLaneH
+	for i := 0; i <= 4; i++ {
+		tx := t.Start + (t.End-t.Start)*float64(i)/4
+		px := t.svgX(tx)
+		fmt.Fprintf(&b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			svgNum(px), svgTopH, svgNum(px), plotBottom, svgGrid)
+		fmt.Fprintf(&b, `<text x="%s" y="%d" font-size="10" text-anchor="middle" fill="%s">%ss</text>`+"\n",
+			svgNum(px), plotBottom+16, svgInkSoft, svgNum(tx))
+	}
+
+	for i, l := range t.Lanes {
+		laneTop := svgTopH + i*svgLaneH
+		barY := laneTop + (svgLaneH-svgBarH)/2
+		mid := laneTop + svgLaneH/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" text-anchor="end" fill="%s">%s</text>`+"\n",
+			svgLeftW-8, mid+4, svgInk, svgEscape(l.Label))
+		// A recessive baseline so empty lanes still read as lanes.
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`+"\n",
+			svgLeftW, mid, svgLeftW+svgPlotW, mid, svgGrid)
+		for _, s := range l.Segments {
+			color, ok := svgPhaseColor[s.Kind]
+			if !ok {
+				continue
+			}
+			x0, x1 := t.svgX(s.Start), t.svgX(s.End)
+			w := x1 - x0
+			if w < 1 {
+				w = 1 // a sub-pixel phase still deserves a visible sliver
+			}
+			fmt.Fprintf(&b, `<rect x="%s" y="%d" width="%s" height="%d" rx="2" fill="%s"><title>%s [%s, %s]s</title></rect>`+"\n",
+				svgNum(x0), barY, svgNum(w), svgBarH, color,
+				svgEscape(s.Kind), svgNum(s.Start), svgNum(s.End))
+		}
+		for _, m := range l.Marks {
+			px := t.svgX(m.Time)
+			switch m.Kind {
+			case MarkKill:
+				fmt.Fprintf(&b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="%s" stroke-width="2"><title>kill @%ss</title></line>`+"\n",
+					svgNum(px), laneTop+2, svgNum(px), laneTop+svgLaneH-2, svgKill, svgNum(m.Time))
+			case MarkRebuild, MarkShrink:
+				fmt.Fprintf(&b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="%s" stroke-width="1.5" stroke-dasharray="3,2"><title>%s @%ss</title></line>`+"\n",
+					svgNum(px), laneTop+2, svgNum(px), laneTop+svgLaneH-2, svgInkSoft,
+					m.Kind, svgNum(m.Time))
+			case MarkCheckpoint:
+				fmt.Fprintf(&b, `<line x1="%s" y1="%d" x2="%s" y2="%d" stroke="%s" stroke-width="1.5"><title>checkpoint @%ss</title></line>`+"\n",
+					svgNum(px), mid-3, svgNum(px), mid+3, svgInkSoft, svgNum(m.Time))
+			}
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,479 @@
+package analyze
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// ManifestName is the file a sweep directory may carry to tag each events
+// file with the run that produced it. `cmd/chaos -out dir/` writes one;
+// LoadSweep falls back to globbing *.jsonl when it is absent.
+const ManifestName = "manifest.json"
+
+// RunMeta tags one events file of a sweep directory with the campaign cell
+// that produced it. Only Events is required; untagged runs aggregate under
+// an unknown (mode × app) group.
+type RunMeta struct {
+	Seed  uint64 `json:"seed"`
+	Mode  string `json:"mode,omitempty"`
+	App   string `json:"app,omitempty"`
+	Ranks int    `json:"ranks,omitempty"`
+	// Events is the events JSONL file name, relative to the sweep
+	// directory.
+	Events string `json:"events"`
+}
+
+// Manifest is the schema of a sweep directory's manifest.json.
+type Manifest struct {
+	Runs []RunMeta `json:"runs"`
+}
+
+// WriteManifest writes the manifest as indented JSON.
+func (m *Manifest) WriteManifest(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// Stats summarizes one sample set with the sweep's standard moments:
+// count, mean, exact (order-statistic interpolated) p50/p99, and max. The
+// zero value means "no samples"; quantiles over raw samples are exact,
+// unlike the bucketed obs.Histogram.Quantile estimate used where samples
+// are not retained.
+type Stats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// NewStats computes the summary of a sample set (zero Stats when empty).
+func NewStats(samples []float64) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return Stats{
+		Count: len(sorted),
+		Mean:  sum / float64(len(sorted)),
+		P50:   sampleQuantile(sorted, 0.5),
+		P99:   sampleQuantile(sorted, 0.99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// sampleQuantile interpolates linearly between order statistics (the
+// "R-7" estimator), deterministic for a given sorted sample set.
+func sampleQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	return sorted[lo] + (sorted[hi]-sorted[lo])*(pos-float64(lo))
+}
+
+// Span dispositions: how a recovery generation disposed of its failed
+// slots. Mirrors the shrink-semantics taxonomy in OBSERVABILITY.md.
+const (
+	DispositionSpare  = "spare"  // every failed slot replaced by a spare
+	DispositionMixed  = "mixed"  // last spares consumed, overflow compacted
+	DispositionShrink = "shrink" // pure compaction, no spare left
+)
+
+// disposition classifies one span.
+func disposition(sp Span) string {
+	switch {
+	case sp.Shrunk == 0:
+		return DispositionSpare
+	case sp.Replaced == 0:
+		return DispositionShrink
+	default:
+		return DispositionMixed
+	}
+}
+
+// SweepGroup aggregates the runs of one (mode × app) cell — or, for the
+// overall group, every run of the sweep. Phase and critical-path stats are
+// over spans; wall stats over runs; checkpoint/flush stats over the raw
+// per-event samples of the group's runs.
+type SweepGroup struct {
+	Mode string `json:"mode,omitempty"`
+	App  string `json:"app,omitempty"`
+
+	Runs       int `json:"runs"`
+	JobsFailed int `json:"jobs_failed,omitempty"`
+	Spans      int `json:"spans"`
+
+	FailuresInjected   int `json:"failures_injected"`
+	FailuresRepaired   int `json:"failures_repaired"`
+	FailuresUnrepaired int `json:"failures_unrepaired,omitempty"`
+	SlotsShrunk        int `json:"slots_shrunk,omitempty"`
+
+	// Span dispositions: spare-substitution vs mixed vs pure-shrink
+	// recovery generations (see OBSERVABILITY.md's shrink semantics).
+	SpareSpans  int `json:"spare_spans,omitempty"`
+	MixedSpans  int `json:"mixed_spans,omitempty"`
+	ShrinkSpans int `json:"shrink_spans,omitempty"`
+
+	// Phases maps each analyze phase name to its per-span duration stats;
+	// CriticalPath summarizes end-to-end span cost, with the
+	// per-disposition split in CriticalByDisposition.
+	Phases                map[string]Stats `json:"phases"`
+	CriticalPath          Stats            `json:"critical_path"`
+	CriticalByDisposition map[string]Stats `json:"critical_by_disposition,omitempty"`
+
+	// Wall is per-run wall seconds. The remaining stats are per-sample
+	// checkpoint/flush latencies across the group's event logs: scratch
+	// copy seconds per veloc.checkpoint, flush duration per
+	// veloc.flush_end, scheduler queue wait per veloc.flush_start.
+	Wall           Stats `json:"wall_seconds"`
+	ScratchSeconds Stats `json:"scratch_seconds,omitempty"`
+	FlushSeconds   Stats `json:"flush_seconds,omitempty"`
+	QueueWait      Stats `json:"flush_queue_wait_seconds,omitempty"`
+
+	// Checkpoint/flush ledger totals summed across the group's runs.
+	Checkpoints      int `json:"checkpoints"`
+	Flushes          int `json:"flushes"`
+	FlushesCompleted int `json:"flushes_completed"`
+	FlushesQueued    int `json:"flushes_queued,omitempty"`
+	FlushesStarted   int `json:"flushes_started,omitempty"`
+	FlushesDiscarded int `json:"flushes_discarded,omitempty"`
+	Restores         int `json:"restores"`
+}
+
+// SweepRun is one ingested run: its manifest tags and its single-run
+// analysis.
+type SweepRun struct {
+	Meta   RunMeta `json:"meta"`
+	Report *Report `json:"report"`
+
+	// Raw latency samples retained for exact group quantiles.
+	scratch, flushDur, queueWait []float64
+}
+
+// SweepReport is the cross-run aggregation of a sweep directory: the
+// overall group plus one group per (mode × app) cell, sorted by mode then
+// app.
+type SweepReport struct {
+	Dir      string       `json:"dir,omitempty"`
+	Runs     int          `json:"runs"`
+	Manifest bool         `json:"manifest"`
+	Overall  SweepGroup   `json:"overall"`
+	Groups   []SweepGroup `json:"groups"`
+}
+
+// LoadSweep ingests a directory of events JSONL files — `cmd/chaos -out
+// dir/` output, or any collection of single-run logs — and aggregates
+// them. With a manifest.json each run is tagged by its (mode × app) cell;
+// without one every *.jsonl file (sorted by name) joins the sweep
+// untagged.
+func LoadSweep(dir string) (*SweepReport, error) {
+	metas, hasManifest, err := sweepMetas(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(metas) == 0 {
+		return nil, fmt.Errorf("analyze: no events files in %s", dir)
+	}
+	runs := make([]SweepRun, 0, len(metas))
+	for _, meta := range metas {
+		run, err := loadSweepRun(dir, meta)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	rep := SweepFromRuns(runs)
+	rep.Dir = dir
+	rep.Manifest = hasManifest
+	return rep, nil
+}
+
+// sweepMetas resolves the directory's run list: manifest order when a
+// manifest exists, otherwise every *.jsonl sorted by name.
+func sweepMetas(dir string) ([]RunMeta, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	switch {
+	case err == nil:
+		var m Manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, false, fmt.Errorf("analyze: %s: %w", ManifestName, err)
+		}
+		return m.Runs, true, nil
+	case errors.Is(err, os.ErrNotExist):
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, false, fmt.Errorf("analyze: %w", err)
+		}
+		var metas []RunMeta
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+				continue
+			}
+			metas = append(metas, RunMeta{Events: e.Name()})
+		}
+		sort.Slice(metas, func(i, j int) bool { return metas[i].Events < metas[j].Events })
+		return metas, false, nil
+	default:
+		return nil, false, fmt.Errorf("analyze: %w", err)
+	}
+}
+
+func loadSweepRun(dir string, meta RunMeta) (SweepRun, error) {
+	f, err := os.Open(filepath.Join(dir, meta.Events))
+	if err != nil {
+		return SweepRun{}, fmt.Errorf("analyze: %w", err)
+	}
+	defer f.Close()
+	events, err := ReadJSONL(f)
+	if err != nil {
+		return SweepRun{}, fmt.Errorf("analyze: %s: %w", meta.Events, err)
+	}
+	rep, err := Analyze(events)
+	if err != nil {
+		return SweepRun{}, fmt.Errorf("analyze: %s: %w", meta.Events, err)
+	}
+	run := SweepRun{Meta: meta, Report: rep}
+	for _, e := range events {
+		switch e.Name {
+		case obs.EvVeloCCheckpoint:
+			if s, ok := attrNum(e, "scratch_seconds"); ok {
+				run.scratch = append(run.scratch, s)
+			}
+		case obs.EvVeloCFlushEnd:
+			if s, ok := attrNum(e, "seconds"); ok {
+				run.flushDur = append(run.flushDur, s)
+			}
+		case obs.EvVeloCFlushStart:
+			if w, ok := attrNum(e, "wait_seconds"); ok {
+				run.queueWait = append(run.queueWait, w)
+			}
+		}
+	}
+	return run, nil
+}
+
+// SweepFromRuns aggregates already-analyzed runs: the entry point for
+// in-process sweeps (tests, the chaos engine) that never touch disk.
+func SweepFromRuns(runs []SweepRun) *SweepReport {
+	rep := &SweepReport{Runs: len(runs)}
+	rep.Overall = buildGroup("", "", runs)
+	byCell := map[[2]string][]SweepRun{}
+	for _, r := range runs {
+		key := [2]string{r.Meta.Mode, r.Meta.App}
+		byCell[key] = append(byCell[key], r)
+	}
+	keys := make([][2]string, 0, len(byCell))
+	for k := range byCell {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		rep.Groups = append(rep.Groups, buildGroup(k[0], k[1], byCell[k]))
+	}
+	return rep
+}
+
+func buildGroup(mode, app string, runs []SweepRun) SweepGroup {
+	g := SweepGroup{Mode: mode, App: app, Runs: len(runs), Phases: map[string]Stats{}}
+	phaseSamples := map[string][]float64{}
+	var critical, wall []float64
+	critByDisp := map[string][]float64{}
+	var scratch, flushDur, queueWait []float64
+	for _, r := range runs {
+		rep := r.Report
+		if rep.JobFailed {
+			g.JobsFailed++
+		}
+		g.FailuresInjected += rep.FailuresInjected
+		g.FailuresRepaired += rep.FailuresRepaired
+		g.FailuresUnrepaired += rep.FailuresUnrepaired
+		wall = append(wall, rep.WallSeconds)
+		for _, sp := range rep.Spans {
+			g.Spans++
+			g.SlotsShrunk += sp.Shrunk
+			d := disposition(sp)
+			switch d {
+			case DispositionSpare:
+				g.SpareSpans++
+			case DispositionMixed:
+				g.MixedSpans++
+			case DispositionShrink:
+				g.ShrinkSpans++
+			}
+			for _, name := range PhaseNames() {
+				phaseSamples[name] = append(phaseSamples[name], sp.Phases.Get(name))
+			}
+			critical = append(critical, sp.CriticalPath)
+			critByDisp[d] = append(critByDisp[d], sp.CriticalPath)
+		}
+		for _, cg := range rep.Checkpoints {
+			g.Checkpoints += cg.Checkpoints
+			g.Flushes += cg.Flushes
+			g.FlushesCompleted += cg.FlushesCompleted
+			g.FlushesQueued += cg.FlushesQueued
+			g.FlushesStarted += cg.FlushesStarted
+			g.FlushesDiscarded += cg.FlushesDiscarded
+			g.Restores += cg.Restores
+		}
+		scratch = append(scratch, r.scratch...)
+		flushDur = append(flushDur, r.flushDur...)
+		queueWait = append(queueWait, r.queueWait...)
+	}
+	for _, name := range PhaseNames() {
+		g.Phases[name] = NewStats(phaseSamples[name])
+	}
+	g.CriticalPath = NewStats(critical)
+	if len(critByDisp) > 0 {
+		g.CriticalByDisposition = map[string]Stats{}
+		for d, samples := range critByDisp {
+			g.CriticalByDisposition[d] = NewStats(samples)
+		}
+	}
+	g.Wall = NewStats(wall)
+	g.ScratchSeconds = NewStats(scratch)
+	g.FlushSeconds = NewStats(flushDur)
+	g.QueueWait = NewStats(queueWait)
+	return g
+}
+
+// WriteJSON writes the sweep report as indented JSON.
+func (s *SweepReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// groupName renders a group's cell for the table ("?" for untagged runs).
+func groupCell(g *SweepGroup) (mode, app string) {
+	mode, app = g.Mode, g.App
+	if mode == "" {
+		mode = "?"
+	}
+	if app == "" {
+		app = "?"
+	}
+	return mode, app
+}
+
+// WriteTable writes the human-readable sweep breakdown: the run roster
+// summary, the overall phase-duration distribution, the per-(mode × app)
+// phase table, and the checkpoint/flush latency distributions.
+func (s *SweepReport) WriteTable(w io.Writer) error {
+	var b strings.Builder
+	src := "unmanifested *.jsonl"
+	if s.Manifest {
+		src = ManifestName
+	}
+	fmt.Fprintf(&b, "sweep: %d runs", s.Runs)
+	if s.Dir != "" {
+		fmt.Fprintf(&b, " from %s", s.Dir)
+	}
+	fmt.Fprintf(&b, " (%s)\n", src)
+	o := &s.Overall
+	fmt.Fprintf(&b, "failures: injected %d, repaired %d, unrepaired %d; jobs failed %d\n",
+		o.FailuresInjected, o.FailuresRepaired, o.FailuresUnrepaired, o.JobsFailed)
+	fmt.Fprintf(&b, "spans: %d (disposition: %d spare, %d mixed, %d shrink; %d slots shrunk away)\n",
+		o.Spans, o.SpareSpans, o.MixedSpans, o.ShrinkSpans, o.SlotsShrunk)
+
+	fmt.Fprintf(&b, "\noverall phase durations (virtual seconds, per span):\n")
+	writePhaseStats(&b, o)
+
+	if len(s.Groups) > 1 || (len(s.Groups) == 1 && (s.Groups[0].Mode != "" || s.Groups[0].App != "")) {
+		fmt.Fprintf(&b, "\nper-(mode × app) phase durations (virtual seconds, per span):\n")
+		fmt.Fprintf(&b, "%-14s %-9s %5s %5s %-12s %6s %10s %10s %10s %10s\n",
+			"mode", "app", "runs", "spans", "phase", "count", "mean", "p50", "p99", "max")
+		for i := range s.Groups {
+			g := &s.Groups[i]
+			mode, app := groupCell(g)
+			rows := append(PhaseNames(), "critical_path")
+			for _, name := range rows {
+				st := g.CriticalPath
+				if name != "critical_path" {
+					st = g.Phases[name]
+				}
+				fmt.Fprintf(&b, "%-14s %-9s %5d %5d %-12s %6d %10.4f %10.4f %10.4f %10.4f\n",
+					mode, app, g.Runs, g.Spans, name, st.Count, st.Mean, st.P50, st.P99, st.Max)
+			}
+		}
+
+		fmt.Fprintf(&b, "\nper-(mode × app) summary:\n")
+		fmt.Fprintf(&b, "%-14s %-9s %5s %5s %6s %6s %6s %7s %10s %10s\n",
+			"mode", "app", "runs", "spans", "spare", "mixed", "shrink", "failed", "wall(mean)", "crit(p99)")
+		for i := range s.Groups {
+			g := &s.Groups[i]
+			mode, app := groupCell(g)
+			fmt.Fprintf(&b, "%-14s %-9s %5d %5d %6d %6d %6d %7d %10.3f %10.4f\n",
+				mode, app, g.Runs, g.Spans, g.SpareSpans, g.MixedSpans, g.ShrinkSpans,
+				g.JobsFailed, g.Wall.Mean, g.CriticalPath.P99)
+		}
+	}
+
+	fmt.Fprintf(&b, "\ncheckpoint/flush latency distributions (virtual seconds, per sample):\n")
+	fmt.Fprintf(&b, "%-26s %6s %10s %10s %10s %10s\n", "sample", "count", "mean", "p50", "p99", "max")
+	for _, row := range []struct {
+		name string
+		st   Stats
+	}{
+		{"scratch_seconds", o.ScratchSeconds},
+		{"flush_seconds", o.FlushSeconds},
+		{"flush_queue_wait_seconds", o.QueueWait},
+	} {
+		if row.st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-26s %6d %10.4f %10.4f %10.4f %10.4f\n",
+			row.name, row.st.Count, row.st.Mean, row.st.P50, row.st.P99, row.st.Max)
+	}
+	fmt.Fprintf(&b, "flush ledger: %d checkpoints, %d flushes (%d completed", o.Checkpoints, o.Flushes, o.FlushesCompleted)
+	if o.FlushesQueued > 0 {
+		fmt.Fprintf(&b, "; scheduler: %d queued, %d started, %d discarded", o.FlushesQueued, o.FlushesStarted, o.FlushesDiscarded)
+	}
+	fmt.Fprintf(&b, "), %d restores\n", o.Restores)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePhaseStats(b *strings.Builder, g *SweepGroup) {
+	fmt.Fprintf(b, "%-14s %6s %10s %10s %10s %10s\n", "phase", "count", "mean", "p50", "p99", "max")
+	for _, name := range PhaseNames() {
+		st := g.Phases[name]
+		fmt.Fprintf(b, "%-14s %6d %10.4f %10.4f %10.4f %10.4f\n",
+			name, st.Count, st.Mean, st.P50, st.P99, st.Max)
+	}
+	st := g.CriticalPath
+	fmt.Fprintf(b, "%-14s %6d %10.4f %10.4f %10.4f %10.4f\n",
+		"critical_path", st.Count, st.Mean, st.P50, st.P99, st.Max)
+	for _, d := range []string{DispositionSpare, DispositionMixed, DispositionShrink} {
+		if st, ok := g.CriticalByDisposition[d]; ok {
+			fmt.Fprintf(b, "%-14s %6d %10.4f %10.4f %10.4f %10.4f\n",
+				"  crit/"+d, st.Count, st.Mean, st.P50, st.P99, st.Max)
+		}
+	}
+}

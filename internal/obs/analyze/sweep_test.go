@@ -1,0 +1,225 @@
+package analyze
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeRunFile re-emits an event log through a Recorder into
+// <dir>/<name>, the JSONL layout LoadSweep ingests.
+func writeRunFile(t *testing.T, dir, name string, events []obs.Event) {
+	t.Helper()
+	r := obs.New()
+	for _, e := range events {
+		r.Emit(e.Time, e.Rank, e.Layer, e.Name, e.Attrs...)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// spareEpisodeLog is a single spare-substitution run (one fenix span,
+// disposition "spare") at binary-exact times.
+func spareEpisodeLog() []obs.Event {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 0), obs.KV("ranks", 5), obs.KV("nodes", 5))
+	b.add(1.0, 0, obs.LayerVeloC, obs.EvVeloCCheckpoint,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024),
+		obs.KV("scratch_seconds", 0.25))
+	b.add(1.0, 0, obs.LayerVeloC, obs.EvVeloCFlushBegin,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024))
+	b.add(1.5, 0, obs.LayerVeloC, obs.EvVeloCFlushEnd,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024),
+		obs.KV("seconds", 0.5))
+	fenixEpisode(&b)
+	b.add(6.0, -1, obs.LayerMPI, obs.EvJobEnd,
+		obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 6.0))
+	return b.events
+}
+
+func TestNewStatsExact(t *testing.T) {
+	st := NewStats([]float64{4, 1, 3, 2})
+	if st.Count != 4 || st.Mean != 2.5 || st.Max != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.P50 != 2.5 {
+		t.Errorf("p50 = %v, want 2.5 (R-7 midpoint)", st.P50)
+	}
+	// R-7 on n=4: pos = 0.99*3 lands between the 3rd and 4th order
+	// statistics; 0.99 is not binary-exact, so compare with a tolerance.
+	if math.Abs(st.P99-3.97) > 1e-12 {
+		t.Errorf("p99 = %v, want ~3.97", st.P99)
+	}
+	if one := NewStats([]float64{7}); one.P50 != 7 || one.P99 != 7 || one.Max != 7 {
+		t.Errorf("single-sample stats = %+v", one)
+	}
+	if zero := NewStats(nil); zero != (Stats{}) {
+		t.Errorf("empty stats = %+v, want zero value", zero)
+	}
+}
+
+func TestSweepManifestGrouping(t *testing.T) {
+	dir := t.TempDir()
+	writeRunFile(t, dir, "seed-0.jsonl", spareEpisodeLog())
+	writeRunFile(t, dir, "seed-20.jsonl", spareEpisodeLog())
+	writeRunFile(t, dir, "seed-7.jsonl", twoWaveShrinkLog())
+	m := Manifest{Runs: []RunMeta{
+		{Seed: 0, Mode: "iteration", App: "heatdis", Ranks: 4, Events: "seed-0.jsonl"},
+		{Seed: 20, Mode: "iteration", App: "minimd", Ranks: 4, Events: "seed-20.jsonl"},
+		{Seed: 7, Mode: "storm-shrink", App: "heatdis", Ranks: 4, Events: "seed-7.jsonl"},
+	}}
+	f, err := os.Create(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteManifest(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sweep, err := LoadSweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sweep.Manifest || sweep.Runs != 3 {
+		t.Fatalf("sweep = runs %d manifest %v", sweep.Runs, sweep.Manifest)
+	}
+	// Overall: 2 spare spans (the two episodes) + mixed + pure-shrink from
+	// the two-wave log.
+	o := sweep.Overall
+	if o.Spans != 4 || o.SpareSpans != 2 || o.MixedSpans != 1 || o.ShrinkSpans != 1 {
+		t.Errorf("overall spans: %+v", o)
+	}
+	if o.SlotsShrunk != 3 || o.FailuresInjected != 6 || o.FailuresRepaired != 6 {
+		t.Errorf("overall failure accounting: %+v", o)
+	}
+	if got := o.Phases[PhaseDetection]; got.Count != 4 {
+		t.Errorf("detection stats = %+v, want one sample per span", got)
+	}
+	if o.CriticalPath.Count != 4 || o.Wall.Count != 3 {
+		t.Errorf("critical %d / wall %d samples", o.CriticalPath.Count, o.Wall.Count)
+	}
+	if o.CriticalByDisposition[DispositionSpare].Count != 2 {
+		t.Errorf("crit by disposition: %+v", o.CriticalByDisposition)
+	}
+	// Per-sample latency stats come from the raw event attributes of every
+	// run: two spare episodes contribute one scratch/flush sample each.
+	if o.ScratchSeconds.Count != 2 || o.ScratchSeconds.Mean != 0.25 {
+		t.Errorf("scratch stats = %+v", o.ScratchSeconds)
+	}
+	if o.FlushSeconds.Count != 2 || o.FlushSeconds.Max != 0.5 {
+		t.Errorf("flush stats = %+v", o.FlushSeconds)
+	}
+
+	// Groups sort by (mode, app): iteration/heatdis, iteration/minimd,
+	// storm-shrink/heatdis.
+	if len(sweep.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3: %+v", len(sweep.Groups), sweep.Groups)
+	}
+	wantCells := [][2]string{
+		{"iteration", "heatdis"}, {"iteration", "minimd"}, {"storm-shrink", "heatdis"},
+	}
+	for i, want := range wantCells {
+		g := sweep.Groups[i]
+		if g.Mode != want[0] || g.App != want[1] {
+			t.Errorf("group %d = (%s, %s), want %v", i, g.Mode, g.App, want)
+		}
+	}
+	if g := sweep.Groups[2]; g.Runs != 1 || g.Spans != 2 || g.MixedSpans != 1 || g.ShrinkSpans != 1 {
+		t.Errorf("storm-shrink group: %+v", g)
+	}
+
+	var tbl strings.Builder
+	if err := sweep.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	text := tbl.String()
+	for _, want := range []string{
+		"sweep: 3 runs", ManifestName,
+		"per-(mode × app) phase durations", "storm-shrink", "minimd",
+		"critical_path", "crit/spare", "crit/shrink",
+		"checkpoint/flush latency distributions", "flush ledger",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSweepNoManifestFallback(t *testing.T) {
+	dir := t.TempDir()
+	writeRunFile(t, dir, "b.jsonl", spareEpisodeLog())
+	writeRunFile(t, dir, "a.jsonl", spareEpisodeLog())
+	sweep, err := LoadSweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweep.Manifest || sweep.Runs != 2 {
+		t.Fatalf("sweep = runs %d manifest %v, want unmanifested pair", sweep.Runs, sweep.Manifest)
+	}
+	if len(sweep.Groups) != 1 || sweep.Groups[0].Mode != "" || sweep.Groups[0].App != "" {
+		t.Errorf("untagged runs must pool into one unknown cell: %+v", sweep.Groups)
+	}
+	var tbl strings.Builder
+	if err := sweep.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "unmanifested") {
+		t.Errorf("table does not flag the missing manifest:\n%s", tbl.String())
+	}
+}
+
+func TestSweepEmptyDir(t *testing.T) {
+	if _, err := LoadSweep(t.TempDir()); err == nil {
+		t.Error("empty sweep directory accepted")
+	}
+	if _, err := LoadSweep(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("nonexistent sweep directory accepted")
+	}
+}
+
+func TestSweepJSONSchema(t *testing.T) {
+	dir := t.TempDir()
+	writeRunFile(t, dir, "seed-0.jsonl", spareEpisodeLog())
+	sweep, err := LoadSweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := sweep.WriteJSON(&out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("sweep JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"dir", "runs", "manifest", "overall", "groups"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("sweep JSON missing key %q", key)
+		}
+	}
+	overall := decoded["overall"].(map[string]any)
+	for _, key := range []string{"phases", "critical_path", "wall_seconds", "spans"} {
+		if _, ok := overall[key]; !ok {
+			t.Errorf("overall group JSON missing key %q", key)
+		}
+	}
+	phases := overall["phases"].(map[string]any)
+	for _, name := range PhaseNames() {
+		if _, ok := phases[name]; !ok {
+			t.Errorf("phases JSON missing %q", name)
+		}
+	}
+}

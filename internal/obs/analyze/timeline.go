@@ -1,0 +1,293 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Timeline is the Gantt-style view of one run: a world lane carrying each
+// recovery span's phase segments, plus one lane per process (world rank)
+// with its restore/recompute/flush activity and kill/detect/checkpoint
+// marks. It is built purely from the ordered event log plus the span
+// analysis, so the same timeline renders identically for a live run and a
+// replayed events file — byte-identical output is a test invariant.
+type Timeline struct {
+	// Start and End bound the rendered window in virtual seconds (the
+	// first event time and the job's wall clock).
+	Start float64 `json:"start_s"`
+	End   float64 `json:"end_s"`
+	Lanes []Lane  `json:"lanes"`
+}
+
+// Lane is one horizontal band of the timeline.
+type Lane struct {
+	// Rank is the world rank, or -1 for the world lane.
+	Rank int `json:"rank"`
+	// Label annotates the lane: "world", "rank 3", a spare's adopted
+	// logical slot ("rank 4 → slot 1 g1"), or a shrunk-away slot
+	// ("rank 2 (shrunk g2)").
+	Label    string    `json:"label"`
+	Segments []Segment `json:"segments,omitempty"`
+	Marks    []Mark    `json:"marks,omitempty"`
+}
+
+// Segment is one colored interval of a lane. World-lane kinds are the
+// five phase names; rank lanes reuse PhaseRestore/PhaseRecompute for
+// their own restore/recompute activity and add SegFlush.
+type Segment struct {
+	Kind  string  `json:"kind"`
+	Start float64 `json:"start_s"`
+	End   float64 `json:"end_s"`
+}
+
+// SegFlush is the rank-lane segment kind for an in-flight PFS flush.
+const SegFlush = "flush"
+
+// Mark is one point annotation on a lane.
+type Mark struct {
+	Kind string  `json:"kind"`
+	Time float64 `json:"time_s"`
+}
+
+// Mark kinds.
+const (
+	MarkKill       = "kill"       // mpi.rank_exit: the process died
+	MarkDetect     = "detect"     // mpi.failure_detected at the observing rank
+	MarkCheckpoint = "checkpoint" // veloc.checkpoint committed to scratch
+	MarkRebuild    = "rebuild"    // fenix.rebuild (spare substitution), world lane
+	MarkShrink     = "shrink"     // a rebuild that compacted slots away, world lane
+)
+
+// BuildTimeline derives the Gantt view from an event log and its span
+// analysis (rep must be Analyze's output over the same events).
+func BuildTimeline(events []obs.Event, rep *Report) *Timeline {
+	sorted := make([]obs.Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Seq < sorted[j].Seq
+	})
+	events = sorted
+
+	tl := &Timeline{End: rep.WallSeconds}
+	if len(events) > 0 {
+		tl.Start = events[0].Time
+		if last := events[len(events)-1].Time; last > tl.End {
+			tl.End = last
+		}
+	}
+
+	// World lane: per-span phase segments and the repair marker.
+	world := Lane{Rank: -1, Label: "world"}
+	for _, sp := range rep.Spans {
+		t := sp.Start
+		for _, name := range PhaseNames() {
+			d := sp.Phases.Get(name)
+			if name == PhaseRecompute {
+				// Recompute is anchored to the span end, not chained after
+				// restore: restoration and re-execution overlap across ranks.
+				if d > 0 {
+					world.Segments = append(world.Segments, Segment{Kind: name, Start: sp.End - d, End: sp.End})
+				}
+				continue
+			}
+			if d > 0 {
+				world.Segments = append(world.Segments, Segment{Kind: name, Start: t, End: t + d})
+			}
+			t += d
+		}
+		kind := MarkRebuild
+		if sp.Shrunk > 0 {
+			kind = MarkShrink
+		}
+		world.Marks = append(world.Marks, Mark{Kind: kind, Time: sp.Repair})
+	}
+
+	// Rank lanes: pair begin/end events per rank, collect point marks.
+	lanes := map[int]*Lane{}
+	lane := func(r int) *Lane {
+		l, ok := lanes[r]
+		if !ok {
+			l = &Lane{Rank: r, Label: fmt.Sprintf("rank %d", r)}
+			lanes[r] = l
+		}
+		return l
+	}
+	// The world's original members always get a lane, even when idle.
+	for r := 0; r < rep.Ranks; r++ {
+		lane(r)
+	}
+	restoreBegin := map[int]float64{}
+	recomputeBegin := map[int]float64{}
+	type flushKey struct{ rank, version int }
+	flushBegin := map[flushKey]float64{}
+	adopted := map[int]string{} // world rank -> promotion note
+	for _, e := range events {
+		switch e.Name {
+		case obs.EvRankExit:
+			lane(e.Rank).Marks = append(lane(e.Rank).Marks, Mark{Kind: MarkKill, Time: e.Time})
+		case obs.EvFailureDetected:
+			lane(e.Rank).Marks = append(lane(e.Rank).Marks, Mark{Kind: MarkDetect, Time: e.Time})
+		case obs.EvVeloCCheckpoint:
+			lane(e.Rank).Marks = append(lane(e.Rank).Marks, Mark{Kind: MarkCheckpoint, Time: e.Time})
+		case obs.EvKRRestoreBegin:
+			restoreBegin[e.Rank] = e.Time
+		case obs.EvKRRestoreEnd:
+			if b, ok := restoreBegin[e.Rank]; ok {
+				lane(e.Rank).Segments = append(lane(e.Rank).Segments, Segment{Kind: PhaseRestore, Start: b, End: e.Time})
+				delete(restoreBegin, e.Rank)
+			}
+		case obs.EvRecomputeBegin:
+			recomputeBegin[e.Rank] = e.Time
+		case obs.EvRecomputeEnd:
+			if b, ok := recomputeBegin[e.Rank]; ok {
+				lane(e.Rank).Segments = append(lane(e.Rank).Segments, Segment{Kind: PhaseRecompute, Start: b, End: e.Time})
+				delete(recomputeBegin, e.Rank)
+			}
+		case obs.EvVeloCFlushBegin, obs.EvVeloCFlushStart:
+			// Classic flushes emit flush_begin only; scheduled ones emit
+			// flush_begin at submit and flush_start when the daemon picks the
+			// job up — the later open wins, so the segment shows I/O time,
+			// not queue time.
+			v, _ := attrInt(e, "version")
+			flushBegin[flushKey{e.Rank, v}] = e.Time
+		case obs.EvVeloCFlushEnd:
+			v, _ := attrInt(e, "version")
+			if b, ok := flushBegin[flushKey{e.Rank, v}]; ok {
+				lane(e.Rank).Segments = append(lane(e.Rank).Segments, Segment{Kind: SegFlush, Start: b, End: e.Time})
+				delete(flushBegin, flushKey{e.Rank, v})
+			}
+		case obs.EvFenixRoleChange:
+			if to, ok := attrString(e, "to"); ok && to == "recovered" {
+				logical, _ := attrInt(e, "logical_rank")
+				gen, _ := attrInt(e, "generation")
+				if _, dup := adopted[e.Rank]; !dup {
+					adopted[e.Rank] = fmt.Sprintf("rank %d → slot %d g%d", e.Rank, logical, gen)
+				}
+			}
+		}
+	}
+	for r, label := range adopted {
+		lane(r).Label = label
+	}
+
+	// Shrunk-away slots: failed slots of a compacting span that no spare
+	// re-adopted keep their lane but are labeled with the compacting
+	// generation (world rank == logical slot for original members).
+	for _, sp := range rep.Spans {
+		if sp.Shrunk == 0 {
+			continue
+		}
+		refilled := map[int]bool{}
+		for _, e := range events {
+			if e.Name != obs.EvFenixRoleChange {
+				continue
+			}
+			to, _ := attrString(e, "to")
+			gen, _ := attrInt(e, "generation")
+			if to == "recovered" && gen == sp.Generation {
+				logical, _ := attrInt(e, "logical_rank")
+				refilled[logical] = true
+			}
+		}
+		for _, slot := range sp.FailedSlots {
+			if !refilled[slot] && slot < rep.Ranks {
+				lane(slot).Label = fmt.Sprintf("rank %d (shrunk g%d)", slot, sp.Generation)
+			}
+		}
+	}
+
+	ranks := make([]int, 0, len(lanes))
+	for r := range lanes {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	tl.Lanes = append(tl.Lanes, world)
+	for _, r := range ranks {
+		tl.Lanes = append(tl.Lanes, *lanes[r])
+	}
+	return tl
+}
+
+// ASCII cell characters, one per segment/mark kind. Marks paint over
+// segments; within each class, later table entries win on collision.
+var asciiSegment = map[string]byte{
+	PhaseDetection:  'd',
+	PhaseCommRepair: 'c',
+	PhaseRebuild:    'b',
+	PhaseRestore:    'r',
+	PhaseRecompute:  'w',
+	SegFlush:        'f',
+}
+
+var asciiMark = map[string]byte{
+	MarkCheckpoint: 'o',
+	MarkDetect:     '!',
+	MarkRebuild:    '^',
+	MarkShrink:     'v',
+	MarkKill:       'X',
+}
+
+// col maps a time to a plot column in [0, width).
+func (t *Timeline) col(x float64, width int) int {
+	span := t.End - t.Start
+	if span <= 0 {
+		return 0
+	}
+	c := int((x - t.Start) / span * float64(width))
+	if c < 0 {
+		c = 0
+	}
+	if c >= width {
+		c = width - 1
+	}
+	return c
+}
+
+// RenderASCII renders the timeline as a fixed-width Gantt chart (width
+// plot columns; 100 when width <= 0). Output is deterministic for a given
+// timeline: same run, same bytes.
+func (t *Timeline) RenderASCII(width int) string {
+	if width <= 0 {
+		width = 100
+	}
+	var b strings.Builder
+	span := t.End - t.Start
+	fmt.Fprintf(&b, "timeline [%.3f, %.3f]s  (1 col ≈ %.4fs)\n", t.Start, t.End, span/float64(width))
+
+	labelW := 0
+	for _, l := range t.Lanes {
+		if len(l.Label) > labelW {
+			labelW = len(l.Label)
+		}
+	}
+	for _, l := range t.Lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range l.Segments {
+			ch, ok := asciiSegment[s.Kind]
+			if !ok {
+				continue
+			}
+			for c := t.col(s.Start, width); c <= t.col(s.End, width); c++ {
+				row[c] = ch
+			}
+		}
+		for _, m := range l.Marks {
+			if ch, ok := asciiMark[m.Kind]; ok {
+				row[t.col(m.Time, width)] = ch
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, l.Label, row)
+	}
+	b.WriteString("legend: d detection  c comm_repair  b rebuild  r restore  w recompute  f flush\n")
+	b.WriteString("        o checkpoint  ! detect  X kill  ^ rebuild  v shrink  . idle\n")
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// spareTimelineLog is the fenixEpisode run with the spare's role_change,
+// so the adopted-slot lane label applies.
+func spareTimelineLog() []obs.Event {
+	var b evb
+	b.add(0, -1, obs.LayerMPI, obs.EvJobLaunch,
+		obs.KV("attempt", 0), obs.KV("ranks", 5), obs.KV("nodes", 5))
+	b.add(1.0, 0, obs.LayerVeloC, obs.EvVeloCCheckpoint,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024),
+		obs.KV("scratch_seconds", 0.25))
+	b.add(1.0, 0, obs.LayerVeloC, obs.EvVeloCFlushBegin,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024))
+	b.add(1.5, 0, obs.LayerVeloC, obs.EvVeloCFlushEnd,
+		obs.KV("name", "app"), obs.KV("version", 9), obs.KV("bytes", 1024),
+		obs.KV("seconds", 0.5))
+	fenixEpisode(&b)
+	b.add(3.5, 4, obs.LayerFenix, obs.EvFenixRoleChange,
+		obs.KV("from", "spare"), obs.KV("to", "recovered"),
+		obs.KV("logical_rank", 1), obs.KV("generation", 1))
+	b.add(6.0, -1, obs.LayerMPI, obs.EvJobEnd,
+		obs.KV("launches", 1), obs.KV("failed", false), obs.KV("wall_seconds", 6.0))
+	return b.events
+}
+
+func buildTL(t *testing.T, events []obs.Event) *Timeline {
+	t.Helper()
+	rep, err := Analyze(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildTimeline(events, rep)
+}
+
+func laneByLabel(tl *Timeline, label string) *Lane {
+	for i := range tl.Lanes {
+		if tl.Lanes[i].Label == label {
+			return &tl.Lanes[i]
+		}
+	}
+	return nil
+}
+
+func hasSegment(l *Lane, kind string, start, end float64) bool {
+	for _, s := range l.Segments {
+		if s.Kind == kind && s.Start == start && s.End == end {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMark(l *Lane, kind string, at float64) bool {
+	for _, m := range l.Marks {
+		if m.Kind == kind && m.Time == at {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBuildTimelineSpareEpisode(t *testing.T) {
+	tl := buildTL(t, spareTimelineLog())
+	if tl.Start != 0 || tl.End != 6.0 {
+		t.Errorf("window = [%v, %v], want [0, 6]", tl.Start, tl.End)
+	}
+	// World lane first, then ranks 0..4 in order.
+	if len(tl.Lanes) != 6 || tl.Lanes[0].Rank != -1 || tl.Lanes[0].Label != "world" {
+		t.Fatalf("lane roster: %+v", tl.Lanes)
+	}
+	for i, want := range []int{-1, 0, 1, 2, 3, 4} {
+		if tl.Lanes[i].Rank != want {
+			t.Errorf("lane %d rank = %d, want %d", i, tl.Lanes[i].Rank, want)
+		}
+	}
+
+	// World lane: the five phases at the analyzed positions — recompute
+	// anchored to the span end, the earlier phases chained from the start.
+	world := &tl.Lanes[0]
+	for _, want := range []Segment{
+		{PhaseDetection, 3.0, 3.125},
+		{PhaseCommRepair, 3.125, 3.25},
+		{PhaseRebuild, 3.25, 3.5},
+		{PhaseRestore, 3.5, 3.75},
+		{PhaseRecompute, 4.0, 4.75},
+	} {
+		if !hasSegment(world, want.Kind, want.Start, want.End) {
+			t.Errorf("world lane missing %+v; have %+v", want, world.Segments)
+		}
+	}
+	if !hasMark(world, MarkRebuild, 3.5) {
+		t.Errorf("world lane missing rebuild mark at repair time: %+v", world.Marks)
+	}
+
+	// Rank lanes: kill on the dead rank, detects on the observers,
+	// checkpoint + flush on rank 0, restore/recompute pairs.
+	if l := laneByLabel(tl, "rank 1"); l == nil || !hasMark(l, MarkKill, 3.0) {
+		t.Errorf("rank 1 lane lacks the kill mark")
+	}
+	r0 := laneByLabel(tl, "rank 0")
+	if r0 == nil || !hasMark(r0, MarkDetect, 3.125) || !hasMark(r0, MarkCheckpoint, 1.0) {
+		t.Errorf("rank 0 lane marks wrong: %+v", r0)
+	}
+	if !hasSegment(r0, SegFlush, 1.0, 1.5) || !hasSegment(r0, PhaseRestore, 3.5, 3.625) {
+		t.Errorf("rank 0 lane segments wrong: %+v", r0.Segments)
+	}
+	// The spare that adopted slot 1 carries the promotion label.
+	spare := laneByLabel(tl, "rank 4 → slot 1 g1")
+	if spare == nil {
+		t.Fatalf("adopted-spare label missing; lanes: %+v", tl.Lanes)
+	}
+	if !hasSegment(spare, PhaseRestore, 3.5, 3.75) ||
+		!hasSegment(spare, PhaseRecompute, 4.0, 4.25) ||
+		!hasSegment(spare, PhaseRecompute, 4.5, 4.75) {
+		t.Errorf("spare lane segments wrong: %+v", spare.Segments)
+	}
+}
+
+func TestBuildTimelineShrunkLabels(t *testing.T) {
+	events := twoWaveShrinkLog()
+	// Wave 1 promotes the spare (world rank 6) into failed slot 1; slot 3
+	// and wave 2's slots 2 and 4 compact away with no replacement.
+	events = append(events, obs.Event{
+		Seq: uint64(len(events) + 1), Time: 3.0, Rank: 6,
+		Layer: obs.LayerFenix, Name: obs.EvFenixRoleChange,
+		Attrs: []obs.Attr{
+			obs.KV("from", "spare"), obs.KV("to", "recovered"),
+			obs.KV("logical_rank", 1), obs.KV("generation", 1),
+		},
+	})
+	tl := buildTL(t, events)
+
+	for _, label := range []string{
+		"rank 6 → slot 1 g1",
+		"rank 3 (shrunk g1)",
+		"rank 2 (shrunk g2)",
+		"rank 4 (shrunk g2)",
+	} {
+		if laneByLabel(tl, label) == nil {
+			t.Errorf("missing lane label %q; lanes: %+v", label, tl.Lanes)
+		}
+	}
+	world := &tl.Lanes[0]
+	if !hasMark(world, MarkShrink, 3.0) || !hasMark(world, MarkShrink, 6.0) {
+		t.Errorf("world lane shrink marks wrong: %+v", world.Marks)
+	}
+	if hasMark(world, MarkRebuild, 3.0) {
+		t.Errorf("compacting wave must mark shrink, not rebuild")
+	}
+}
+
+func TestRenderASCIIDeterministic(t *testing.T) {
+	events := spareTimelineLog()
+	a := buildTL(t, events).RenderASCII(100)
+	b := buildTL(t, events).RenderASCII(100)
+	if a != b {
+		t.Fatalf("ASCII render is not deterministic:\n%s\n--- vs ---\n%s", a, b)
+	}
+	for _, want := range []string{
+		"timeline [0.000, 6.000]s",
+		"world", "rank 4 → slot 1 g1",
+		"legend: d detection  c comm_repair  b rebuild  r restore  w recompute  f flush",
+		"o checkpoint  ! detect  X kill  ^ rebuild  v shrink  . idle",
+	} {
+		if !strings.Contains(a, want) {
+			t.Errorf("ASCII timeline missing %q:\n%s", want, a)
+		}
+	}
+	// The dead rank's row paints the kill mark.
+	for _, line := range strings.Split(a, "\n") {
+		if strings.HasPrefix(line, "rank 1") && !strings.Contains(line, "X") {
+			t.Errorf("rank 1 row lacks the X kill mark: %s", line)
+		}
+	}
+	if def := buildTL(t, events).RenderASCII(0); def != a {
+		t.Errorf("width 0 must select the default 100 columns")
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	events := spareTimelineLog()
+	svg := buildTL(t, events).RenderSVG(`seed <7> & "friends"`)
+	if svg != buildTL(t, events).RenderSVG(`seed <7> & "friends"`) {
+		t.Fatal("SVG render is not deterministic")
+	}
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg"`, "</svg>",
+		"seed &lt;7&gt; &amp; &quot;friends&quot;", // title is escaped
+		">detection<", ">recompute<", ">kill<", // visible legend labels
+		"rank 4 → slot 1 g1",
+		"<title>", // native hover tooltips on segments
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Error("SVG contains NaN coordinates")
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -126,6 +127,54 @@ func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.n
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// distribution by linear interpolation inside the bucket that contains the
+// target rank, mirroring Prometheus's histogram_quantile: the first bucket
+// interpolates from zero (observations are non-negative virtual seconds or
+// bytes), and a rank landing in the +Inf overflow bucket clamps to the
+// highest finite bound. The estimate is exact whenever the target rank
+// falls on a bucket boundary and never leaves the bucket's bounds, so it
+// is safe for p50/p99 reporting without retaining raw samples.
+//
+// It is NaN-safe in both directions: a nil or empty histogram returns NaN
+// (there is no distribution to summarize), as does a q outside [0, 1] or a
+// NaN q.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(h.n)
+	cum := uint64(0)
+	for i, count := range h.counts {
+		if count == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += count
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			if len(h.bounds) == 0 {
+				return math.NaN()
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		return lower + (h.bounds[i]-lower)*(rank-prev)/float64(count)
+	}
+	return math.NaN() // unreachable: n > 0 guarantees a non-empty bucket
 }
 
 // Sum returns the sum of observations (0 for nil).

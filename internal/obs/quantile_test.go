@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// quantHist builds a histogram with the given bounds through a registry,
+// the only construction path instrumentation uses.
+func quantHist(bounds []float64) *Histogram {
+	return NewRegistry().Histogram("q_test_seconds", bounds)
+}
+
+func TestQuantileKnownDistribution(t *testing.T) {
+	// One observation per bucket of {1, 2, 4}: the distribution is pinned,
+	// so every quantile is a closed-form interpolation.
+	h := quantHist([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0},       // first bucket interpolates from zero
+		{0.25, 0.75}, // rank 0.75 of 1 in bucket [0,1)
+		{0.5, 1.5},   // rank 1.5: halfway through bucket [1,2)
+		{0.75, 2.5},  // rank 2.25: an eighth into bucket [2,4)
+		{1, 4},       // rank 3: top of the last occupied bucket
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// 100 uniform samples over [0, 100) with bucket bounds every 25: the
+	// interpolated p50 and p99 are exact.
+	h := quantHist([]float64{25, 50, 75, 100})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := h.Quantile(0.25); got != 25 {
+		t.Errorf("p25 = %v, want 25", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Samples beyond the last finite bound clamp to it (Prometheus
+	// histogram_quantile semantics for the +Inf bucket).
+	h := quantHist([]float64{1, 2, 4})
+	h.Observe(10)
+	h.Observe(20)
+	if got := h.Quantile(0.5); got != 4 {
+		t.Errorf("overflow p50 = %v, want the top finite bound 4", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Errorf("overflow p100 = %v, want 4", got)
+	}
+}
+
+func TestQuantileNaNSafety(t *testing.T) {
+	var nilHist *Histogram
+	if got := nilHist.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil histogram Quantile = %v, want NaN", got)
+	}
+	empty := quantHist(nil)
+	if got := empty.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %v, want NaN", got)
+	}
+	h := quantHist([]float64{1})
+	h.Observe(0.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// Observing NaN must not poison the estimator for other samples: NaN
+	// sorts into the overflow bucket (SearchFloat64s returns len(bounds)).
+	h.Observe(math.NaN())
+	if got := h.Quantile(0); !math.IsNaN(got) && got < 0 {
+		t.Errorf("Quantile(0) after NaN observation = %v", got)
+	}
+}
+
+func TestQuantileDefaultTimeBuckets(t *testing.T) {
+	// The registry's default bounds: a latency profile with most samples at
+	// ~10ms and a 1s tail keeps p50 in the 10ms bucket and p99 in the tail.
+	h := NewRegistry().Histogram("lat_seconds", nil)
+	for i := 0; i < 98; i++ {
+		h.Observe(0.005)
+	}
+	h.Observe(0.5)
+	h.Observe(5)
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < 1e-3 || p50 > 1e-2 {
+		t.Errorf("p50 = %v, want within the (1e-3, 1e-2] bucket", p50)
+	}
+	if p99 < 0.1 || p99 > 1 {
+		t.Errorf("p99 = %v, want within the (0.1, 1] bucket", p99)
+	}
+	if p50 >= p99 {
+		t.Errorf("p50 %v >= p99 %v", p50, p99)
+	}
+}

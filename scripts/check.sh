@@ -5,7 +5,7 @@
 # with pinned-seed replays.
 #
 # Usage: scripts/check.sh [section ...]
-#   sections: build vet race bench perf report chaos   (default: all)
+#   sections: build vet race bench perf report sweep chaos   (default: all)
 #
 # Environment:
 #   CHAOS_SEEDS  number of campaign seeds to sweep (default 36; CI's
@@ -76,6 +76,29 @@ run_report() {
     grep -q '"failures_unrepaired": 0' "$tmp/report.json"
 }
 
+run_sweep() {
+    # Cross-run sweep analytics + timeline rendering: persist a 12-seed
+    # campaign with -out, aggregate it with obsreport -sweep, and render
+    # the pinned storm-shrink seed's Gantt twice (byte-identical by the
+    # replay invariant) plus the SVG figure form.
+    banner "sweep: chaos -seeds 12 -out + obsreport -sweep"
+    go run ./cmd/chaos -seeds 12 -out "$tmp/runs"
+    test -f "$tmp/runs/manifest.json"
+    go run ./cmd/obsreport -sweep "$tmp/runs" > "$tmp/sweep.txt"
+    grep -q 'sweep: 12 runs' "$tmp/sweep.txt"
+    grep -q 'per-(mode × app) phase durations' "$tmp/sweep.txt"
+    grep -q 'storm-shrink' "$tmp/sweep.txt"
+    go run ./cmd/obsreport -json -sweep "$tmp/runs" | grep -q '"critical_path"'
+
+    banner "sweep: seed 7 timeline (ASCII x2 + SVG)"
+    go run ./cmd/obsreport -timeline "$tmp/runs/seed-7.jsonl" > "$tmp/tl1.txt"
+    go run ./cmd/obsreport -timeline "$tmp/runs/seed-7.jsonl" > "$tmp/tl2.txt"
+    cmp "$tmp/tl1.txt" "$tmp/tl2.txt"
+    grep -q '(shrunk g' "$tmp/tl1.txt"
+    go run ./cmd/figures -fig timeline -seed 7 > "$tmp/timeline.svg"
+    grep -q '<svg' "$tmp/timeline.svg"
+}
+
 run_chaos() {
     # Chaos campaign: an adversarial sweep over the full mode x app matrix
     # under the race detector (kills inside checkpoint regions and flush
@@ -134,7 +157,7 @@ run_chaos() {
     grep -q '"flushes_started": 4243' "$tmp/storm1024.json"
 }
 
-sections=${*:-"build vet race bench perf report chaos"}
+sections=${*:-"build vet race bench perf report sweep chaos"}
 for s in $sections; do
     case "$s" in
     build)  run_build ;;
@@ -143,9 +166,10 @@ for s in $sections; do
     bench)  run_bench ;;
     perf)   run_perf ;;
     report) run_report ;;
+    sweep)  run_sweep ;;
     chaos)  run_chaos ;;
     *)
-        echo "unknown section: $s (want build|vet|race|bench|perf|report|chaos)" >&2
+        echo "unknown section: $s (want build|vet|race|bench|perf|report|sweep|chaos)" >&2
         exit 2
         ;;
     esac
