@@ -143,6 +143,20 @@ func main() {
 		title := fmt.Sprintf("recovery timeline: chaos seed %d (%s/%s)", *seed, cfg.Mode, cfg.App)
 		fmt.Print(tl.RenderSVG(title))
 		did = true
+	case "sdc":
+		seedsPerCell := 3
+		if *quick {
+			seedsPerCell = 1
+		}
+		pts := harness.SDCMatrix(harness.SDCOptions{SeedsPerCell: seedsPerCell})
+		harness.RenderSDC(os.Stdout, pts)
+		if errs := harness.CheckSDCLadder(pts); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "sdc:", e)
+			}
+			os.Exit(1)
+		}
+		did = true
 	case "complexity":
 		c, err := harness.ComplexityReport()
 		if err != nil {

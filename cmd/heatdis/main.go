@@ -18,6 +18,7 @@ import (
 	"repro/internal/apps/heatdis"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kokkos"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -71,6 +72,7 @@ func main() {
 	ringCap := flag.Int("ring", 0, "bound the in-memory event log to the newest N events (0 = unbounded; combine with -stream to keep the full export)")
 	flushWindow := flag.Int("flush-window", 0, "bound in-flight checkpoint flushes per node to this many (0 = unscheduled: every flush starts immediately)")
 	flushCoalesce := flag.Bool("flush-coalesce", true, "with -flush-window, cancel queued flushes superseded by a newer version of the same checkpoint")
+	sdcPolicy := flag.String("sdc", "", "SDC detection policy for resilient regions: none, checksum, replay, vote (also enables checkpoint-blob verification)")
 	flag.Parse()
 
 	strategy, err := core.ParseStrategy(*strategyName)
@@ -108,6 +110,15 @@ func main() {
 		Spares:             *spares,
 		CheckpointInterval: *interval,
 		CheckpointName:     "heatdis",
+	}
+	if *sdcPolicy != "" {
+		pol, err := kokkos.ParseSDCPolicy(*sdcPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Replay-validator bounds: temperatures live in [0, sourceTemp].
+		cc.SDC = core.SDCConfig{Policy: pol, MinVal: 0, MaxVal: 100}
 	}
 	if *fail {
 		it := (*iters / *interval)**interval - 1 - *interval + int(0.95*float64(*interval))

@@ -295,8 +295,13 @@ func App(cfg Config, sink *Sink) core.App {
 				if err := st.exchangeHalos(s); err != nil {
 					return err
 				}
-				localDelta = st.step(&cfg, s)
-				return nil
+				// The stencil update runs as a resilient region: it is
+				// communication-free (halos already exchanged), so the SDC
+				// layer may replay or duplicate it locally without desyncing
+				// the job's collectives.
+				return s.Region("heatdis.step", []kokkos.View{st.h, st.g}, func() {
+					localDelta = st.step(&cfg, s)
+				})
 			})
 			if err != nil {
 				return err

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/kokkos"
 	"repro/internal/kr"
 	"repro/internal/mpi"
 	"repro/internal/trace"
@@ -155,11 +156,20 @@ func App(cfg Config, sink *Sink) core.App {
 					}
 				}
 
-				// Force computation.
+				// Force computation, run as a resilient region: it is the
+				// step's compute-bound, communication-free kernel, so the SDC
+				// layer may replay or duplicate it locally. Positions are
+				// included because a flip there corrupts forces on every
+				// subsequent step.
 				rec.BeginSection(trace.ForceCompute)
-				lastPE = st.ljForce()
-				p.Compute(opsPerNeighbor * simNeighborsPerAtom * float64(st.simAtoms))
+				rerr := s.Region("minimd.force", []kokkos.View{sv.x, sv.f}, func() {
+					lastPE = st.ljForce()
+					p.Compute(opsPerNeighbor * simNeighborsPerAtom * float64(st.simAtoms))
+				})
 				rec.EndSection()
+				if rerr != nil {
+					return rerr
+				}
 
 				// Second half-kick.
 				for a := 0; a < st.n; a++ {

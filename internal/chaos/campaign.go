@@ -51,6 +51,23 @@ const (
 	// members of the already-compacted world, forcing a further shrink with
 	// the pool empty.
 	ModeStormWave = "storm-wave"
+	// ModeSDCRegion flips one bit in a resilient parallel region's views
+	// under the replay policy: the bounds validator catches wild flips
+	// (exponent/sign) and a clean re-execution repairs them; small mantissa
+	// flips stay in-bounds and escape — both outcomes must account exactly.
+	ModeSDCRegion = "sdc-region"
+	// ModeSDCVote is the same view flip under duplicate-and-vote: the
+	// bitwise duplicate comparison detects any flip, and the element-wise
+	// majority over a tie-break execution repairs it.
+	ModeSDCVote = "sdc-vote"
+	// ModeSDCBlob flips one bit in a serialized checkpoint blob on its way
+	// to scratch, under the checksum policy: read-back verification detects
+	// the corruption and one clean re-write repairs it before commit.
+	ModeSDCBlob = "sdc-blob"
+	// ModeSDCMixed lands a view flip and a process kill in the same run:
+	// the SDC layer must resolve the flip locally, independent of (and
+	// without perturbing) the Fenix rebuild the kill triggers.
+	ModeSDCMixed = "sdc-mixed"
 )
 
 // Modes lists every campaign mode, in matrix order. New modes are appended
@@ -59,6 +76,7 @@ const (
 var Modes = []string{
 	ModeIteration, ModeRegion, ModeCollective, ModeFlush, ModeNested,
 	ModeSpare, ModeNode, ModeStormShrink, ModeStormFail, ModeStormWave,
+	ModeSDCRegion, ModeSDCVote, ModeSDCBlob, ModeSDCMixed,
 }
 
 // Apps lists the campaign applications, in matrix order.
@@ -76,6 +94,19 @@ const (
 	// re-decompose, small enough for the per-commit CI sweep.
 	cStormRanks = 32
 )
+
+// BaseRunConfig returns the campaign's standard small-cell geometry for
+// app with an empty fault schedule: the starting point for custom
+// experiments (e.g. the SDC coverage matrix) that draw their own faults
+// instead of the seed-derived matrix cell.
+func BaseRunConfig(seed uint64, app string) RunConfig {
+	return RunConfig{
+		Seed: seed, App: app,
+		Ranks: cRanks, Spares: 2, RanksPerNode: 1,
+		Iters: cIters, Interval: cInterval,
+		Flush: cluster.FlushPolicy{Window: 2, Coalesce: true},
+	}
+}
 
 // ConfigForSeed derives a full run configuration from a seed. The matrix
 // cell (mode × app) comes from the seed itself so a sweep over seeds
@@ -226,6 +257,46 @@ func ConfigForSeedScaled(seed uint64, mode, app string, stormRanks int) (RunConf
 			h += 5 + rng.Intn(2)
 		}
 		cfg.Schedule.Kills = kills
+	case ModeSDCRegion:
+		// One flip in the region's views under replay. High bits (sign +
+		// exponent) mostly produce out-of-bounds values the validator
+		// catches; the occasional in-bounds result escapes, which the
+		// accounting invariants absorb (escaped runs skip the bitwise
+		// reference comparison).
+		cfg.SDC = "replay"
+		cfg.Schedule.Flips = []Flip{{
+			Rank: member(), Point: PointKokkosRegion, Hit: iterHit(),
+			Frac: rng.Float64(), Bit: 52 + rng.Intn(12),
+		}}
+	case ModeSDCVote:
+		// Any bit — mantissa included — under duplicate-and-vote; the
+		// bitwise duplicate comparison must detect it regardless.
+		cfg.SDC = "vote"
+		cfg.Schedule.Flips = []Flip{{
+			Rank: member(), Point: PointKokkosRegion, Hit: iterHit(),
+			Frac: rng.Float64(), Bit: rng.Intn(64),
+		}}
+	case ModeSDCBlob:
+		// One byte flipped in a checkpoint blob on its way to scratch; the
+		// checksum policy's read-back verification detects it and a clean
+		// re-write repairs it before the version commits.
+		cfg.SDC = "checksum"
+		cfg.Schedule.Flips = []Flip{{
+			Rank: member(), Point: PointScratchBlob, Hit: epochHit(),
+			Frac: rng.Float64(), Bit: rng.Intn(8),
+		}}
+	case ModeSDCMixed:
+		// A view flip early and a member kill later in the same run, on
+		// different ranks so both always fire: SDC resolution is local and
+		// must neither delay nor depend on the Fenix rebuild.
+		cfg.SDC = "vote"
+		fr := member()
+		kr := (fr + 1 + rng.Intn(cfg.Ranks-1)) % cfg.Ranks
+		cfg.Schedule.Flips = []Flip{{
+			Rank: fr, Point: PointKokkosRegion, Hit: 2 + rng.Intn(4),
+			Frac: rng.Float64(), Bit: rng.Intn(64),
+		}}
+		cfg.Schedule.Kills = []Kill{{Rank: kr, Point: PointIteration, Hit: 8 + rng.Intn(8)}}
 	default:
 		return RunConfig{}, fmt.Errorf("chaos: unknown mode %q", mode)
 	}

@@ -34,8 +34,10 @@ func TestCampaignMatrix(t *testing.T) {
 // report to be identical byte for byte — the property that makes a
 // campaign finding debuggable with `chaos -seed <k>`.
 func TestSeedReplayIsByteStable(t *testing.T) {
-	// flush, node, storm-shrink, storm-fail, and both storm-wave cells.
-	for _, seed := range []uint64{3, 6, 7, 16, 9, 19} {
+	// flush, node, storm-shrink, storm-wave, collective, spare, sdc-vote,
+	// and sdc-mixed cells (the last two exercise flip accounting and the
+	// checksum-skip path in the byte-stable report).
+	for _, seed := range []uint64{3, 6, 7, 9, 16, 19, 11, 13} {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			var out [2]bytes.Buffer

@@ -27,6 +27,8 @@ func TestInjectionPointsDocumented(t *testing.T) {
 		PointFenixRecover,
 		PointFenixSpareWait,
 		PointFenixSpareActivate,
+		PointKokkosRegion,
+		PointScratchBlob,
 	} {
 		if !strings.Contains(text, "`"+point+"`") {
 			t.Errorf("injection point %s is not documented in DESIGN.md", point)

@@ -15,8 +15,10 @@ type Injector struct {
 	mu         sync.Mutex
 	hits       map[pointKey]int
 	kills      map[pointKey][]*scheduledKill
+	flips      map[pointKey][]*scheduledFlip
 	fired      int
 	firedSpare int
+	flipsFired int
 }
 
 type pointKey struct {
@@ -29,16 +31,26 @@ type scheduledKill struct {
 	fired bool
 }
 
+type scheduledFlip struct {
+	flip  Flip
+	fired bool
+}
+
 // NewInjector builds an injector for one run of the given schedule.
 // Injectors are single-use: visit counters persist for the life of the run.
 func NewInjector(s Schedule) *Injector {
 	inj := &Injector{
 		hits:  make(map[pointKey]int),
 		kills: make(map[pointKey][]*scheduledKill),
+		flips: make(map[pointKey][]*scheduledFlip),
 	}
 	for _, k := range s.Kills {
 		key := pointKey{rank: k.Rank, point: k.Point}
 		inj.kills[key] = append(inj.kills[key], &scheduledKill{kill: k})
+	}
+	for _, f := range s.Flips {
+		key := pointKey{rank: f.Rank, point: f.Point}
+		inj.flips[key] = append(inj.flips[key], &scheduledFlip{flip: f})
 	}
 	return inj
 }
@@ -72,6 +84,35 @@ func (inj *Injector) At(p *mpi.Proc, point string) {
 	p.ExitInjected(point, victim.kill.Spare())
 }
 
+// FlipAt implements mpi.Corruptor: it counts the rank's visit to the named
+// corruption point and, when a scheduled (rank, point, hit) flip matches,
+// hands its abstract site back to the visiting layer. Corruption points
+// and kill points share the per-rank visit-counting discipline but use
+// disjoint point names, so a schedule can mix kills and flips freely.
+func (inj *Injector) FlipAt(rank int, point string) (frac float64, bit int, ok bool) {
+	key := pointKey{rank: rank, point: point}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	hit := inj.hits[key]
+	inj.hits[key] = hit + 1
+	for _, sf := range inj.flips[key] {
+		if !sf.fired && sf.flip.Hit == hit {
+			sf.fired = true
+			inj.flipsFired++
+			return sf.flip.Frac, sf.flip.Bit, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FlipsFired returns how many scheduled flips actually triggered; a flip
+// whose (rank, point, hit) is never visited does not fire.
+func (inj *Injector) FlipsFired() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.flipsFired
+}
+
 // Fired returns how many scheduled kills actually triggered. A kill whose
 // (rank, point, hit) is never visited — e.g. a storm kill scheduled after
 // the job already failed — does not fire.
@@ -89,4 +130,7 @@ func (inj *Injector) FiredSpare() int {
 	return inj.firedSpare
 }
 
-var _ mpi.Injector = (*Injector)(nil)
+var (
+	_ mpi.Injector  = (*Injector)(nil)
+	_ mpi.Corruptor = (*Injector)(nil)
+)

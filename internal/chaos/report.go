@@ -56,6 +56,18 @@ type RunReport struct {
 	FlushesCoalesced int `json:"flushes_coalesced,omitempty"`
 	FlushesDiscarded int `json:"flushes_discarded,omitempty"`
 
+	// SDC accounting (zero when the schedule carries no flips). FlipsFired
+	// counts scheduled bit flips the injector actually applied; the sdc_*
+	// counters mirror the obs metrics and satisfy
+	// SDCInjected == SDCDetected + SDCEscaped on every non-hung run.
+	FlipsFired   int `json:"flips_fired,omitempty"`
+	SDCInjected  int `json:"sdc_injected,omitempty"`
+	SDCDetected  int `json:"sdc_detected,omitempty"`
+	SDCCorrected int `json:"sdc_corrected,omitempty"`
+	SDCEscaped   int `json:"sdc_escaped,omitempty"`
+	SDCReplays   int `json:"sdc_replays,omitempty"`
+	SDCVotes     int `json:"sdc_votes,omitempty"`
+
 	Checksum float64     `json:"checksum,omitempty"`
 	Spans    []SpanBrief `json:"spans,omitempty"`
 
@@ -84,9 +96,14 @@ func (r *RunReport) Line() string {
 		status = fmt.Sprintf("VIOLATED(%d)", len(r.Violations))
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "seed %-6d %-8s %-12s kills %d/%d inj %d rep %d unrep %d shrunk %d  %s",
+	fmt.Fprintf(&b, "seed %-6d %-8s %-12s kills %d/%d inj %d rep %d unrep %d shrunk %d",
 		r.Seed, r.App, r.Mode, r.KillsFired, len(r.Schedule.Kills),
-		r.Injected, r.Repaired, r.Unrepaired, r.Shrunk, status)
+		r.Injected, r.Repaired, r.Unrepaired, r.Shrunk)
+	if len(r.Schedule.Flips) > 0 {
+		fmt.Fprintf(&b, " sdc %d/%d det %d corr %d esc %d",
+			r.FlipsFired, len(r.Schedule.Flips), r.SDCDetected, r.SDCCorrected, r.SDCEscaped)
+	}
+	fmt.Fprintf(&b, "  %s", status)
 	return b.String()
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fenix"
+	"repro/internal/kokkos"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
@@ -44,6 +45,10 @@ type RunConfig struct {
 	// from the RNG stream, so kill schedules are unchanged by it.
 	Flush    cluster.FlushPolicy `json:"flush"`
 	Schedule Schedule            `json:"schedule"`
+	// SDC names the silent-data-corruption detection policy (none, checksum,
+	// replay, vote); empty means none. Like Flush it is a cell constant,
+	// never drawn from the RNG stream.
+	SDC string `json:"sdc,omitempty"`
 	// ExpectFail marks schedules designed to exhaust the spare pool with
 	// shrinking disabled: the only correct outcome is a job failure with
 	// fenix.ErrOutOfSpares.
@@ -180,6 +185,24 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 		CheckpointInterval: cfg.Interval,
 		CheckpointName:     "chaos",
 	}
+	if cfg.SDC != "" {
+		pol, err := kokkos.ParseSDCPolicy(cfg.SDC)
+		if err != nil {
+			rep.addViolation(err.Error())
+			return rep
+		}
+		ccfg.SDC = core.SDCConfig{Policy: pol}
+		// Replay-validator bounds are the app's physical ranges: Heatdis
+		// temperatures live in [0, sourceTemp]; MiniMD forces/positions are
+		// finite but unbounded a priori, so only wild exponent flips and
+		// NaN/Inf are caught there.
+		switch cfg.App {
+		case AppHeatdis:
+			ccfg.SDC.MinVal, ccfg.SDC.MaxVal = 0, 100
+		case AppMiniMD:
+			ccfg.SDC.MinVal, ccfg.SDC.MaxVal = -1e12, 1e12
+		}
+	}
 
 	baseline := runtime.NumGoroutine()
 	done := make(chan *core.Result, 1)
@@ -202,8 +225,15 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 	rep.Launches = res.Launches
 	rep.KillsFired = inj.Fired()
 	rep.SpareKillsFired = inj.FiredSpare()
+	rep.FlipsFired = inj.FlipsFired()
 
 	reg := rec.Registry()
+	rep.SDCInjected = int(reg.CounterValue(obs.MSDCInjected))
+	rep.SDCDetected = int(reg.CounterValue(obs.MSDCDetected))
+	rep.SDCCorrected = int(reg.CounterValue(obs.MSDCCorrected))
+	rep.SDCEscaped = int(reg.CounterValue(obs.MSDCEscaped))
+	rep.SDCReplays = int(reg.CounterValue(obs.MSDCReplays))
+	rep.SDCVotes = int(reg.CounterValue(obs.MSDCVotes))
 	rep.Injected = int(reg.CounterValue(obs.MFailuresInjected))
 	rep.Survived = int(reg.CounterValue(obs.MFailuresSurvived))
 	rep.Rebuilds = int(reg.CounterValue(obs.MRebuilds))
@@ -282,6 +312,29 @@ func checkInvariants(rep *RunReport, cfg RunConfig, arep *analyze.Report, refs *
 	// kill's execution point is reached).
 	if rep.KillsFired != len(cfg.Schedule.Kills) {
 		v(fmt.Sprintf("fired %d of %d scheduled kills", rep.KillsFired, len(cfg.Schedule.Kills)))
+	}
+	if rep.FlipsFired != len(cfg.Schedule.Flips) {
+		v(fmt.Sprintf("fired %d of %d scheduled flips", rep.FlipsFired, len(cfg.Schedule.Flips)))
+	}
+
+	// SDC accounting is exact: every fired flip was recorded as injected,
+	// and every injected flip was resolved — caught by a detection layer or
+	// escaped past all of them. Corrections can never exceed detections.
+	if rep.SDCInjected != rep.FlipsFired {
+		v(fmt.Sprintf("%s = %d, but the injector fired %d flips", obs.MSDCInjected, rep.SDCInjected, rep.FlipsFired))
+	}
+	if rep.SDCInjected != rep.SDCDetected+rep.SDCEscaped {
+		v(fmt.Sprintf("sdc_injected %d != sdc_detected %d + sdc_escaped %d",
+			rep.SDCInjected, rep.SDCDetected, rep.SDCEscaped))
+	}
+	if rep.SDCCorrected > rep.SDCDetected {
+		v(fmt.Sprintf("sdc_corrected %d > sdc_detected %d", rep.SDCCorrected, rep.SDCDetected))
+	}
+	if arep.SDCInjected != rep.SDCInjected || arep.SDCDetected != rep.SDCDetected ||
+		arep.SDCCorrected != rep.SDCCorrected || arep.SDCEscaped != rep.SDCEscaped {
+		v(fmt.Sprintf("analyzer saw SDC inj/det/corr/esc %d/%d/%d/%d, counters say %d/%d/%d/%d",
+			arep.SDCInjected, arep.SDCDetected, arep.SDCCorrected, arep.SDCEscaped,
+			rep.SDCInjected, rep.SDCDetected, rep.SDCCorrected, rep.SDCEscaped))
 	}
 
 	// Failure accounting reconciles across layers:
@@ -381,6 +434,14 @@ func checkInvariants(rep *RunReport, cfg RunConfig, arep *analyze.Report, refs *
 		return
 	}
 	rep.Checksum = sum
+	// A flip that escaped every detection layer is free to corrupt the
+	// final answer (that is what "escaped" means), so the bitwise reference
+	// comparison — and even finiteness — only binds when nothing escaped.
+	// Detected-and-corrected runs get no such license: they must reproduce
+	// the failure-free answer exactly.
+	if rep.SDCEscaped > 0 {
+		return
+	}
 	if math.IsNaN(sum) || math.IsInf(sum, 0) {
 		v(fmt.Sprintf("global checksum is not finite: %v", sum))
 	}

@@ -44,6 +44,15 @@ const (
 	// PointFenixSpareActivate is visited by a freshly activated spare — a
 	// kill here is a member failure immediately after substitution.
 	PointFenixSpareActivate = "fenix.spare_activate"
+
+	// PointKokkosRegion is the corruption point visited after a resilient
+	// parallel region's primary execution: a scheduled flip lands in the
+	// region's views (see mpi.Corruptor).
+	PointKokkosRegion = "kokkos.region"
+	// PointScratchBlob is the corruption point visited as a serialized
+	// checkpoint blob is written to node-local scratch: a scheduled flip
+	// corrupts the stored bytes.
+	PointScratchBlob = "veloc.scratch_blob"
 )
 
 // Kill schedules one process kill: world rank Rank exits on its Hit-th
@@ -64,7 +73,23 @@ type Kill struct {
 // protocol must survive and are accounted separately.
 func (k Kill) Spare() bool { return k.Point == PointFenixSpareWait }
 
-// Schedule is one run's complete kill plan.
+// Flip schedules one silent-data-corruption bit flip: on world rank Rank's
+// Hit-th visit (0-based, same per-rank per-point counting as kills) of the
+// named corruption point, one bit is flipped in the visiting layer's
+// payload. The site is declared abstractly — Frac in [0,1) selects the
+// position proportionally within the payload (a view element for
+// kokkos.region, a byte for veloc.scratch_blob) and Bit the bit within it —
+// so the schedule is payload-agnostic and replays byte-identically.
+type Flip struct {
+	Rank  int     `json:"rank"`
+	Point string  `json:"point"`
+	Hit   int     `json:"hit"`
+	Frac  float64 `json:"frac"`
+	Bit   int     `json:"bit"`
+}
+
+// Schedule is one run's complete fault plan: process kills and SDC flips.
 type Schedule struct {
 	Kills []Kill `json:"kills"`
+	Flips []Flip `json:"flips,omitempty"`
 }

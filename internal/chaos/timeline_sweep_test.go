@@ -80,7 +80,7 @@ func TestTimelineGoldenSeed7(t *testing.T) {
 // disposition spans whose timeline labels the compacted ranks.
 func TestCampaignSweepDirectory(t *testing.T) {
 	dir := t.TempDir()
-	seeds := []uint64{0, 3, 7} // iteration, flush, and storm-shrink cells
+	seeds := []uint64{0, 3, 7, 11} // iteration, flush, storm-shrink, and sdc-vote cells
 	camp, err := RunCampaign(CampaignConfig{Seeds: seeds, EventsDir: dir})
 	if err != nil {
 		t.Fatal(err)
@@ -126,6 +126,23 @@ func TestCampaignSweepDirectory(t *testing.T) {
 	}
 	if sweep.Overall.Spans == 0 || sweep.Overall.CriticalPath.Count != sweep.Overall.Spans {
 		t.Errorf("critical-path stats do not cover every span: %+v", sweep.Overall)
+	}
+
+	// The sdc-vote run's flip must land in the sweep's SDC ledger, fully
+	// detected (vote catches every bitwise divergence), and the table must
+	// render the per-cell SDC breakdown.
+	if sweep.Overall.SDCInjected == 0 || sweep.Overall.SDCDetected != sweep.Overall.SDCInjected {
+		t.Errorf("sdc ledger injected %d detected %d, want all detected",
+			sweep.Overall.SDCInjected, sweep.Overall.SDCDetected)
+	}
+	var table bytes.Buffer
+	if err := sweep.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	for _, wantStr := range []string{"sdc: injected", "SDC ledger"} {
+		if !strings.Contains(table.String(), wantStr) {
+			t.Errorf("sweep table missing %q:\n%s", wantStr, table.String())
+		}
 	}
 
 	// The shrink run's event file must rebuild into a timeline that labels

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fenix"
+	"repro/internal/kokkos"
 	"repro/internal/kr"
 	"repro/internal/mpi"
 	"repro/internal/trace"
@@ -101,14 +102,14 @@ func newPlainSession(p *mpi.Proc, cfg *Config, prog *progress) (*Session, error)
 	case StrategyNone:
 		return s, nil
 	case StrategyVeloC:
-		client, err := veloc.New(p, veloc.Config{Mode: veloc.Collective, Comm: comm})
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Collective, Comm: comm, Verify: cfg.SDC.Policy != kokkos.SDCNone})
 		if err != nil {
 			return nil, err
 		}
 		s.manual = &manualCtx{client: client, name: cfg.CheckpointName, interval: cfg.CheckpointInterval, latest: -1}
 		return s, s.manual.resync(comm, p)
 	case StrategyKRVeloC:
-		client, err := veloc.New(p, veloc.Config{Mode: veloc.Collective, Comm: comm})
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Collective, Comm: comm, Verify: cfg.SDC.Policy != kokkos.SDCNone})
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +160,7 @@ func sessionForEntry(held *Session, fctx *fenix.Context, cfg *Config, prog *prog
 	}
 	switch cfg.Strategy {
 	case StrategyFenixVeloC:
-		client, err := veloc.New(p, veloc.Config{Mode: veloc.Single, Rank: fctx.Rank(), RankSet: true})
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Single, Rank: fctx.Rank(), RankSet: true, Verify: cfg.SDC.Policy != kokkos.SDCNone})
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +170,7 @@ func sessionForEntry(held *Session, fctx *fenix.Context, cfg *Config, prog *prog
 		s.manual = &manualCtx{client: client, name: cfg.CheckpointName, interval: cfg.CheckpointInterval, latest: -1}
 		return s, s.manual.resync(fctx.Comm(), p)
 	case StrategyFenixKRVeloC, StrategyPartialRollback:
-		client, err := veloc.New(p, veloc.Config{Mode: veloc.Single, Rank: fctx.Rank(), RankSet: true})
+		client, err := veloc.New(p, veloc.Config{Mode: veloc.Single, Rank: fctx.Rank(), RankSet: true, Verify: cfg.SDC.Policy != kokkos.SDCNone})
 		if err != nil {
 			return nil, err
 		}

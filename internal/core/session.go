@@ -50,6 +50,9 @@ type Config struct {
 	MaxRestarts int
 	// Failures lists the injected failures (nil for overhead-only runs).
 	Failures []*FailurePlan
+	// SDC configures the silent-data-corruption detection layer; the zero
+	// value (policy none) runs regions bare and skips blob verification.
+	SDC SDCConfig
 }
 
 func (c *Config) normalize() {

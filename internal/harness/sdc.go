@@ -1,0 +1,163 @@
+// SDC detection-coverage × overhead matrix: the deliverable of the
+// silent-data-corruption layer. Each cell runs one application under one
+// detection policy with a fixed flip budget per run (one region flip, one
+// checkpoint-blob flip) over several seeds, and reports what fraction of
+// the injected flips the policy caught and what the policy cost in wall
+// time relative to an unprotected, flip-free baseline of the same cell.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/chaos"
+	"repro/internal/sim"
+)
+
+// SDCPolicies is the escalation ladder in coverage order (see DESIGN.md
+// §11): each policy's coverage must dominate the previous one's.
+var SDCPolicies = []string{"none", "checksum", "replay", "vote"}
+
+// SDCPoint is one (app × policy) cell of the matrix.
+type SDCPoint struct {
+	App    string
+	Policy string
+	Runs   int
+
+	// Flip accounting summed over the cell's runs.
+	Injected  int
+	Detected  int
+	Corrected int
+	Escaped   int
+	Replays   int
+	Votes     int
+
+	// Coverage is Detected/Injected; Overhead is MeanWall/BaselineWall - 1,
+	// against the flip-free policy-none baseline of the same app.
+	Coverage     float64
+	Overhead     float64
+	MeanWall     float64
+	BaselineWall float64
+
+	// Violations aggregates campaign-invariant violations across the
+	// cell's runs (empty on a healthy matrix).
+	Violations []string
+}
+
+// SDCOptions configures the matrix sweep.
+type SDCOptions struct {
+	// SeedsPerCell is the number of runs per (app × policy) cell
+	// (default 3).
+	SeedsPerCell int
+	// BaseSeed offsets the per-run seeds, for alternate draws.
+	BaseSeed uint64
+}
+
+// sdcRunConfig builds one flip-only chaos run: the campaign's standard
+// small cell (4 ranks, 24 iterations, checkpoint interval 6) with no
+// kills, one bit flip in a resilient region mid-run, and one bit flip in
+// a checkpoint blob in scratch.
+func sdcRunConfig(app, policy string, seed uint64) chaos.RunConfig {
+	cfg := chaos.BaseRunConfig(seed, app)
+	cfg.Mode = "sdc-matrix"
+	cfg.SDC = policy
+	rng := sim.NewRNG(seed).Split(0x5dc)
+	// Region flips draw from the sign/exponent bits (52-63), the strike
+	// class a physical-bounds validator is built to catch; blob flips can
+	// hit any bit — the CRC is position-blind.
+	cfg.Schedule.Flips = []chaos.Flip{
+		{Rank: rng.Intn(cfg.Ranks), Point: chaos.PointKokkosRegion,
+			Hit: 2 + rng.Intn(18), Frac: rng.Float64(), Bit: 52 + rng.Intn(12)},
+		{Rank: rng.Intn(cfg.Ranks), Point: chaos.PointScratchBlob,
+			Hit: rng.Intn(3), Frac: rng.Float64(), Bit: rng.Intn(8)},
+	}
+	return cfg
+}
+
+// SDCMatrix sweeps the (app × policy) matrix and returns one point per
+// cell, apps outermost, policies in SDCPolicies (escalation-ladder) order.
+func SDCMatrix(opts SDCOptions) []SDCPoint {
+	seeds := opts.SeedsPerCell
+	if seeds <= 0 {
+		seeds = 3
+	}
+	refs := chaos.NewRefCache()
+	var out []SDCPoint
+	for _, app := range []string{chaos.AppHeatdis, chaos.AppMiniMD} {
+		// Flip-free, unprotected baseline: the denominator for overhead.
+		base := chaos.BaseRunConfig(opts.BaseSeed, app)
+		base.Mode = "sdc-baseline"
+		baseRep := chaos.RunOne(base, refs, 0)
+		baseline := baseRep.WallSeconds
+
+		for _, policy := range SDCPolicies {
+			pt := SDCPoint{App: app, Policy: policy, Runs: seeds, BaselineWall: baseline}
+			pt.Violations = append(pt.Violations, baseRep.Violations...)
+			wall := 0.0
+			for i := 0; i < seeds; i++ {
+				cfg := sdcRunConfig(app, policy, opts.BaseSeed+uint64(i))
+				rep := chaos.RunOne(cfg, refs, 0)
+				pt.Injected += rep.SDCInjected
+				pt.Detected += rep.SDCDetected
+				pt.Corrected += rep.SDCCorrected
+				pt.Escaped += rep.SDCEscaped
+				pt.Replays += rep.SDCReplays
+				pt.Votes += rep.SDCVotes
+				pt.Violations = append(pt.Violations, rep.Violations...)
+				wall += rep.WallSeconds
+			}
+			pt.MeanWall = wall / float64(seeds)
+			if pt.Injected > 0 {
+				pt.Coverage = float64(pt.Detected) / float64(pt.Injected)
+			}
+			if baseline > 0 {
+				pt.Overhead = pt.MeanWall/baseline - 1
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// RenderSDC writes the matrix as a tab-separated table, one row per
+// (app × policy) cell.
+func RenderSDC(w io.Writer, points []SDCPoint) {
+	writeHeader(w, "SDC detection coverage × overhead (per policy, vs flip-free unprotected baseline)",
+		[]string{"app", "policy", "runs", "injected", "detected", "corrected", "escaped",
+			"replays", "votes", "coverage", "wall_s", "baseline_s", "overhead"})
+	for _, p := range points {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%.3f\t%+.4f\n",
+			p.App, p.Policy, p.Runs, p.Injected, p.Detected, p.Corrected, p.Escaped,
+			p.Replays, p.Votes, p.Coverage, p.MeanWall, p.BaselineWall, p.Overhead)
+	}
+}
+
+// CheckSDCLadder verifies the escalation-ladder ordering on a rendered
+// matrix: within each app, coverage must be monotonically non-decreasing
+// along SDCPolicies, with vote achieving full coverage. It returns the
+// violations found (nil on a healthy matrix) so both the figure command
+// and the tests can assert it.
+func CheckSDCLadder(points []SDCPoint) []string {
+	var errs []string
+	byApp := map[string][]SDCPoint{}
+	for _, p := range points {
+		byApp[p.App] = append(byApp[p.App], p)
+		if len(p.Violations) > 0 {
+			errs = append(errs, fmt.Sprintf("%s/%s: %d invariant violations (first: %s)",
+				p.App, p.Policy, len(p.Violations), p.Violations[0]))
+		}
+	}
+	for app, pts := range byApp {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Coverage < pts[i-1].Coverage {
+				errs = append(errs, fmt.Sprintf("%s: %s coverage %.3f < %s coverage %.3f",
+					app, pts[i].Policy, pts[i].Coverage, pts[i-1].Policy, pts[i-1].Coverage))
+			}
+		}
+		last := pts[len(pts)-1]
+		if last.Policy == "vote" && last.Escaped != 0 {
+			errs = append(errs, fmt.Sprintf("%s: vote let %d flips escape", app, last.Escaped))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// TestSDCMatrixLadder pins the figure's acceptance property: along the
+// escalation ladder coverage is monotone (vote >= replay >= checksum >=
+// none), the unprotected cell catches nothing, vote catches everything,
+// and no run violates a campaign invariant.
+func TestSDCMatrixLadder(t *testing.T) {
+	pts := SDCMatrix(SDCOptions{SeedsPerCell: 1})
+	if len(pts) != 8 {
+		t.Fatalf("matrix has %d cells, want 8 (2 apps x 4 policies)", len(pts))
+	}
+	for _, e := range CheckSDCLadder(pts) {
+		t.Error(e)
+	}
+	for _, p := range pts {
+		if p.Injected == 0 {
+			t.Errorf("%s/%s: no flips injected", p.App, p.Policy)
+		}
+		switch p.Policy {
+		case "none":
+			if p.Detected != 0 || p.Escaped != p.Injected {
+				t.Errorf("%s/none detected %d escaped %d of %d, want 0 detected",
+					p.App, p.Detected, p.Escaped, p.Injected)
+			}
+			if p.Overhead > 0.01 {
+				t.Errorf("%s/none overhead %.4f, want ~0", p.App, p.Overhead)
+			}
+		case "vote":
+			if p.Detected != p.Injected || p.Corrected != p.Injected {
+				t.Errorf("%s/vote detected %d corrected %d of %d, want all",
+					p.App, p.Detected, p.Corrected, p.Injected)
+			}
+			if p.Overhead <= 0 {
+				t.Errorf("%s/vote overhead %.4f, want > 0 (duplicate execution)", p.App, p.Overhead)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package kokkos
+
+import (
+	"fmt"
+	"math"
+)
+
+// Clone returns a deep copy of the view with its own allocation identity:
+// the copy never aliases the original (SameAllocation is false even for
+// clones of Ref'd headers). Dry views clone as dry metadata.
+func (v *F64View) Clone() *F64View {
+	cp := &F64View{viewHeader: viewHeader{
+		label: v.label, shape: append([]int(nil), v.shape...),
+		dry: v.dry, id: &allocation{}, simBytes: v.simBytes,
+	}}
+	if !v.dry {
+		cp.data = append([]float64(nil), v.data...)
+	}
+	return cp
+}
+
+// Equal reports whether o has the same shape and bitwise-identical
+// contents. Comparison is by Float64bits, so NaN payloads and signed
+// zeros are distinguished — a single flipped mantissa bit is never
+// "equal enough". Dry views are equal iff both are dry with equal shape.
+func (v *F64View) Equal(o *F64View) bool {
+	if !shapeEqual(v.shape, o.shape) || v.dry != o.dry {
+		return false
+	}
+	for i := range v.data {
+		if math.Float64bits(v.data[i]) != math.Float64bits(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy with its own allocation identity.
+func (v *I32View) Clone() *I32View {
+	cp := &I32View{viewHeader: viewHeader{
+		label: v.label, shape: append([]int(nil), v.shape...),
+		dry: v.dry, id: &allocation{}, simBytes: v.simBytes,
+	}}
+	if !v.dry {
+		cp.data = append([]int32(nil), v.data...)
+	}
+	return cp
+}
+
+// Equal reports whether o has the same shape and identical contents.
+func (v *I32View) Equal(o *I32View) bool {
+	if !shapeEqual(v.shape, o.shape) || v.dry != o.dry {
+		return false
+	}
+	for i := range v.data {
+		if v.data[i] != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CloneView deep-copies a view through the kind-erased interface.
+func CloneView(v View) View {
+	switch t := v.(type) {
+	case *F64View:
+		return t.Clone()
+	case *I32View:
+		return t.Clone()
+	default:
+		panic(fmt.Sprintf("kokkos: cannot clone view kind %T", v))
+	}
+}
+
+// CopyInto overwrites dst's contents from src. The views must be the same
+// kind and length; labels and allocation identity are untouched.
+func CopyInto(dst, src View) {
+	switch d := dst.(type) {
+	case *F64View:
+		DeepCopyF64(d, src.(*F64View))
+	case *I32View:
+		DeepCopyI32(d, src.(*I32View))
+	default:
+		panic(fmt.Sprintf("kokkos: cannot copy view kind %T", dst))
+	}
+}
+
+// ViewsEqual reports whether a and b are the same kind with the same shape
+// and bitwise-identical contents.
+func ViewsEqual(a, b View) bool {
+	switch av := a.(type) {
+	case *F64View:
+		bv, ok := b.(*F64View)
+		return ok && av.Equal(bv)
+	case *I32View:
+		bv, ok := b.(*I32View)
+		return ok && av.Equal(bv)
+	default:
+		return false
+	}
+}

@@ -55,11 +55,18 @@ func NewVeloCBackend(client *veloc.Client, name string) *VeloCBackend {
 // Client returns the underlying VeloC client.
 func (b *VeloCBackend) Client() *veloc.Client { return b.client }
 
-// Checkpoint persists blob as the given version via VeloC.
+// Checkpoint persists blob as the given version via VeloC. A version
+// discarded by VeloC's integrity verification surfaces as ErrRejected.
 func (b *VeloCBackend) Checkpoint(version int, blob []byte, simBytes int) error {
 	b.blob = blob
 	b.sim = simBytes
-	return b.client.Checkpoint(b.name, version)
+	if err := b.client.Checkpoint(b.name, version); err != nil {
+		if errors.Is(err, veloc.ErrRejected) {
+			return fmt.Errorf("%w: version %d", ErrRejected, version)
+		}
+		return err
+	}
+	return nil
 }
 
 // Restore retrieves the blob for version via VeloC.

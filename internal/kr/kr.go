@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/kokkos"
 	"repro/internal/mpi"
@@ -39,6 +40,18 @@ import (
 // ErrNoCheckpoint is returned when recovery is requested but no version
 // exists.
 var ErrNoCheckpoint = errors.New("kr: no checkpoint available")
+
+// ErrCorruptBlob is returned when a checkpoint blob fails the KR codec's
+// own checksum — an integrity layer independent of (and above) the data
+// backend's, so a flip that slips past VeloC is still caught before the
+// views are overwritten with garbage.
+var ErrCorruptBlob = errors.New("kr: checkpoint blob failed codec checksum")
+
+// ErrRejected is returned by a backend whose integrity verification
+// discarded the version before commit (see veloc.ErrRejected). Context
+// treats it as "this checkpoint did not happen": the previous good
+// version stays latest and the run carries on.
+var ErrRejected = errors.New("kr: checkpoint version rejected by data backend")
 
 // Backend is a data-resilience backend (VeloC or Fenix IMR).
 type Backend interface {
@@ -254,7 +267,25 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 		// A kill here models a failure inside the checkpoint region after
 		// the body ran but before the data backend commits the version.
 		c.p.Inject("kr.commit")
+		// Validate the blob against the codec checksum before handing it to
+		// the data backend: a flip that hit the serialized bytes in memory
+		// must never be committed as a restorable version.
+		if !blobChecksumOK(blob) {
+			c.p.Event(obs.LayerKR, obs.EvKRCheckpointRejected,
+				obs.KV("label", label), obs.KV("version", iter), obs.KV("stage", "codec"))
+			return fmt.Errorf("%w: %s version %d", ErrCorruptBlob, label, iter)
+		}
 		if err := c.backend.Checkpoint(iter, blob, simBytes); err != nil {
+			if errors.Is(err, ErrRejected) {
+				// The data layer's verification discarded this version
+				// (persistent blob corruption in scratch). The previous good
+				// version remains latest; the next matching iteration writes a
+				// fresh checkpoint, so the run carries on with a wider
+				// recompute window instead of aborting.
+				c.p.Event(obs.LayerKR, obs.EvKRCheckpointRejected,
+					obs.KV("label", label), obs.KV("version", iter), obs.KV("stage", "backend"))
+				return nil
+			}
 			return err
 		}
 		c.latest = iter
@@ -268,10 +299,12 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 // call (the data behind the paper's Figure 7).
 func (c *Context) Census() Census { return c.census }
 
-// serializeViews encodes views as: u32 count, then per view u32 label len,
-// label, u32 data len, data.
+// serializeViews encodes views as: u32 crc32 (IEEE, over the rest), u32
+// count, then per view u32 label len, label, u32 data len, data. The CRC
+// is the KR codec's own integrity check, verified before every commit and
+// restore independently of the data backend's blob checksum.
 func serializeViews(views []kokkos.View) []byte {
-	var out []byte
+	out := make([]byte, 4)
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(views)))
 	out = append(out, hdr[:]...)
@@ -285,20 +318,29 @@ func serializeViews(views []kokkos.View) []byte {
 		out = append(out, hdr[:]...)
 		out = append(out, data...)
 	}
+	binary.LittleEndian.PutUint32(out[:4], crc32.ChecksumIEEE(out[4:]))
 	return out
+}
+
+// blobChecksumOK verifies a serialized view blob against its codec CRC.
+func blobChecksumOK(blob []byte) bool {
+	return len(blob) >= 8 && crc32.ChecksumIEEE(blob[4:]) == binary.LittleEndian.Uint32(blob)
 }
 
 // deserializeViews restores blob into views, matching by label.
 func deserializeViews(blob []byte, views []kokkos.View) error {
+	if len(blob) < 8 {
+		return errors.New("kr: truncated checkpoint blob")
+	}
+	if !blobChecksumOK(blob) {
+		return ErrCorruptBlob
+	}
 	byLabel := make(map[string]kokkos.View, len(views))
 	for _, v := range views {
 		byLabel[v.Label()] = v
 	}
-	if len(blob) < 4 {
-		return errors.New("kr: truncated checkpoint blob")
-	}
-	count := int(binary.LittleEndian.Uint32(blob))
-	off := 4
+	count := int(binary.LittleEndian.Uint32(blob[4:]))
+	off := 8
 	seen := 0
 	for i := 0; i < count; i++ {
 		if off+4 > len(blob) {

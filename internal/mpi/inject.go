@@ -29,8 +29,29 @@ import "repro/internal/obs"
 //	                      activation
 //	fenix.spare_activate  a spare just activated as a replacement, before
 //	                      it re-enters the application body
+//
+// Corruption points (see Corruptor) model silent data corruption rather
+// than process death:
+//
+//	kokkos.region         a parallel region's primary execution finished;
+//	                      a scheduled flip lands in its views
+//	veloc.scratch_blob    a serialized checkpoint blob is about to be
+//	                      written to node-local scratch; a scheduled flip
+//	                      corrupts the stored bytes
 type Injector interface {
 	At(p *Proc, point string)
+}
+
+// Corruptor is the silent-data-corruption face of an injector: instead of
+// killing the visiting rank it may schedule a bit flip for the visit. The
+// injector only decides the site abstractly — frac in [0,1) selects the
+// position proportionally within the caller's payload and bit the bit
+// index — so the caller (a kokkos resilient region, the VeloC blob
+// writer) maps it onto its own representation. Visit counting follows the
+// same per-rank (point, hit) discipline as kills, so flip sites replay
+// byte-identically with the seed.
+type Corruptor interface {
+	FlipAt(rank int, point string) (frac float64, bit int, ok bool)
 }
 
 // SetInjector installs the fault injector. Like SetObs it must be called
@@ -45,6 +66,17 @@ func (p *Proc) Inject(point string) {
 	if inj := p.world.injector; inj != nil {
 		inj.At(p, point)
 	}
+}
+
+// FlipAt asks the job's injector whether a bit flip is scheduled for this
+// rank's current visit of the named corruption point. It is a no-flip
+// no-op when no injector is installed or the injector does not implement
+// Corruptor. Unlike Inject it always returns: corruption never kills.
+func (p *Proc) FlipAt(point string) (frac float64, bit int, ok bool) {
+	if c, cok := p.world.injector.(Corruptor); cok {
+		return c.FlipAt(p.Rank(), point)
+	}
+	return 0, 0, false
 }
 
 // ExitInjected is Exit with chaos attribution: it records the injection

@@ -195,10 +195,19 @@ type Report struct {
 	// Shrinks counts mpi.shrink events: explicit ULFM shrink collectives
 	// plus the implicit compaction a Fenix rebuild performs when the spare
 	// pool is exhausted with ShrinkOnExhaustion enabled.
-	Shrinks     int             `json:"mpi_shrinks,omitempty"`
-	Spans       []Span          `json:"spans"`
-	PhaseTotals PhaseBreakdown  `json:"phase_totals"`
-	Checkpoints []CheckpointGen `json:"checkpoints,omitempty"`
+	Shrinks int `json:"mpi_shrinks,omitempty"`
+	// SDC lifecycle counts from the chaos.sdc_* event stream. Injected must
+	// equal Detected + Escaped (every flip is resolved somewhere); Replays
+	// and Votes sum the extra executions carried on detection events.
+	SDCInjected  int             `json:"sdc_injected,omitempty"`
+	SDCDetected  int             `json:"sdc_detected,omitempty"`
+	SDCCorrected int             `json:"sdc_corrected,omitempty"`
+	SDCEscaped   int             `json:"sdc_escaped,omitempty"`
+	SDCReplays   int             `json:"sdc_replays,omitempty"`
+	SDCVotes     int             `json:"sdc_votes,omitempty"`
+	Spans        []Span          `json:"spans"`
+	PhaseTotals  PhaseBreakdown  `json:"phase_totals"`
+	Checkpoints  []CheckpointGen `json:"checkpoints,omitempty"`
 	// FlushSeconds and FlushQueueWait are the per-flush latency
 	// distributions reconstructed from the event stream — flush duration
 	// from every veloc.flush_end (the veloc_flush_seconds histogram's event
@@ -293,6 +302,20 @@ func Analyze(events []obs.Event) (*Report, error) {
 			failures = append(failures, &failure{time: e.Time, slot: e.Rank})
 		case obs.EvShrink:
 			rep.Shrinks++
+		case obs.EvSDCInjected:
+			rep.SDCInjected++
+		case obs.EvSDCDetected:
+			rep.SDCDetected++
+			if n, ok := attrInt(e, "replays"); ok {
+				rep.SDCReplays += n
+			}
+			if n, ok := attrInt(e, "votes"); ok {
+				rep.SDCVotes += n
+			}
+		case obs.EvSDCCorrected:
+			rep.SDCCorrected++
+		case obs.EvSDCEscaped:
+			rep.SDCEscaped++
 		case obs.EvFenixRebuild:
 			a := anchor{kind: "fenix", time: e.Time}
 			a.gen, _ = attrInt(e, "generation")

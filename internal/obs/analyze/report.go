@@ -25,6 +25,10 @@ func (r *Report) WriteTable(w io.Writer) error {
 		r.Events, r.Ranks, r.Launches, r.WallSeconds, r.JobFailed)
 	fmt.Fprintf(&b, "failures: injected %d, repaired %d, unrepaired %d\n",
 		r.FailuresInjected, r.FailuresRepaired, r.FailuresUnrepaired)
+	if r.SDCInjected > 0 {
+		fmt.Fprintf(&b, "sdc: injected %d, detected %d, corrected %d, escaped %d (%d replays, %d votes)\n",
+			r.SDCInjected, r.SDCDetected, r.SDCCorrected, r.SDCEscaped, r.SDCReplays, r.SDCVotes)
+	}
 	if r.SpareKills > 0 {
 		fmt.Fprintf(&b, "spare kills (never in communicator): %d\n", r.SpareKills)
 	}

@@ -152,6 +152,15 @@ type SweepGroup struct {
 	FlushSeconds   Stats `json:"flush_seconds,omitempty"`
 	QueueWait      Stats `json:"flush_queue_wait_seconds,omitempty"`
 
+	// SDC ledger totals summed across the group's runs (zero unless the
+	// sweep injected bit flips; see OBSERVABILITY.md's SDC events).
+	SDCInjected  int `json:"sdc_injected,omitempty"`
+	SDCDetected  int `json:"sdc_detected,omitempty"`
+	SDCCorrected int `json:"sdc_corrected,omitempty"`
+	SDCEscaped   int `json:"sdc_escaped,omitempty"`
+	SDCReplays   int `json:"sdc_replays,omitempty"`
+	SDCVotes     int `json:"sdc_votes,omitempty"`
+
 	// Checkpoint/flush ledger totals summed across the group's runs.
 	Checkpoints      int `json:"checkpoints"`
 	Flushes          int `json:"flushes"`
@@ -314,6 +323,12 @@ func buildGroup(mode, app string, runs []SweepRun) SweepGroup {
 		g.FailuresInjected += rep.FailuresInjected
 		g.FailuresRepaired += rep.FailuresRepaired
 		g.FailuresUnrepaired += rep.FailuresUnrepaired
+		g.SDCInjected += rep.SDCInjected
+		g.SDCDetected += rep.SDCDetected
+		g.SDCCorrected += rep.SDCCorrected
+		g.SDCEscaped += rep.SDCEscaped
+		g.SDCReplays += rep.SDCReplays
+		g.SDCVotes += rep.SDCVotes
 		wall = append(wall, rep.WallSeconds)
 		for _, sp := range rep.Spans {
 			g.Spans++
@@ -401,6 +416,10 @@ func (s *SweepReport) WriteTable(w io.Writer) error {
 		o.FailuresInjected, o.FailuresRepaired, o.FailuresUnrepaired, o.JobsFailed)
 	fmt.Fprintf(&b, "spans: %d (disposition: %d spare, %d mixed, %d shrink; %d slots shrunk away)\n",
 		o.Spans, o.SpareSpans, o.MixedSpans, o.ShrinkSpans, o.SlotsShrunk)
+	if o.SDCInjected > 0 {
+		fmt.Fprintf(&b, "sdc: injected %d, detected %d, corrected %d, escaped %d (%d replays, %d votes)\n",
+			o.SDCInjected, o.SDCDetected, o.SDCCorrected, o.SDCEscaped, o.SDCReplays, o.SDCVotes)
+	}
 
 	fmt.Fprintf(&b, "\noverall phase durations (virtual seconds, per span):\n")
 	writePhaseStats(&b, o)
@@ -432,6 +451,22 @@ func (s *SweepReport) WriteTable(w io.Writer) error {
 			fmt.Fprintf(&b, "%-14s %-9s %5d %5d %6d %6d %6d %7d %10.3f %10.4f\n",
 				mode, app, g.Runs, g.Spans, g.SpareSpans, g.MixedSpans, g.ShrinkSpans,
 				g.JobsFailed, g.Wall.Mean, g.CriticalPath.P99)
+		}
+	}
+
+	if o.SDCInjected > 0 {
+		fmt.Fprintf(&b, "\nper-(mode × app) SDC ledger:\n")
+		fmt.Fprintf(&b, "%-14s %-9s %5s %9s %9s %9s %8s %8s %6s\n",
+			"mode", "app", "runs", "injected", "detected", "corrected", "escaped", "replays", "votes")
+		for i := range s.Groups {
+			g := &s.Groups[i]
+			if g.SDCInjected == 0 {
+				continue
+			}
+			mode, app := groupCell(g)
+			fmt.Fprintf(&b, "%-14s %-9s %5d %9d %9d %9d %8d %8d %6d\n",
+				mode, app, g.Runs, g.SDCInjected, g.SDCDetected, g.SDCCorrected,
+				g.SDCEscaped, g.SDCReplays, g.SDCVotes)
 		}
 	}
 

@@ -41,6 +41,11 @@ const (
 	EvKRCheckpointEnd   = "kr.checkpoint_commit"
 	EvKRRestoreBegin    = "kr.restore_begin"
 	EvKRRestoreEnd      = "kr.restore_commit"
+	// EvKRCheckpointRejected marks a checkpoint version discarded before
+	// commit: the blob failed the KR codec checksum (stage=codec) or the
+	// data backend's integrity verification (stage=backend). The previous
+	// good version stays latest.
+	EvKRCheckpointRejected = "kr.checkpoint_rejected"
 
 	// veloc: data layer (scratch copy + asynchronous flush).
 	EvVeloCInit           = "veloc.init"
@@ -60,6 +65,16 @@ const (
 
 	// chaos: adversarial fault injection (internal/chaos).
 	EvChaosKill = "chaos.kill"
+
+	// chaos SDC: silent-data-corruption lifecycle. Injection is chaos's
+	// doing; detection/correction/escape are emitted by whichever layer
+	// resolved the flip (the kokkos resilient region or the VeloC blob
+	// verifier), all under the chaos taxonomy so one invariant —
+	// sdc_injected == sdc_detected + sdc_escaped — reads off the stream.
+	EvSDCInjected  = "chaos.sdc_injected"
+	EvSDCDetected  = "chaos.sdc_detected"
+	EvSDCCorrected = "chaos.sdc_corrected"
+	EvSDCEscaped   = "chaos.sdc_escaped"
 )
 
 // EventNames returns every defined event name, the machine-readable form
@@ -69,11 +84,12 @@ func EventNames() []string {
 		EvJobLaunch, EvJobEnd, EvRankExit, EvFailureDetected, EvRevoke, EvShrink, EvAgree,
 		EvFenixInit, EvFenixRebuild, EvFenixRoleChange, EvFenixIMRExchange, EvFenixIMRRestore,
 		EvKRInit, EvKRRecoveryArmed, EvKRReset, EvKRCheckpointBegin, EvKRCheckpointEnd,
-		EvKRRestoreBegin, EvKRRestoreEnd,
+		EvKRRestoreBegin, EvKRRestoreEnd, EvKRCheckpointRejected,
 		EvVeloCInit, EvVeloCCheckpoint, EvVeloCFlushBegin, EvVeloCFlushQueued,
 		EvVeloCFlushStart, EvVeloCFlushEnd, EvVeloCFlushDiscarded, EvVeloCRestart,
 		EvSessionStart, EvFailureInjected, EvRecomputeBegin, EvRecomputeEnd,
 		EvChaosKill,
+		EvSDCInjected, EvSDCDetected, EvSDCCorrected, EvSDCEscaped,
 	}
 }
 
@@ -109,6 +125,13 @@ const (
 	MFlushQueueWaitSeconds = "veloc_flush_queue_wait_seconds" // histogram: scheduler queue wait per flush
 
 	MRecomputeIters = "recompute_iterations_total"
+
+	MSDCInjected  = "sdc_injected_total"
+	MSDCDetected  = "sdc_detected_total"
+	MSDCCorrected = "sdc_corrected_total"
+	MSDCEscaped   = "sdc_escaped_total"
+	MSDCReplays   = "sdc_replays_total" // extra region executions forced by a rejecting validator
+	MSDCVotes     = "sdc_votes_total"   // duplicate executions compared in vote mode
 )
 
 // MetricNames returns every metric name the built-in instrumentation may
@@ -123,5 +146,6 @@ func MetricNames() []string {
 		MFlushes, MFlushSeconds, MFlushQueueDepth,
 		MFlushCoalesced, MFlushDiscarded, MFlushWaitSeconds, MFlushQueueWaitSeconds,
 		MRecomputeIters,
+		MSDCInjected, MSDCDetected, MSDCCorrected, MSDCEscaped, MSDCReplays, MSDCVotes,
 	}
 }

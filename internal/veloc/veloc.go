@@ -100,6 +100,14 @@ type Config struct {
 	// RankSet reports whether Rank was explicitly provided (a zero Rank is
 	// valid).
 	RankSet bool
+	// Verify enables read-back integrity verification of every checkpoint
+	// before its version is committed: after the scratch write the blob is
+	// read back and checked against its CRC; on mismatch the checkpoint is
+	// re-serialized and re-written once, and if corruption persists the
+	// version is discarded (ErrRejected) so it can never overwrite the
+	// last good version. This is the data layer's half of the SDC
+	// detection ladder (checksum / replay / vote).
+	Verify bool
 }
 
 // Client is one process's VeloC handle.
@@ -110,6 +118,7 @@ type Client struct {
 	rank    int
 	regions map[int]Region
 	ids     []int
+	verify  bool
 	// lastCkptAt is the virtual time of the previous Checkpoint call
 	// (negative before the first one); the flush scheduler derives its
 	// deadline from the observed checkpoint cadence.
@@ -123,7 +132,7 @@ const initCost = 5e-3
 // New creates a VeloC client for process p. It charges the resilience
 // initialization cost to p's clock.
 func New(p *mpi.Proc, cfg Config) (*Client, error) {
-	c := &Client{p: p, mode: cfg.Mode, comm: cfg.Comm, regions: make(map[int]Region), lastCkptAt: -1}
+	c := &Client{p: p, mode: cfg.Mode, comm: cfg.Comm, regions: make(map[int]Region), lastCkptAt: -1, verify: cfg.Verify}
 	switch cfg.Mode {
 	case Collective:
 		if cfg.Comm == nil {
@@ -213,6 +222,19 @@ func decodeVersion(b []byte) (int, bool) {
 // match its contents.
 var ErrCorrupt = errors.New("veloc: checkpoint integrity check failed")
 
+// ErrRejected indicates a checkpoint version that was discarded before
+// commit because its blob kept failing read-back verification. The last
+// good version is untouched; callers should carry on without advancing
+// their latest-version cursor.
+var ErrRejected = errors.New("veloc: checkpoint rejected by integrity verification")
+
+// blobIntact reports whether a serialized checkpoint blob passes its CRC
+// header; used to skip silently-corrupted copies during version
+// selection so restart falls back to the previous good version.
+func blobIntact(b []byte) bool {
+	return len(b) >= 8 && crc32.ChecksumIEEE(b[4:]) == binary.LittleEndian.Uint32(b)
+}
+
 // blob layout: u32 crc32 (IEEE, over the rest), u32 count, then per
 // region: u32 id, u32 len, bytes. The CRC mirrors VeloC's checkpoint
 // integrity verification. The second return is the cost-model size of the
@@ -273,6 +295,36 @@ func (c *Client) deserialize(blob []byte) error {
 	return nil
 }
 
+// flipBlob asks the chaos injector whether a bit flip is scheduled for
+// this visit of veloc.scratch_blob and, if so, applies it to the
+// serialized blob in place (frac selects the byte proportionally, bit the
+// bit within it) and emits the injection event. Returns whether a flip
+// was applied.
+func (c *Client) flipBlob(name string, version int, blob []byte) bool {
+	frac, bit, ok := c.p.FlipAt("veloc.scratch_blob")
+	if !ok || len(blob) == 0 {
+		return false
+	}
+	idx := int(frac * float64(len(blob)))
+	if idx >= len(blob) {
+		idx = len(blob) - 1
+	}
+	blob[idx] ^= 1 << (uint(bit) % 8)
+	c.p.Event(obs.LayerChaos, obs.EvSDCInjected,
+		obs.KV("point", "veloc.scratch_blob"), obs.KV("name", name),
+		obs.KV("version", version), obs.KV("byte", idx), obs.KV("bit", bit%8))
+	c.p.Obs().Registry().Counter(obs.MSDCInjected).Inc()
+	return true
+}
+
+// sdcEvent emits an SDC lifecycle event for a checkpoint blob under the
+// chaos taxonomy (the VeloC blob verifier is the resolving layer here).
+func (c *Client) sdcEvent(ev, name string, version int) {
+	c.p.Event(obs.LayerChaos, ev,
+		obs.KV("point", "veloc.scratch_blob"), obs.KV("name", name),
+		obs.KV("version", version))
+}
+
 // Checkpoint writes version `version` of checkpoint `name`
 // (VELOC_Checkpoint). The synchronous part — serializing the protected
 // regions into node-local scratch — is charged to the CheckpointFunc
@@ -283,10 +335,51 @@ func (c *Client) Checkpoint(name string, version int) error {
 		return errors.New("veloc: checkpoint with no protected regions")
 	}
 	c.p.Inject("veloc.checkpoint")
-	blob, simSize := c.serialize()
 	node := c.p.Node()
+	key := dataKey(name, version, c.rank)
 
-	cost := node.ScratchWriteSized(dataKey(name, version, c.rank), blob, simSize)
+	// Serialize and persist to scratch, giving the chaos corruptor its
+	// shot at the stored bytes (point veloc.scratch_blob). With Verify on,
+	// the blob is read back and CRC-checked before the version commits:
+	// corruption is detected here, repaired by one clean re-write, and a
+	// persistently corrupt version is discarded outright — the previous
+	// good version is never overwritten by a rejected blob.
+	var cost float64
+	var simSize int
+	detected := 0
+	for attempt := 0; ; attempt++ {
+		blob, ss := c.serialize()
+		simSize = ss
+		flipped := c.flipBlob(name, version, blob)
+		cost += node.ScratchWriteSized(key, blob, simSize)
+		if !c.verify {
+			if flipped {
+				// No verification layer will ever look at this blob on the
+				// write path: the corruption escapes into storage. (Version
+				// selection still CRC-skips it if a restart comes looking.)
+				c.sdcEvent(obs.EvSDCEscaped, name, version)
+				c.p.Obs().Registry().Counter(obs.MSDCEscaped).Inc()
+			}
+			break
+		}
+		back, rcost, ok := node.ScratchRead(key)
+		cost += rcost
+		if ok && blobIntact(back) {
+			if detected > 0 {
+				c.sdcEvent(obs.EvSDCCorrected, name, version)
+				c.p.Obs().Registry().Counter(obs.MSDCCorrected).Add(float64(detected))
+			}
+			break
+		}
+		detected++
+		c.sdcEvent(obs.EvSDCDetected, name, version)
+		c.p.Obs().Registry().Counter(obs.MSDCDetected).Inc()
+		if attempt >= 1 {
+			node.ScratchDelete(key)
+			c.p.ChargeTime(trace.CheckpointFunc, cost)
+			return fmt.Errorf("%w: %s version %d (rank %d)", ErrRejected, name, version, c.rank)
+		}
+	}
 	node.ScratchWrite(metaKey(name, c.rank), encodeVersion(version))
 	c.p.ChargeTime(trace.CheckpointFunc, cost)
 	c.p.Event(obs.LayerVeloC, obs.EvVeloCCheckpoint,
@@ -445,12 +538,17 @@ func (c *Client) Restart(name string, version int) error {
 	}
 	if blob, cost, ok := c.p.Node().ScratchRead(key); ok {
 		c.p.ChargeTime(trace.DataRecovery, cost)
-		if err := c.deserialize(blob); err != nil {
+		err := c.deserialize(blob)
+		if err == nil {
+			sim, _ := c.p.Node().ScratchSimBytesOf(key)
+			noteRestart("scratch", cost, sim)
+			return nil
+		}
+		if !errors.Is(err, ErrCorrupt) {
 			return err
 		}
-		sim, _ := c.p.Node().ScratchSimBytesOf(key)
-		noteRestart("scratch", cost, sim)
-		return nil
+		// The scratch copy is silently corrupted: fall through to the PFS
+		// copy of the same version, which the flush captured independently.
 	}
 	pfs := c.p.World().Cluster().PFS()
 	blob, ready, ok := pfs.Read(key, c.p.Now())
@@ -515,11 +613,13 @@ func (c *Client) GCBefore(name string, keepFrom int) {
 }
 
 // Available reports whether version `version` of `name` is restorable by
-// this rank from scratch or the PFS.
+// this rank from scratch or the PFS. A scratch copy failing its CRC is
+// treated as absent, so version selection silently falls back past
+// corrupted copies to the previous good version.
 func (c *Client) Available(name string, version int) bool {
 	c.syncFlushes()
 	key := dataKey(name, version, c.rank)
-	if _, _, ok := c.p.Node().ScratchRead(key); ok {
+	if blob, _, ok := c.p.Node().ScratchRead(key); ok && blobIntact(blob) {
 		return true
 	}
 	_, ok := c.p.World().Cluster().PFS().Exists(key)

@@ -5,7 +5,7 @@
 # with pinned-seed replays.
 #
 # Usage: scripts/check.sh [section ...]
-#   sections: build vet race bench perf report sweep chaos   (default: all)
+#   sections: build vet race bench perf report sweep chaos sdc   (default: all)
 #
 # Environment:
 #   CHAOS_SEEDS  number of campaign seeds to sweep (default 36; CI's
@@ -88,6 +88,8 @@ run_sweep() {
     grep -q 'sweep: 12 runs' "$tmp/sweep.txt"
     grep -q 'per-(mode × app) phase durations' "$tmp/sweep.txt"
     grep -q 'storm-shrink' "$tmp/sweep.txt"
+    # Seeds 10/11 land in sdc cells, so the sweep's SDC ledger must render.
+    grep -q 'sdc: injected' "$tmp/sweep.txt"
     go run ./cmd/obsreport -json -sweep "$tmp/runs" | grep -q '"critical_path"'
 
     banner "sweep: seed 7 timeline (ASCII x2 + SVG)"
@@ -136,8 +138,11 @@ run_chaos() {
     grep -q '"final_size": 29' "$tmp/stormrun.json"
     go run ./cmd/obsreport "$tmp/storm-events.jsonl" | grep -q 'shrink events: 2'
 
+    # The campaign matrix has grown since this seed was pinned, remapping
+    # seed 19's natural cell; -mode/-app re-pin the original cell (the RNG
+    # stream depends only on the seed, so the schedule replays unchanged).
     banner "chaos: seed 19 replay (storm wave, minimd flush storm)"
-    go run ./cmd/chaos -seed 19 -json "$tmp/stormrun2.json"
+    go run ./cmd/chaos -seed 19 -mode storm-wave -app minimd -json "$tmp/stormrun2.json"
     grep -q '"shrunk": 5' "$tmp/stormrun2.json"
     grep -q '"mpi_shrinks": 3' "$tmp/stormrun2.json"
     grep -q '"flushes_queued": 175' "$tmp/stormrun2.json"
@@ -157,7 +162,55 @@ run_chaos() {
     grep -q '"flushes_started": 4243' "$tmp/storm1024.json"
 }
 
-sections=${*:-"build vet race bench perf report sweep chaos"}
+run_sdc() {
+    # Silent-data-corruption layer: replay pinned seeds from the four sdc
+    # campaign modes and cross-check the flip ledger, then regenerate the
+    # detection-coverage × overhead matrix and assert the escalation
+    # ladder's endpoints (the ladder ordering itself is enforced inside
+    # `figures -fig sdc`, which exits non-zero on a violation):
+    #   seed 10 sdc-region cell (heatdis, replay policy): the drawn flip
+    #           is in-bounds, so it must escape the validator and be
+    #           accounted as escaped, not detected
+    #   seed 25 sdc-vote cell (minimd): duplicate-and-vote catches the
+    #           bitwise divergence and corrects it
+    #   seed 12 sdc-blob cell (heatdis): the CRC rejects the corrupted
+    #           checkpoint blob and recovery falls back to the previous
+    #           good version
+    #   seed 27 sdc-mixed cell (minimd): a rank kill and a bit flip in
+    #           the same run — both the Fenix repair and the SDC
+    #           correction must land
+    banner "sdc: seed 10 replay (sdc-region escape accounting)"
+    go run ./cmd/chaos -seed 10 -json "$tmp/sdcregion.json"
+    grep -q '"flips_fired": 1' "$tmp/sdcregion.json"
+    grep -q '"sdc_injected": 1' "$tmp/sdcregion.json"
+    grep -q '"sdc_escaped": 1' "$tmp/sdcregion.json"
+
+    banner "sdc: seed 25 replay (sdc-vote correction)"
+    go run ./cmd/chaos -seed 25 -json "$tmp/sdcvote.json" -events "$tmp/sdc-events.jsonl"
+    grep -q '"sdc_detected": 1' "$tmp/sdcvote.json"
+    grep -q '"sdc_corrected": 1' "$tmp/sdcvote.json"
+    go run ./cmd/obsreport "$tmp/sdc-events.jsonl" | grep -q 'sdc: injected 1, detected 1, corrected 1'
+
+    banner "sdc: seed 12 replay (sdc-blob checkpoint rejection)"
+    go run ./cmd/chaos -seed 12 -json "$tmp/sdcblob.json"
+    grep -q '"sdc_detected": 1' "$tmp/sdcblob.json"
+    grep -q '"sdc_corrected": 1' "$tmp/sdcblob.json"
+
+    banner "sdc: seed 27 replay (sdc-mixed kill + flip)"
+    go run ./cmd/chaos -seed 27 -json "$tmp/sdcmixed.json"
+    grep -q '"failures_repaired": 1' "$tmp/sdcmixed.json"
+    grep -q '"sdc_detected": 1' "$tmp/sdcmixed.json"
+    grep -q '"sdc_corrected": 1' "$tmp/sdcmixed.json"
+
+    banner "sdc: figures -fig sdc -quick (coverage ladder)"
+    go run ./cmd/figures -fig sdc -quick > "$tmp/sdc.txt"
+    # Unprotected cells detect nothing; vote cells reach full coverage.
+    grep -q 'heatdis	none	.*	0.000	' "$tmp/sdc.txt"
+    grep -q 'heatdis	vote	.*	1.000	' "$tmp/sdc.txt"
+    grep -q 'minimd	vote	.*	1.000	' "$tmp/sdc.txt"
+}
+
+sections=${*:-"build vet race bench perf report sweep chaos sdc"}
 for s in $sections; do
     case "$s" in
     build)  run_build ;;
@@ -168,8 +221,9 @@ for s in $sections; do
     report) run_report ;;
     sweep)  run_sweep ;;
     chaos)  run_chaos ;;
+    sdc)    run_sdc ;;
     *)
-        echo "unknown section: $s (want build|vet|race|bench|perf|report|sweep|chaos)" >&2
+        echo "unknown section: $s (want build|vet|race|bench|perf|report|sweep|chaos|sdc)" >&2
         exit 2
         ;;
     esac
