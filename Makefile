@@ -1,14 +1,18 @@
 GO ?= go
 
-.PHONY: all build vet test race bench perf check chaos sweep figures report clean
+.PHONY: all build lint vet test race bench perf check chaos sweep figures report clean
 
 all: check
 
 build:
 	$(GO) build ./...
 
-vet:
-	$(GO) vet ./...
+# gofmt + go vet + staticcheck (skipped gracefully when not installed);
+# the same section CI's lint job runs.
+lint:
+	sh scripts/check.sh lint
+
+vet: lint
 
 test:
 	$(GO) test ./...

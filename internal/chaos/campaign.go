@@ -310,6 +310,11 @@ type CampaignConfig struct {
 	// Mode and App, when non-empty, pin every run to that mode/app instead
 	// of sweeping the matrix.
 	Mode, App string
+	// Exec, when non-empty, overrides every cell's execution scheduling
+	// mode ("goroutine" or "pool"; see mpi.ExecMode). Host scheduling
+	// only: the virtual outcome of every run is identical across values,
+	// which the exec-mode equivalence tests pin.
+	Exec string
 	// StormRanks, when positive, overrides the storm-wave world size
 	// (ConfigForSeedScaled); zero keeps the 32-rank default.
 	StormRanks int
@@ -339,6 +344,9 @@ func RunCampaign(cc CampaignConfig) (*CampaignReport, error) {
 		cfg, err := ConfigForSeedScaled(seed, cc.Mode, cc.App, cc.StormRanks)
 		if err != nil {
 			return nil, err
+		}
+		if cc.Exec != "" {
+			cfg.Exec = cc.Exec
 		}
 		var stream io.Writer
 		var eventsFile *os.File

@@ -53,6 +53,11 @@ type RunConfig struct {
 	// shrinking disabled: the only correct outcome is a job failure with
 	// fenix.ErrOutOfSpares.
 	ExpectFail bool `json:"expect_fail"`
+	// Exec selects the execution scheduling mode ("", "goroutine", or
+	// "pool"; see mpi.ExecMode). A cell constant like Flush/SDC: it may
+	// change only host scheduling, never the virtual outcome — the
+	// exec-mode equivalence tests compare reports across both values.
+	Exec string `json:"exec,omitempty"`
 }
 
 // appRun adapts one application to the chaos runner: body to execute under
@@ -169,6 +174,11 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 
 	inj := NewInjector(cfg.Schedule)
 	rec := obs.New()
+	exec, err := mpi.ParseExecMode(cfg.Exec)
+	if err != nil {
+		rep.addViolation(err.Error())
+		return rep
+	}
 	job := mpi.JobConfig{
 		Ranks:        cfg.Ranks + cfg.Spares,
 		RanksPerNode: cfg.RanksPerNode,
@@ -177,6 +187,7 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 		ObsStream:    events,
 		Inject:       inj,
 		Flush:        cfg.Flush,
+		Exec:         exec,
 	}
 	ccfg := core.Config{
 		Strategy:           core.StrategyFenixKRVeloC,

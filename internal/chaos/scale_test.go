@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"os"
 	"testing"
 	"time"
 
@@ -58,6 +59,51 @@ func TestScale4096HeatdisReplay(t *testing.T) {
 	}
 	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
 		t.Errorf("4096-rank replay differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			out[0].String(), out[1].String())
+	}
+}
+
+// TestScale8192HeatdisReplay is the O(10k) acceptance cell for the
+// worker-pool execution mode: 8192 ranks under ExecPool with a mid-run
+// kill, repaired online, byte-identical across two replays. A
+// goroutine-per-rank world this size is what the pool exists to avoid,
+// so the cell runs pool-only; its virtual outcome is pinned to goroutine
+// mode by the equivalence matrix at smaller widths. It is gated behind
+// CHAOS_NIGHTLY=1 (the nightly CI tier and `scripts/check.sh nightly`)
+// so the per-commit tier-1 sweep stays fast.
+func TestScale8192HeatdisReplay(t *testing.T) {
+	if os.Getenv("CHAOS_NIGHTLY") == "" {
+		t.Skip("8192-rank cell runs in the nightly tier (set CHAOS_NIGHTLY=1)")
+	}
+	if testing.Short() {
+		t.Skip("8192-rank cell skipped in -short mode")
+	}
+	cfg := RunConfig{
+		Seed: 8192, App: AppHeatdis, Mode: ModeIteration,
+		Ranks: 8192, Spares: 1, RanksPerNode: 1,
+		Iters: 6, Interval: 2,
+		Flush:    cluster.FlushPolicy{Window: 2, Coalesce: true},
+		Schedule: Schedule{Kills: []Kill{{Rank: 5678, Point: PointIteration, Hit: 3}}},
+		Exec:     "pool",
+	}
+	var out [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		rep := RunOne(cfg, NewRefCache(), 4*scaleTimeout)
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+		if rep.JobFailed {
+			t.Fatalf("8192-rank run failed: %s", rep.Error)
+		}
+		if rep.Survived != 1 || rep.Unrepaired != 0 {
+			t.Fatalf("survived %d, unrepaired %d; want the mid-run kill repaired", rep.Survived, rep.Unrepaired)
+		}
+		if err := rep.WriteJSON(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Errorf("8192-rank replay differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
 			out[0].String(), out[1].String())
 	}
 }

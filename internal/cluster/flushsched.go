@@ -25,9 +25,12 @@
 // computed analytically, and the PFS write is performed ("committed") the
 // first time any observer — a congestion query, another submission, or a
 // restore path calling Cluster.AdvanceFlushes — advances the node's
-// scheduler past that start time. Until then the request remains
+// scheduler strictly past that start time. Until then the request remains
 // cancellable, which is what makes coalescing possible in a model where
-// PFS writes compute their full window eagerly.
+// PFS writes compute their full window eagerly. The strictness matters:
+// committing at start == t would hand window slots to whichever of several
+// virtually-tied co-resident ranks raced into the scheduler first in
+// wall-clock time (see advanceLocked).
 package cluster
 
 import (
@@ -219,12 +222,15 @@ func (n *Node) discardPendingLocked(t float64, reason string, fire *[]func()) {
 // FlushSubmit routes one flush through the node's scheduler. With
 // scheduling disabled it behaves exactly like FlushAsyncFor: the flush
 // starts at now, and started is true with end its completion time. With
-// scheduling enabled the request joins the queue; if a window slot is free
-// it starts immediately, otherwise started is false and its eventual
-// window is reported only through req.OnStart. coalesced counts queued
-// requests with the same CoalesceKey and an older-or-equal Version that
-// this submission cancelled; their OnStart callbacks are never invoked and
-// their bytes never reach the PFS.
+// scheduling enabled the request always joins the queue (started is false)
+// and commits at the first observation strictly after its computed start —
+// commitment is strictly lazy, so a window slot free at `now` is granted
+// by flushBefore priority over every request enqueued by then, not to
+// whichever racing submitter reached the scheduler first in wall-clock
+// time; the window is reported only through req.OnStart. coalesced counts
+// queued requests with the same CoalesceKey and an older-or-equal Version
+// that this submission cancelled; their OnStart callbacks are never
+// invoked and their bytes never reach the PFS.
 func (n *Node) FlushSubmit(req FlushRequest, now float64) (started bool, end float64, coalesced int, err error) {
 	if !n.FlushPolicy().Enabled() {
 		end, err = n.FlushAsyncFor(req.Key, req.PFSKey, now, req.Owner)
@@ -285,7 +291,18 @@ func (n *Node) advanceLocked(t float64, fire *[]func()) {
 		}
 		e := n.pending[best]
 		start := n.nextStartLocked(e.enqueued)
-		if start > t {
+		if start >= t {
+			// Strictly-lazy commitment: an entry whose start equals the
+			// observation time stays queued until a strictly later virtual
+			// observation. Committing at start == t would let wall-clock
+			// submission order pick the window slots among co-resident
+			// ranks tied at one virtual instant — the racing submitters
+			// that arrived first would commit before their virtually-tied,
+			// higher-priority peers ever reached the queue. Ties come from
+			// synchronization (every tied rank submits before it can enter
+			// the collective that advances anyone's clock past t), so by
+			// the first strictly-later observation all tied peers are
+			// queued and flushBefore resolves them deterministically.
 			return
 		}
 		copy(n.pending[best:], n.pending[best+1:])

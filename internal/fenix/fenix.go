@@ -388,7 +388,12 @@ func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
 	p.ChargeTime(trace.ResilienceInit, initCost+p.Machine().CollectiveTime(rt.world.Size(), 8))
 	p.Event(obs.LayerFenix, obs.EvFenixInit, obs.KV("role", "spare"), obs.KV("spares", rt.cfg.Spares))
 
+	// The spare blocks outside the MPI core, so under pool execution it
+	// must hand its execution slot back while it waits for activation (or
+	// job completion) and reacquire one afterwards.
+	p.BlockBegin()
 	act := <-ch
+	p.BlockEnd()
 	if act.ctx == nil {
 		return nil, false, act.err
 	}
@@ -449,7 +454,12 @@ func (rt *runtime) recover(ctx *Context) error {
 	rt.tryCompleteRepairLocked(r)
 	rt.mu.Unlock()
 
+	// The repair rendezvous is a wait on other survivors' progress held
+	// outside the MPI core: release the execution slot across it so a
+	// pool-mode world can funnel every survivor into the rendezvous.
+	p.BlockBegin()
 	<-r.done
+	p.BlockEnd()
 
 	if r.err != nil {
 		return r.err

@@ -21,27 +21,42 @@ import (
 // scripts/bench_gate.sh compares events/sec against the checked-in
 // baseline and fails CI on a >20% regression.
 func BenchmarkSimThroughput(b *testing.B) {
-	for _, ranks := range []int{64, 256, 1024} {
+	for _, ranks := range []int{64, 256, 1024, 4096} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
-			benchThroughput(b, ranks, EngineTree)
+			benchThroughput(b, ranks, EngineTree, ExecGoroutine)
+		})
+	}
+}
+
+// BenchmarkSimThroughputPool is the worker-pool execution mode at the
+// widths where goroutine-per-rank scheduler pressure dominates
+// (PERFORMANCE.md records the pool/goroutine ratio; scripts/bench_gate.sh
+// gates it at 4096 ranks).
+func BenchmarkSimThroughputPool(b *testing.B) {
+	for _, ranks := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			benchThroughput(b, ranks, EngineTree, ExecPool)
 		})
 	}
 }
 
 // BenchmarkSimThroughputFlat is the legacy flat engine at the same sizes,
 // kept so the tree engine's speedup stays measurable (PERFORMANCE.md
-// records the ratio; the acceptance floor is 5x at 256 ranks).
+// records the ratio; the acceptance floor is 5x at 256 ranks). It also
+// serves as bench_gate.sh's machine-speed probe for baseline
+// normalization.
 func BenchmarkSimThroughputFlat(b *testing.B) {
 	for _, ranks := range []int{64, 256} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
-			benchThroughput(b, ranks, EngineFlat)
+			benchThroughput(b, ranks, EngineFlat, ExecGoroutine)
 		})
 	}
 }
 
-func benchThroughput(b *testing.B, ranks int, e Engine) {
+func benchThroughput(b *testing.B, ranks int, e Engine, exec ExecMode) {
 	w := benchWorld(ranks)
 	w.SetEngine(e)
+	w.SetExecMode(exec)
 	c := w.CommWorld()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -50,6 +65,10 @@ func benchThroughput(b *testing.B, ranks int, e Engine) {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
+			if w.pool != nil {
+				p.poolEnter()
+				defer p.poolExit()
+			}
 			buf := []float64{1, 2}
 			for i := 0; i < b.N; i++ {
 				if _, err := c.AllreduceF64(p, buf, OpSum); err != nil {

@@ -32,6 +32,22 @@ const (
 	memberDeparted
 )
 
+// payload carries one member's collective contribution into its slot.
+// It is a struct of typed fields rather than an `any`: boxing a slice
+// header into an interface costs one heap allocation per arrival on the
+// hot path ([]float64 reductions, []byte broadcasts), and under ExecPool
+// it would defeat buffer recycling entirely. At most one field family is
+// meaningful per collective kind; a/k pack the scalar contributions
+// (Agree's flag, Split's color and key).
+type payload struct {
+	f64 []float64
+	b   []byte
+	bb  [][]byte
+	a   int64 // Agree flag / Split color
+	k   int64 // Split key
+	has bool  // a contribution is present (rooted ops: only root carries data)
+}
+
 // slot records one member's terminal state, indexed by comm rank. The
 // first terminal event per member wins; slots are only written under
 // world.mu, from the goroutine that owns the event (the arriving, dying,
@@ -43,7 +59,7 @@ type slot struct {
 	stamp     float64 // death time (memberDead) or departure stamp (memberDeparted)
 	congested bool
 	bytes     int
-	payload   any
+	pl        payload
 }
 
 // rendezvous synchronizes one collective. Members register terminal states
@@ -55,7 +71,14 @@ type rendezvous struct {
 	comm     *Comm
 	tolerant bool // Shrink/Agree: dead members do not poison the result
 	key      collKey
-	done     chan struct{}
+	// done is the goroutine-mode completion signal; nil under ExecPool,
+	// where completion instead enqueues the waiters list (exec.go) and the
+	// per-op channel allocation disappears entirely.
+	done chan struct{}
+	// waiters holds the pool-mode members parked on this op, registered
+	// under world.mu by the arriving rank itself. finishLocked enqueues
+	// them as continuations.
+	waiters []*Proc
 
 	// slots and treeLeft are indexed by comm rank; treeLeft holds the
 	// binomial tree's per-node pending counters (tree engine only).
@@ -95,14 +118,28 @@ func (r *rendezvous) hasMember(worldRank int) bool {
 	return ok
 }
 
-// finishLocked publishes completion. Caller holds world.mu.
-func (r *rendezvous) finishLocked(syncTime float64) {
+// finishLocked publishes completion. Caller holds world.mu. Under
+// ExecGoroutine it closes the done channel (waking every parked member
+// at once — the herd the pool mode exists to avoid); under ExecPool it
+// enqueues each parked waiter as a continuation on the world's slot
+// scheduler. The channel close / resume send is the happens-before edge
+// that publishes syncTime, err, and the frozen slots to the waiters.
+func (r *rendezvous) finishLocked(w *World, syncTime float64) {
 	if r.completed {
 		return
 	}
 	r.completed = true
 	r.syncTime = syncTime
-	close(r.done)
+	if r.done != nil {
+		close(r.done)
+	}
+	if w.pool != nil {
+		w.pool.wakeAll(r.waiters)
+		for i := range r.waiters {
+			r.waiters[i] = nil
+		}
+		r.waiters = r.waiters[:0]
+	}
 }
 
 // tryCompleteFlatLocked is the flat (legacy) engine: it re-derives the
@@ -182,16 +219,16 @@ func (w *World) tryCompleteFlatLocked(r *rendezvous) {
 		end = departStamp
 	}
 	delete(w.colls, r.key)
-	r.finishLocked(end)
+	r.finishLocked(w, end)
 }
 
 // collective runs one rendezvous for the calling process and returns the
-// completed rendezvous. payload is this process's contribution; bytes is
-// its wire size for the cost model. On success the caller owns one
-// reference on the returned rendezvous and must release it (r.release)
-// after extracting its results; on error the reference has already been
+// completed rendezvous. pl is this process's contribution; bytes is its
+// wire size for the cost model. On success the caller owns one reference
+// on the returned rendezvous and must release it (r.release) after
+// extracting its results; on error the reference has already been
 // released.
-func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rendezvous, error) {
+func (c *Comm) collective(p *Proc, tolerant bool, pl payload, bytes int) (*rendezvous, error) {
 	p.Inject("mpi.collective")
 	commRank := c.checkMember(p, "collective")
 	// Tolerant collectives (Shrink/Agree) use a separate sequence space:
@@ -233,16 +270,30 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 	}
 	r.refs.Add(1)
 	if w.engine == EngineTree {
-		w.accountArrivalLocked(r, commRank, start, congested, payload, bytes)
+		w.accountArrivalLocked(r, commRank, start, congested, pl, bytes)
 	} else {
 		s := &r.slots[commRank]
-		s.state, s.clock, s.congested, s.payload, s.bytes = memberArrived, start, congested, payload, bytes
+		s.state, s.clock, s.congested, s.pl, s.bytes = memberArrived, start, congested, pl, bytes
 		r.nArrived++
 		w.tryCompleteFlatLocked(r)
 	}
+	// Pool mode: if this arrival did not complete the op, register as a
+	// continuation under the same critical section as the arrival — the op
+	// cannot complete between the accounting above and the append, so no
+	// wake-up can be lost.
+	parked := false
+	if w.pool != nil && !r.completed {
+		r.waiters = append(r.waiters, p)
+		parked = true
+	}
 	w.mu.Unlock()
 
-	<-r.done
+	if w.pool == nil {
+		<-r.done
+	} else if parked {
+		w.pool.release()
+		p.park()
+	}
 
 	p.clock.AdvanceTo(r.syncTime)
 	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
@@ -257,7 +308,7 @@ func (c *Comm) collective(p *Proc, tolerant bool, payload any, bytes int) (*rend
 // Barrier blocks until all live members arrive. It fails with FailedError
 // if any member has died.
 func (c *Comm) Barrier(p *Proc) error {
-	r, err := c.collective(p, false, nil, 0)
+	r, err := c.collective(p, false, payload{}, 0)
 	if err != nil {
 		return err
 	}
@@ -269,24 +320,24 @@ func (c *Comm) Barrier(p *Proc) error {
 // process's copy. Non-root callers pass nil (or their stale buffer, which
 // is ignored).
 func (c *Comm) Bcast(p *Proc, root int, data []byte) ([]byte, error) {
-	var payload any
+	var pl payload
 	bytes := 0
 	if c.Rank(p) == root {
-		cp := make([]byte, len(data))
+		cp := c.world.payloadB(len(data))
 		copy(cp, data)
-		payload = cp
+		pl = payload{b: cp, has: true}
 		bytes = len(data)
 	}
-	r, err := c.collective(p, false, payload, bytes)
+	r, err := c.collective(p, false, pl, bytes)
 	if err != nil {
 		return nil, err
 	}
 	defer r.release(c.world)
 	s := &r.slots[root]
-	if s.state != memberArrived || s.payload == nil {
+	if s.state != memberArrived || !s.pl.has {
 		return nil, c.fail(p, newFailedError([]int{c.WorldRank(root)}))
 	}
-	src := s.payload.([]byte)
+	src := s.pl.b
 	out := make([]byte, len(src))
 	copy(out, src)
 	return out, nil
@@ -351,7 +402,7 @@ func (c *Comm) reduceShared(r *rendezvous, op ReduceOp, n int) ([]float64, error
 			if s.state != memberArrived {
 				continue
 			}
-			vec := s.payload.([]float64)
+			vec := s.pl.f64
 			if len(vec) != n {
 				r.reduceErr = fmt.Errorf("mpi: reduce length mismatch: %d vs %d", len(vec), n)
 				break
@@ -381,9 +432,9 @@ func (c *Comm) reduceShared(r *rendezvous, op ReduceOp, n int) ([]float64, error
 // returns the result at every member. Reduction order is deterministic
 // (comm rank order), so results are bitwise reproducible.
 func (c *Comm) AllreduceF64(p *Proc, data []float64, op ReduceOp) ([]float64, error) {
-	cp := make([]float64, len(data))
+	cp := c.world.payloadF64(len(data))
 	copy(cp, data)
-	r, err := c.collective(p, false, cp, 8*len(data))
+	r, err := c.collective(p, false, payload{f64: cp, has: true}, 8*len(data))
 	if err != nil {
 		return nil, err
 	}
@@ -393,9 +444,9 @@ func (c *Comm) AllreduceF64(p *Proc, data []float64, op ReduceOp) ([]float64, er
 
 // ReduceF64 reduces to root; non-root members receive nil.
 func (c *Comm) ReduceF64(p *Proc, root int, data []float64, op ReduceOp) ([]float64, error) {
-	cp := make([]float64, len(data))
+	cp := c.world.payloadF64(len(data))
 	copy(cp, data)
-	r, err := c.collective(p, false, cp, 8*len(data))
+	r, err := c.collective(p, false, payload{f64: cp, has: true}, 8*len(data))
 	if err != nil {
 		return nil, err
 	}
@@ -419,9 +470,9 @@ func (c *Comm) AllreduceInt(p *Proc, v int, op ReduceOp) (int, error) {
 // AllgatherB gathers each member's byte payload at every member, indexed by
 // comm rank.
 func (c *Comm) AllgatherB(p *Proc, data []byte) ([][]byte, error) {
-	cp := make([]byte, len(data))
+	cp := c.world.payloadB(len(data))
 	copy(cp, data)
-	r, err := c.collective(p, false, cp, len(data))
+	r, err := c.collective(p, false, payload{b: cp, has: true}, len(data))
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +483,7 @@ func (c *Comm) AllgatherB(p *Proc, data []byte) ([][]byte, error) {
 		if s.state != memberArrived {
 			continue
 		}
-		src := s.payload.([]byte)
+		src := s.pl.b
 		buf := make([]byte, len(src))
 		copy(buf, src)
 		out[cr] = buf
@@ -445,7 +496,7 @@ func (c *Comm) AllgatherB(p *Proc, data []byte) ([][]byte, error) {
 // fault-tolerant: it succeeds even when members have failed, and all
 // survivors agree on the membership of the result.
 func (c *Comm) Shrink(p *Proc) (*Comm, error) {
-	r, err := c.collective(p, true, nil, 0)
+	r, err := c.collective(p, true, payload{}, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -478,7 +529,7 @@ func (c *Comm) Shrink(p *Proc) (*Comm, error) {
 // across surviving members (ULFM MPI_Comm_agree). All survivors receive the
 // same value and the same view of acknowledged failures.
 func (c *Comm) Agree(p *Proc, flag uint32) (uint32, error) {
-	r, err := c.collective(p, true, flag, 4)
+	r, err := c.collective(p, true, payload{a: int64(flag), has: true}, 4)
 	if err != nil {
 		return 0, err
 	}
@@ -486,7 +537,7 @@ func (c *Comm) Agree(p *Proc, flag uint32) (uint32, error) {
 	for cr := range r.slots {
 		s := &r.slots[cr]
 		if s.state == memberArrived {
-			out &= s.payload.(uint32)
+			out &= uint32(s.pl.a)
 		}
 	}
 	participants, failed := r.nArrived, len(r.deadAtEnd)

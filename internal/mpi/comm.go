@@ -209,7 +209,7 @@ func (c *Comm) Recv(p *Proc, src, tag int) ([]byte, error) {
 	start := p.clock.Now()
 	key := msgKey{comm: c.id, src: srcW, tag: tag}
 	var release float64
-	msg, err := p.mail.receive(key, func() error {
+	msg, err := p.mail.receive(p, key, func() error {
 		e, rel := c.recvGiveUp(srcW)
 		release = rel
 		return e
@@ -290,8 +290,7 @@ func (c *Comm) Revoke(p *Proc) {
 // broken by old comm rank). Members passing a negative color receive nil
 // (MPI_UNDEFINED). Split is collective.
 func (c *Comm) Split(p *Proc, color, key int) (*Comm, error) {
-	payload := [2]int{color, key}
-	r, err := c.collective(p, false, payload, 8)
+	r, err := c.collective(p, false, payload{a: int64(color), k: int64(key), has: true}, 8)
 	if err != nil {
 		return nil, err
 	}
@@ -310,8 +309,7 @@ func (c *Comm) Split(p *Proc, color, key int) (*Comm, error) {
 			if s.state != memberArrived {
 				continue
 			}
-			pl := s.payload.([2]int)
-			members = append(members, member{pl[0], pl[1], cr, c.group[cr]})
+			members = append(members, member{int(s.pl.a), int(s.pl.k), cr, c.group[cr]})
 		}
 		// Sort by (color, key, old rank).
 		for i := 0; i < len(members); i++ {

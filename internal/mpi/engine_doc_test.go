@@ -9,9 +9,10 @@ import (
 // TestEngineDesignDocumented cross-checks the engine against DESIGN.md §10
 // ("Simulator engine"), the way the obs taxonomy is cross-checked against
 // OBSERVABILITY.md: the section must exist and must document the engine
-// names, the throughput gate, and the determinism contract's total event
-// order. This keeps the architecture document from silently drifting away
-// from the code it describes.
+// names, the execution modes and their blocking discipline, the
+// throughput gate, and the determinism contract's total event order. This
+// keeps the architecture document from silently drifting away from the
+// code it describes.
 func TestEngineDesignDocumented(t *testing.T) {
 	doc, err := os.ReadFile("../../DESIGN.md")
 	if err != nil {
@@ -29,6 +30,11 @@ func TestEngineDesignDocumented(t *testing.T) {
 		"(time, rank, seq)",
 		"`sync.Pool`",
 		"FailureDetectionLatency",
+		"`ExecPool`",
+		"`ExecGoroutine`",
+		"SetExecMode",
+		"BlockBegin",
+		"TestScale8192HeatdisReplay",
 	} {
 		if !strings.Contains(sect, anchor) {
 			t.Errorf("DESIGN.md §10 does not mention %s", anchor)

@@ -30,10 +30,18 @@ type engineTrace struct {
 // survivors observe the failure, shrink, and continue on the shrunk
 // communicator.
 func runEngineScenario(t *testing.T, n int, e Engine) engineTrace {
+	return runScenario(t, n, e, ExecGoroutine, 0)
+}
+
+// runScenario is runEngineScenario with the execution mode as a second
+// dimension (exec_equiv_test.go); workers <= 0 selects the default pool
+// size.
+func runScenario(t *testing.T, n int, e Engine, exec ExecMode, workers int) engineTrace {
 	t.Helper()
 	cl := cluster.New(n, quietMachine())
 	w := NewWorld(cl, n, 1, false, 1, 0)
 	w.SetEngine(e)
+	w.SetExecModeWorkers(exec, workers)
 	rec := obs.New()
 	rec.SetRingCapacity(1 << 20)
 	w.SetObs(rec)

@@ -1,0 +1,318 @@
+// Worker-pool execution mode.
+//
+// The simulator's original execution model — one free-running goroutine
+// per rank — is semantically ideal (every rank is literally a thread of
+// control, as in MPI) but costs the host scheduler O(world) pressure: a
+// completed world-sized collective makes every member runnable at once,
+// and past ~1k ranks the run-queue churn, wake-up herds, and per-op
+// allocations dominate ns/rank-step (see PERFORMANCE.md). ExecPool keeps
+// the rank goroutine as the carrier of the rank's stack (Go cannot
+// suspend a stack without its cooperation) but takes scheduling away from
+// the Go runtime: at most K = GOMAXPROCS ranks hold an execution slot at
+// any moment, every blocking point in the simulator parks the rank on its
+// own one-slot resume channel, and wake-ups become *continuation
+// enqueues* — the parked rank is appended to a FIFO ready queue and
+// resumed only when a slot frees up. The effect is an event-loop worker
+// pool in which the "workers" are execution slots and the "continuation"
+// is the rank's own parked goroutine: host cost is bounded by GOMAXPROCS,
+// not world size.
+//
+// ExecGoroutine is retained unmodified as the executable specification
+// and equivalence oracle for ExecPool, exactly as EngineFlat is for
+// EngineTree: the equivalence tests run both modes over the same programs
+// and require identical transcripts, clocks, and event-stream bytes.
+//
+// Blocking discipline. Every path that can block a rank on another
+// rank's progress must, in pool mode, release its slot before parking
+// and reacquire one after:
+//
+//   - Collectives use the continuation path: the arriving rank registers
+//     itself on the rendezvous waiter list under world.mu and parks;
+//     completion enqueues every waiter (no done channel exists in pool
+//     mode, killing both the per-op allocation and the close() herd).
+//   - Mailbox receives yield the slot before the first cond.Wait and
+//     reacquire after the matching message (or giveUp error) is taken.
+//   - Layers above mpi (the Fenix spare wait and repair rendezvous)
+//     bracket their channel waits with Proc.BlockBegin/Proc.BlockEnd,
+//     the exported form of the same discipline.
+//
+// A rank that holds a slot and only computes (including the kokkos
+// parallel-region helper goroutines, which never touch simulation state)
+// needs no bracketing: it cannot deadlock the pool, only keep its slot
+// busy, which is the pool working as intended.
+//
+// Determinism is unaffected by construction: the pool changes only the
+// wall-clock order in which rank segments execute, and every simulation
+// outcome is a function of virtual clocks and per-rank program order
+// (DESIGN.md §10). The equivalence and replay tests pin this.
+package mpi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ExecMode selects how rank bodies are scheduled onto the host.
+type ExecMode int
+
+const (
+	// ExecGoroutine (the default) runs every rank as a free-running
+	// goroutine under the Go scheduler — the executable specification of
+	// the execution model, retained as the equivalence oracle for
+	// ExecPool.
+	ExecGoroutine ExecMode = iota
+	// ExecPool multiplexes rank continuations onto GOMAXPROCS execution
+	// slots: at most that many ranks are runnable at once, blocked ranks
+	// cost the host scheduler nothing, and collective wake-ups are FIFO
+	// continuation enqueues instead of channel-close herds.
+	ExecPool
+)
+
+// String names the execution mode (flag values and logs).
+func (m ExecMode) String() string {
+	switch m {
+	case ExecGoroutine:
+		return "goroutine"
+	case ExecPool:
+		return "pool"
+	}
+	return fmt.Sprintf("ExecMode(%d)", int(m))
+}
+
+// ParseExecMode parses a -exec flag value. The empty string selects
+// ExecGoroutine.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "", "goroutine":
+		return ExecGoroutine, nil
+	case "pool":
+		return ExecPool, nil
+	}
+	return ExecGoroutine, fmt.Errorf("mpi: unknown exec mode %q (want goroutine or pool)", s)
+}
+
+// execPool is the slot scheduler for ExecPool. It is deliberately tiny:
+// a count of free slots and a FIFO of parked ranks ready to run. Ranks
+// park by receiving on their own one-slot resume channel; granting a
+// slot is a single non-blocking send. All state is guarded by mu, whose
+// critical sections are a few machine operations — the pool never holds
+// mu across a park or a user callback.
+type execPool struct {
+	mu    sync.Mutex
+	slots int // free execution slots
+	ready []*Proc
+	head  int // consume index into ready (amortized O(1) FIFO)
+}
+
+func newExecPool(workers int) *execPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &execPool{slots: workers}
+}
+
+// popLocked removes and returns the next ready rank, or nil.
+func (ep *execPool) popLocked() *Proc {
+	if ep.head == len(ep.ready) {
+		return nil
+	}
+	p := ep.ready[ep.head]
+	ep.ready[ep.head] = nil
+	ep.head++
+	if ep.head == len(ep.ready) {
+		ep.ready = ep.ready[:0]
+		ep.head = 0
+	}
+	return p
+}
+
+// wake makes p ready to run: it is granted a free slot immediately or
+// joins the FIFO. Safe to call with world.mu or a mailbox lock held (it
+// only takes ep.mu and performs a non-blocking send).
+func (ep *execPool) wake(p *Proc) {
+	ep.mu.Lock()
+	if ep.slots > 0 {
+		ep.slots--
+		ep.mu.Unlock()
+		p.resume <- struct{}{}
+		return
+	}
+	ep.ready = append(ep.ready, p)
+	ep.mu.Unlock()
+}
+
+// wakeAll is wake for a batch: completion of a world-sized collective
+// readies O(world) parked members at once, and taking the scheduler lock
+// per member would put O(world) lock acquisitions on the completing
+// rank's critical path. Slots go to the front of the batch, the rest
+// join the FIFO in order, all under one lock acquisition.
+func (ep *execPool) wakeAll(ps []*Proc) {
+	ep.mu.Lock()
+	grant := ep.slots
+	if grant > len(ps) {
+		grant = len(ps)
+	}
+	ep.slots -= grant
+	ep.ready = append(ep.ready, ps[grant:]...)
+	ep.mu.Unlock()
+	for _, p := range ps[:grant] {
+		p.resume <- struct{}{}
+	}
+}
+
+// release gives up the caller's slot, handing it to the next ready rank
+// if one is queued. Never blocks.
+func (ep *execPool) release() {
+	ep.mu.Lock()
+	if p := ep.popLocked(); p != nil {
+		ep.mu.Unlock()
+		p.resume <- struct{}{}
+		return
+	}
+	ep.slots++
+	ep.mu.Unlock()
+}
+
+// park blocks the calling rank until it is granted a slot. The caller
+// must have been (or concurrently be) registered via wake, or must have
+// arranged for a waker to enqueue it.
+func (p *Proc) park() { <-p.resume }
+
+// poolEnter admits the rank into the pool at launch: it queues for a
+// slot and parks until granted one.
+func (p *Proc) poolEnter() {
+	if ep := p.world.pool; ep != nil {
+		ep.wake(p)
+		p.park()
+	}
+}
+
+// poolExit releases the rank's slot when its body returns or unwinds.
+func (p *Proc) poolExit() {
+	if ep := p.world.pool; ep != nil {
+		ep.release()
+	}
+}
+
+// yieldSlot releases the caller's slot ahead of a wait that is not
+// mediated by the pool (a mailbox cond.Wait). It reports whether a slot
+// was actually yielded (false under ExecGoroutine), in which case the
+// caller must reacquire via regainSlot once the wait is over. Safe to
+// call with a mailbox lock held.
+func (p *Proc) yieldSlot() bool {
+	ep := p.world.pool
+	if ep == nil {
+		return false
+	}
+	ep.release()
+	return true
+}
+
+// regainSlot queues the caller for a slot and parks until granted one.
+// Must not be called with any simulation lock held.
+func (p *Proc) regainSlot() {
+	ep := p.world.pool
+	ep.wake(p)
+	p.park()
+}
+
+// BlockBegin releases the calling rank's execution slot before a wait on
+// another rank's progress that is implemented outside the MPI core (the
+// Fenix spare wait and repair rendezvous block on their own channels).
+// It is a no-op under ExecGoroutine. Every BlockBegin must be paired
+// with a BlockEnd after the wait returns; between the two the rank may
+// only wait — running simulation code without a slot would defeat the
+// pool's bounded-runnable invariant.
+func (p *Proc) BlockBegin() {
+	if ep := p.world.pool; ep != nil {
+		ep.release()
+	}
+}
+
+// BlockEnd reacquires an execution slot after a BlockBegin-bracketed
+// wait. It is a no-op under ExecGoroutine.
+func (p *Proc) BlockEnd() {
+	if ep := p.world.pool; ep != nil {
+		ep.wake(p)
+		p.park()
+	}
+}
+
+// bufFree recycles collective payload buffers in pool mode. It is a
+// plain mutex-guarded freelist rather than a sync.Pool because Put-ing a
+// slice into a sync.Pool boxes the slice header into an interface — one
+// heap allocation per recycled buffer, which is exactly the allocation
+// the recycling exists to remove. The mutex is a leaf lock: taken only
+// here, never while holding it. Buffers whose capacity no longer fits
+// are dropped on the floor and collected normally, so the list
+// self-corrects when payload sizes grow.
+type bufFree struct {
+	mu  sync.Mutex
+	f64 [][]float64
+	b   [][]byte
+}
+
+// payloadF64 takes a recycled float64 payload buffer of length n. Pool
+// mode only: the buffer is recycled by releaseOp once the op's last
+// reference drops, which is safe because payload slices are only read
+// while the rendezvous is live. Under ExecGoroutine the buffer is
+// freshly allocated, preserving the specification mode's allocation
+// behaviour unchanged.
+func (w *World) payloadF64(n int) []float64 {
+	if w.pool == nil {
+		return make([]float64, n)
+	}
+	w.bufs.mu.Lock()
+	if k := len(w.bufs.f64); k > 0 {
+		buf := w.bufs.f64[k-1]
+		w.bufs.f64[k-1] = nil
+		w.bufs.f64 = w.bufs.f64[:k-1]
+		w.bufs.mu.Unlock()
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+		return make([]float64, n)
+	}
+	w.bufs.mu.Unlock()
+	return make([]float64, n)
+}
+
+// payloadB is payloadF64 for byte payloads.
+func (w *World) payloadB(n int) []byte {
+	if w.pool == nil {
+		return make([]byte, n)
+	}
+	w.bufs.mu.Lock()
+	if k := len(w.bufs.b); k > 0 {
+		buf := w.bufs.b[k-1]
+		w.bufs.b[k-1] = nil
+		w.bufs.b = w.bufs.b[:k-1]
+		w.bufs.mu.Unlock()
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+		return make([]byte, n)
+	}
+	w.bufs.mu.Unlock()
+	return make([]byte, n)
+}
+
+// recyclePayload returns a slot's recyclable buffers (the typed f64/byte
+// contributions taken via payloadF64/payloadB) to the freelist. No-op
+// outside pool mode. The per-destination [][]byte contributions
+// (Scatter/Alltoall) are not recycled: they are off the steady-state hot
+// path and their jagged shapes defeat a simple freelist.
+func (w *World) recyclePayload(pl *payload) {
+	if w.pool == nil || (pl.f64 == nil && pl.b == nil) {
+		return
+	}
+	w.bufs.mu.Lock()
+	if pl.f64 != nil {
+		w.bufs.f64 = append(w.bufs.f64, pl.f64)
+	}
+	if pl.b != nil {
+		w.bufs.b = append(w.bufs.b, pl.b)
+	}
+	w.bufs.mu.Unlock()
+}

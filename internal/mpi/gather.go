@@ -9,9 +9,9 @@ import "fmt"
 // GatherB gathers each member's byte payload at root, indexed by comm
 // rank; non-root members receive nil.
 func (c *Comm) GatherB(p *Proc, root int, data []byte) ([][]byte, error) {
-	cp := make([]byte, len(data))
+	cp := c.world.payloadB(len(data))
 	copy(cp, data)
-	r, err := c.collective(p, false, cp, len(data))
+	r, err := c.collective(p, false, payload{b: cp, has: true}, len(data))
 	if err != nil {
 		return nil, err
 	}
@@ -25,7 +25,7 @@ func (c *Comm) GatherB(p *Proc, root int, data []byte) ([][]byte, error) {
 		if s.state != memberArrived {
 			continue
 		}
-		src := s.payload.([]byte)
+		src := s.pl.b
 		buf := make([]byte, len(src))
 		copy(buf, src)
 		out[cr] = buf
@@ -36,7 +36,7 @@ func (c *Comm) GatherB(p *Proc, root int, data []byte) ([][]byte, error) {
 // ScatterB distributes root's per-rank chunks: chunks[i] goes to comm rank
 // i. Non-root members pass nil. Every member receives its chunk.
 func (c *Comm) ScatterB(p *Proc, root int, chunks [][]byte) ([]byte, error) {
-	var payload any
+	var pl payload
 	bytes := 0
 	if c.Rank(p) == root {
 		cp := make([][]byte, len(chunks))
@@ -47,18 +47,18 @@ func (c *Comm) ScatterB(p *Proc, root int, chunks [][]byte) ([]byte, error) {
 				bytes = len(ch)
 			}
 		}
-		payload = cp
+		pl = payload{bb: cp, has: true}
 	}
-	r, err := c.collective(p, false, payload, bytes)
+	r, err := c.collective(p, false, pl, bytes)
 	if err != nil {
 		return nil, err
 	}
 	defer r.release(c.world)
 	s := &r.slots[root]
-	if s.state != memberArrived || s.payload == nil {
+	if s.state != memberArrived || !s.pl.has {
 		return nil, c.fail(p, newFailedError([]int{c.WorldRank(root)}))
 	}
-	all := s.payload.([][]byte)
+	all := s.pl.bb
 	me := c.Rank(p)
 	if me >= len(all) {
 		return nil, nil
@@ -82,7 +82,7 @@ func (c *Comm) AlltoallB(p *Proc, chunks [][]byte) ([][]byte, error) {
 		copy(cp[i], ch)
 		total += len(ch)
 	}
-	r, err := c.collective(p, false, cp, total)
+	r, err := c.collective(p, false, payload{bb: cp, has: true}, total)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +94,7 @@ func (c *Comm) AlltoallB(p *Proc, chunks [][]byte) ([][]byte, error) {
 		if s.state != memberArrived {
 			continue
 		}
-		src := s.payload.([][]byte)
+		src := s.pl.bb
 		buf := make([]byte, len(src[me]))
 		copy(buf, src[me])
 		out[cr] = buf
@@ -110,9 +110,9 @@ func (c *Comm) ReduceScatterF64(p *Proc, data []float64, op ReduceOp) ([]float64
 	if len(data)%c.Size() != 0 {
 		return nil, fmt.Errorf("mpi: reduce-scatter length %d not a multiple of comm size %d", len(data), c.Size())
 	}
-	cp := make([]float64, len(data))
+	cp := c.world.payloadF64(len(data))
 	copy(cp, data)
-	r, err := c.collective(p, false, cp, 8*len(data))
+	r, err := c.collective(p, false, payload{f64: cp, has: true}, 8*len(data))
 	if err != nil {
 		return nil, err
 	}

@@ -63,6 +63,11 @@ type JobConfig struct {
 	// zero value, EngineTree, is the production engine; EngineFlat is the
 	// legacy reference kept for equivalence testing.
 	Engine Engine
+	// Exec selects the execution scheduling mode (see exec.go). The zero
+	// value, ExecGoroutine, runs one free goroutine per rank (the
+	// executable spec); ExecPool multiplexes rank continuations onto
+	// GOMAXPROCS execution slots for O(10k)-rank worlds.
+	Exec ExecMode
 }
 
 func (cfg *JobConfig) normalize() {
@@ -162,6 +167,7 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 		w.SetObs(cfg.Obs)
 		w.SetInjector(cfg.Inject)
 		w.SetEngine(cfg.Engine)
+		w.SetExecMode(cfg.Exec)
 		res.Launches++
 		cfg.Obs.Emit(start, -1, obs.LayerMPI, obs.EvJobLaunch,
 			obs.KV("attempt", attempt), obs.KV("ranks", cfg.Ranks), obs.KV("nodes", nodes))
@@ -243,6 +249,14 @@ func runRanks(w *World, f RankFunc) []rankOutcome {
 		wg.Add(1)
 		go func(p *Proc) {
 			defer wg.Done()
+			if w.pool != nil {
+				// Admission: queue for an execution slot before running the
+				// body; the slot is released when the body returns or
+				// unwinds — after the recover handler below, so failure
+				// accounting (markDead) still runs slot-held.
+				p.poolEnter()
+				defer p.poolExit()
+			}
 			defer func() {
 				r := recover()
 				if r == nil {

@@ -81,12 +81,22 @@ func (m *mailbox) wakeAll() { m.cond.Broadcast() }
 // evaluated while holding the mailbox lock; state changes that could make
 // it fire (markDead, Revoke) broadcast the condition variable only after
 // publishing their state, so wakeups are never lost.
-func (m *mailbox) receive(key msgKey, giveUp func() error) (message, error) {
+//
+// p is the receiving process: under ExecPool the receiver yields its
+// execution slot before the first cond.Wait — a rank blocked on a
+// message must not pin one of the GOMAXPROCS slots, or a world of
+// blocked receivers would starve the senders they wait on — and
+// reacquires a slot after the wait resolves. The post-broadcast re-check
+// of the queue runs without a slot; it is a bounded map probe, not
+// simulation progress.
+func (m *mailbox) receive(p *Proc, key msgKey, giveUp func() error) (message, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	yielded := false
+	var msg message
+	var err error
 	for {
 		if q, ok := m.q[key]; ok && q.head < len(q.msgs) {
-			msg := q.msgs[q.head]
+			msg = q.msgs[q.head]
 			q.msgs[q.head] = message{} // drop the payload reference
 			q.head++
 			if q.head == len(q.msgs) {
@@ -94,13 +104,21 @@ func (m *mailbox) receive(key msgKey, giveUp func() error) (message, error) {
 				delete(m.q, key)
 				m.free = append(m.free, q)
 			}
-			return msg, nil
+			break
 		}
-		if err := giveUp(); err != nil {
-			return message{}, err
+		if err = giveUp(); err != nil {
+			break
+		}
+		if !yielded {
+			yielded = p.yieldSlot()
 		}
 		m.cond.Wait()
 	}
+	m.mu.Unlock()
+	if yielded {
+		p.regainSlot()
+	}
+	return msg, err
 }
 
 // pending reports the number of queued messages for key (for tests).

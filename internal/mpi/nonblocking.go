@@ -101,7 +101,7 @@ func (r *Request) Wait() ([]byte, error) {
 
 	start := p.clock.Now()
 	var release float64
-	msg, err := p.mail.receive(r.key, func() error {
+	msg, err := p.mail.receive(p, r.key, func() error {
 		e, rel := r.comm.recvGiveUp(r.src)
 		release = rel
 		return e

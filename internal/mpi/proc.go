@@ -25,6 +25,12 @@ type Proc struct {
 	collSeq map[int64]int64
 	exited  bool
 
+	// resume is the rank's park/wake channel under ExecPool (see exec.go):
+	// the rank parks by receiving, the pool grants an execution slot with a
+	// single buffered send. Nil under ExecGoroutine; allocated by
+	// SetExecMode before ranks start.
+	resume chan struct{}
+
 	// obsDead tracks which failed world ranks this process has observed
 	// (through an MPI error): each failure is emitted once per rank, and
 	// sends to a rank known dead fail fast deterministically. Owned by the

@@ -115,7 +115,13 @@ func (w *World) acquireOpLocked(c *Comm, tolerant bool, key collKey) *rendezvous
 	}
 	copy(r.treeLeft, c.treeInit())
 	r.comm, r.tolerant, r.key = c, tolerant, key
-	r.done = make(chan struct{})
+	if w.pool == nil {
+		// The done channel is goroutine mode's one unavoidable per-op
+		// allocation (a closed channel cannot be reused). Pool mode
+		// completes through the waiters list instead and skips it.
+		r.done = make(chan struct{})
+	}
+	r.waiters = r.waiters[:0]
 	r.refs.Store(0)
 	r.nArrived, r.nDead, r.nDeparted = 0, 0, 0
 	r.maxClock, r.maxDeadAt, r.departStamp = 0, 0, 0
@@ -133,6 +139,7 @@ func (w *World) acquireOpLocked(c *Comm, tolerant bool, key collKey) *rendezvous
 // closing done).
 func (w *World) releaseOp(r *rendezvous) {
 	for i := range r.slots {
+		w.recyclePayload(&r.slots[i].pl)
 		r.slots[i] = slot{}
 	}
 	r.comm = nil
@@ -181,12 +188,12 @@ func (w *World) seedTerminalLocked(r *rendezvous) {
 
 // accountArrivalLocked records comm rank cr's arrival and propagates it up
 // the tree. Caller holds world.mu.
-func (w *World) accountArrivalLocked(r *rendezvous, cr int, clock float64, congested bool, payload any, bytes int) {
+func (w *World) accountArrivalLocked(r *rendezvous, cr int, clock float64, congested bool, pl payload, bytes int) {
 	s := &r.slots[cr]
 	if s.state != memberPending {
 		return
 	}
-	s.state, s.clock, s.congested, s.payload, s.bytes = memberArrived, clock, congested, payload, bytes
+	s.state, s.clock, s.congested, s.pl, s.bytes = memberArrived, clock, congested, pl, bytes
 	r.nArrived++
 	if clock > r.maxClock {
 		r.maxClock = clock
@@ -289,5 +296,5 @@ func (w *World) completeTreeLocked(r *rendezvous) {
 		end = r.departStamp
 	}
 	delete(w.colls, r.key)
-	r.finishLocked(end)
+	r.finishLocked(w, end)
 }

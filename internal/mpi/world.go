@@ -43,8 +43,15 @@ type World struct {
 	// engine selects the collective rendezvous algorithm (see tree.go).
 	// The zero value is EngineTree; set via SetEngine before ranks start.
 	engine Engine
+	// pool, when non-nil, is the ExecPool slot scheduler (see exec.go);
+	// nil selects ExecGoroutine. Set via SetExecMode before ranks start.
+	pool *execPool
 	// opPool recycles rendezvous state across collectives (tree.go).
 	opPool sync.Pool
+	// bufs recycles collective payload buffers under ExecPool (see
+	// exec.go); unused in goroutine mode, which keeps the specification
+	// mode's allocation behaviour untouched.
+	bufs bufFree
 
 	mu     sync.Mutex
 	dead   []bool
@@ -117,6 +124,36 @@ func (w *World) SetEngine(e Engine) { w.engine = e }
 
 // CollectiveEngine returns the world's collective engine.
 func (w *World) CollectiveEngine() Engine { return w.engine }
+
+// SetExecMode selects the execution scheduling mode (see exec.go). It
+// must be called before any rank goroutine starts; the zero value
+// (ExecGoroutine) is the default. Under ExecPool the slot count is
+// GOMAXPROCS; tests use SetExecModeWorkers to force maximal
+// multiplexing with a tiny pool.
+func (w *World) SetExecMode(m ExecMode) { w.SetExecModeWorkers(m, 0) }
+
+// SetExecModeWorkers is SetExecMode with an explicit execution-slot
+// count (workers <= 0 selects GOMAXPROCS).
+func (w *World) SetExecModeWorkers(m ExecMode, workers int) {
+	if m != ExecPool {
+		w.pool = nil
+		return
+	}
+	w.pool = newExecPool(workers)
+	for _, p := range w.procs {
+		if p.resume == nil {
+			p.resume = make(chan struct{}, 1)
+		}
+	}
+}
+
+// ExecutionMode returns the world's execution scheduling mode.
+func (w *World) ExecutionMode() ExecMode {
+	if w.pool != nil {
+		return ExecPool
+	}
+	return ExecGoroutine
+}
 
 // Obs returns the world's observability recorder (possibly nil).
 func (w *World) Obs() *obs.Recorder { return w.obs }

@@ -134,6 +134,11 @@ func TestRestartStallOnPendingFlushCountsAsFlushWait(t *testing.T) {
 		if err := c.Checkpoint("ck", 0); err != nil {
 			return err
 		}
+		// Commit v0's flush before dropping the scratch copy: commitment is
+		// strictly lazy, so the PFS write needs an observation strictly
+		// after the submission instant (and well inside the open window).
+		p.ChargeTime(trace.AppCompute, 1e-12)
+		p.Node().AdvanceFlushes(p.Now())
 		// Drop the scratch copy so restore must read the PFS while v0's
 		// flush window is still open.
 		p.Node().ScratchDelete(dataKey("ck", 0, c.rank))

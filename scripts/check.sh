@@ -1,11 +1,16 @@
 #!/bin/sh
 # Full verification, shared by `make check` and the CI workflow: build,
-# vet, race-enabled tests, the observability and flush-scheduler
+# lint, race-enabled tests, the observability and flush-scheduler
 # benchmarks, an end-to-end obsreport smoke test, and the chaos campaign
 # with pinned-seed replays.
 #
 # Usage: scripts/check.sh [section ...]
-#   sections: build vet race bench perf report sweep chaos sdc   (default: all)
+#   sections: build lint race bench perf report sweep chaos sdc
+#             (default: all of the above; `vet` is an alias for lint)
+#   nightly:  the full-depth tier on top of the default sections — the
+#             CHAOS_NIGHTLY-gated O(10k) scale cells. Run explicitly
+#             (`scripts/check.sh nightly`) or from the nightly CI job;
+#             never part of the default list.
 #
 # Environment:
 #   CHAOS_SEEDS  number of campaign seeds to sweep (default 36; CI's
@@ -32,15 +37,33 @@ run_build() {
     go build ./...
 }
 
-run_vet() {
-    banner "vet: go vet ./... and gofmt"
-    go vet ./...
+run_lint() {
+    banner "lint: gofmt, go vet, staticcheck"
     unformatted=$(gofmt -l . 2>/dev/null)
     if [ -n "$unformatted" ]; then
         echo "gofmt needed on:"
         echo "$unformatted"
         exit 1
     fi
+    go vet ./...
+    # staticcheck is not vendored; CI's lint job installs it. Locally the
+    # section degrades to gofmt + vet rather than failing the whole check
+    # on a missing tool.
+    if command -v staticcheck >/dev/null 2>&1; then
+        staticcheck ./...
+    else
+        echo "staticcheck not installed; skipped (CI runs it — install with:"
+        echo "  go install honnef.co/go/tools/cmd/staticcheck@latest)"
+    fi
+}
+
+run_nightly() {
+    # The full-depth tier: scale cells too slow for the per-commit loop.
+    # CHAOS_NIGHTLY=1 un-gates TestScale8192HeatdisReplay — the worker-pool
+    # O(10k) acceptance cell (8192 ranks, mid-run kill, byte-identical
+    # replay pair).
+    banner "nightly: O(10k) scale cells (CHAOS_NIGHTLY=1)"
+    CHAOS_NIGHTLY=1 go test -run 'TestScale' -count=1 -timeout 55m ./internal/chaos/
 }
 
 run_race() {
@@ -129,7 +152,10 @@ run_chaos() {
     banner "chaos: seed 3 replay (flush scheduler, node crash)"
     go run ./cmd/chaos -seed 3 -json "$tmp/flushrun.json"
     grep -q '"flushes_queued": 20' "$tmp/flushrun.json"
-    grep -q '"flushes_started": 20' "$tmp/flushrun.json"
+    # One queued flush's start coincides exactly with the node crash;
+    # strictly-lazy commitment (flushsched.go advanceLocked) discards it
+    # rather than racing it into the window, so 19 of 20 start.
+    grep -q '"flushes_started": 19' "$tmp/flushrun.json"
 
     banner "chaos: seed 9 replay (storm wave, heatdis)"
     go run ./cmd/chaos -seed 9 -json "$tmp/stormrun.json" -events "$tmp/storm-events.jsonl"
@@ -210,20 +236,21 @@ run_sdc() {
     grep -q 'minimd	vote	.*	1.000	' "$tmp/sdc.txt"
 }
 
-sections=${*:-"build vet race bench perf report sweep chaos sdc"}
+sections=${*:-"build lint race bench perf report sweep chaos sdc"}
 for s in $sections; do
     case "$s" in
-    build)  run_build ;;
-    vet)    run_vet ;;
-    race)   run_race ;;
-    bench)  run_bench ;;
-    perf)   run_perf ;;
-    report) run_report ;;
-    sweep)  run_sweep ;;
-    chaos)  run_chaos ;;
-    sdc)    run_sdc ;;
+    build)    run_build ;;
+    lint|vet) run_lint ;;
+    race)     run_race ;;
+    bench)    run_bench ;;
+    perf)     run_perf ;;
+    report)   run_report ;;
+    sweep)    run_sweep ;;
+    chaos)    run_chaos ;;
+    sdc)      run_sdc ;;
+    nightly)  run_nightly ;;
     *)
-        echo "unknown section: $s (want build|vet|race|bench|perf|report|sweep|chaos|sdc)" >&2
+        echo "unknown section: $s (want build|lint|race|bench|perf|report|sweep|chaos|sdc|nightly)" >&2
         exit 2
         ;;
     esac
