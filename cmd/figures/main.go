@@ -11,6 +11,7 @@
 //	figures -fig 7              # Figure 7, view census
 //	figures -fig complexity     # Section VI-E complexity census
 //	figures -fig timeline       # SVG Gantt of one chaos run (-seed)
+//	figures -fig recovery-cost  # localized vs global-rollback recompute
 //	figures -quick              # smaller sweeps for a fast smoke run
 package main
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 5a, 5b, 6, 7, complexity, timeline, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 5a, 5b, 6, 7, complexity, timeline, recovery-cost, all")
 	quick := flag.Bool("quick", false, "smaller sweeps (fewer sizes/node counts)")
 	format := flag.String("format", "table", "output format: table or csv")
 	machine := flag.String("machine", "xc40", "machine preset: xc40, commodity, exascale")
@@ -153,6 +154,20 @@ func main() {
 		if errs := harness.CheckSDCLadder(pts); len(errs) > 0 {
 			for _, e := range errs {
 				fmt.Fprintln(os.Stderr, "sdc:", e)
+			}
+			os.Exit(1)
+		}
+		did = true
+	case "recovery-cost":
+		rcOpts := harness.RecoveryCostOptions{Machine: m}
+		if *quick {
+			rcOpts.KillIters = []int{11}
+		}
+		pts := harness.RecoveryCostStudy(rcOpts)
+		harness.RenderRecoveryCost(os.Stdout, pts)
+		if errs := harness.CheckRecoveryCost(pts); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "recovery-cost:", e)
 			}
 			os.Exit(1)
 		}

@@ -68,6 +68,18 @@ const (
 	// the SDC layer must resolve the flip locally, independent of (and
 	// without perturbing) the Fenix rebuild the kill triggers.
 	ModeSDCMixed = "sdc-mixed"
+	// ModeLocalized kills one member under the localized message-logging
+	// strategy (core.StrategyLocalized, DESIGN.md §12): only the
+	// replacement rolls back and recomputes, served from the sender-based
+	// log, while survivors pause in place — and the final answer must still
+	// match the failure-free reference bitwise.
+	ModeLocalized = "localized"
+	// ModeLocalizedShrink exhausts the spare pool under localized recovery
+	// with shrink-on-exhaustion enabled and a two-rank rehost reserve
+	// behind the single spare: reserve substitutions absorb the storm
+	// without compacting the communicator, so the message log stays live
+	// across all three kills and byte-identity still binds.
+	ModeLocalizedShrink = "localized-shrink"
 )
 
 // Modes lists every campaign mode, in matrix order. New modes are appended
@@ -77,6 +89,7 @@ var Modes = []string{
 	ModeIteration, ModeRegion, ModeCollective, ModeFlush, ModeNested,
 	ModeSpare, ModeNode, ModeStormShrink, ModeStormFail, ModeStormWave,
 	ModeSDCRegion, ModeSDCVote, ModeSDCBlob, ModeSDCMixed,
+	ModeLocalized, ModeLocalizedShrink,
 }
 
 // Apps lists the campaign applications, in matrix order.
@@ -285,6 +298,26 @@ func ConfigForSeedScaled(seed uint64, mode, app string, stormRanks int) (RunConf
 			Rank: member(), Point: PointScratchBlob, Hit: epochHit(),
 			Frac: rng.Float64(), Bit: rng.Intn(8),
 		}}
+	case ModeLocalized:
+		cfg.Localized = true
+		// The kill lands after the first checkpoint epoch committed
+		// (interval 6 → first commit at iteration 5), so the replacement
+		// takes the restore-and-replay path rather than the from-scratch
+		// reset that fires when no version exists yet.
+		cfg.Schedule.Kills = []Kill{{Rank: member(), Point: PointIteration, Hit: 7 + rng.Intn(13)}}
+	case ModeLocalizedShrink:
+		cfg.Localized = true
+		cfg.Shrink = true
+		cfg.Spares = 1
+		cfg.Rehost = 2
+		first := rng.Intn(cfg.Ranks)
+		h := 7 + rng.Intn(4)
+		var kills []Kill
+		for i := 0; i < 3; i++ {
+			kills = append(kills, Kill{Rank: (first + i) % cfg.Ranks, Point: PointIteration, Hit: h})
+			h += 4 + rng.Intn(2)
+		}
+		cfg.Schedule.Kills = kills
 	case ModeSDCMixed:
 		// A view flip early and a member kill later in the same run, on
 		// different ranks so both always fire: SDC resolution is local and

@@ -56,6 +56,20 @@ type RunReport struct {
 	FlushesCoalesced int `json:"flushes_coalesced,omitempty"`
 	FlushesDiscarded int `json:"flushes_discarded,omitempty"`
 
+	// Message-log accounting (all zero unless cfg.Localized). MsgsLogged
+	// counts sends and collective completions captured into the sender-based
+	// log, MsgsReplayed log serves consumed during localized recovery, and
+	// MsgsTrimmed entries garbage-collected when checkpoint commits advanced
+	// the watermark. Rehosts counts substitutions drawn from the second-line
+	// rehost reserve (spare exhaustion absorbed without compaction), and
+	// FlushReorders deep-skew submissions the flush scheduler observed
+	// arriving after a virtually-later same-node commit.
+	MsgsLogged    int `json:"msgs_logged,omitempty"`
+	MsgsReplayed  int `json:"msgs_replayed,omitempty"`
+	MsgsTrimmed   int `json:"msgs_trimmed,omitempty"`
+	Rehosts       int `json:"rehosts,omitempty"`
+	FlushReorders int `json:"flush_reorders,omitempty"`
+
 	// SDC accounting (zero when the schedule carries no flips). FlipsFired
 	// counts scheduled bit flips the injector actually applied; the sdc_*
 	// counters mirror the obs metrics and satisfy

@@ -58,6 +58,17 @@ type RunConfig struct {
 	// change only host scheduling, never the virtual outcome — the
 	// exec-mode equivalence tests compare reports across both values.
 	Exec string `json:"exec,omitempty"`
+	// Localized runs the cell under core.StrategyLocalized (sender-based
+	// message logging, DESIGN.md §12) instead of the default global-rollback
+	// integrated stack: after a kill only the replacement recomputes, served
+	// from the log, while survivors pause in place. Localized runs must be
+	// byte-identical to the failure-free reference like any other cell.
+	Localized bool `json:"localized,omitempty"`
+	// Rehost holds that many extra ranks in Fenix's second-line rehost
+	// reserve behind the spares. Reserve substitutions keep the lineage
+	// width stable (no compaction, so the message log — and the bitwise
+	// reference comparison — survive spare exhaustion in shrink cells).
+	Rehost int `json:"rehost,omitempty"`
 }
 
 // appRun adapts one application to the chaos runner: body to execute under
@@ -180,7 +191,7 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 		return rep
 	}
 	job := mpi.JobConfig{
-		Ranks:        cfg.Ranks + cfg.Spares,
+		Ranks:        cfg.Ranks + cfg.Spares + cfg.Rehost,
 		RanksPerNode: cfg.RanksPerNode,
 		Seed:         cfg.Seed,
 		Obs:          rec,
@@ -192,9 +203,13 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 	ccfg := core.Config{
 		Strategy:           core.StrategyFenixKRVeloC,
 		Spares:             cfg.Spares,
+		RehostReserve:      cfg.Rehost,
 		ShrinkOnExhaustion: cfg.Shrink,
 		CheckpointInterval: cfg.Interval,
 		CheckpointName:     "chaos",
+	}
+	if cfg.Localized {
+		ccfg.Strategy = core.StrategyLocalized
 	}
 	if cfg.SDC != "" {
 		pol, err := kokkos.ParseSDCPolicy(cfg.SDC)
@@ -252,6 +267,11 @@ func RunOneStreaming(cfg RunConfig, refs *RefCache, timeout time.Duration, event
 	rep.Shrinks = int(reg.CounterValue(obs.MShrinks))
 	rep.FlushesCoalesced = int(reg.CounterValue(obs.MFlushCoalesced))
 	rep.FlushesDiscarded = int(reg.CounterValue(obs.MFlushDiscarded))
+	rep.MsgsLogged = int(reg.CounterValue(obs.MMsgLogged))
+	rep.MsgsReplayed = int(reg.CounterValue(obs.MMsgReplayed))
+	rep.MsgsTrimmed = int(reg.CounterValue(obs.MMsgLogTrimmed))
+	rep.Rehosts = int(reg.CounterValue(obs.MRehosts))
+	rep.FlushReorders = int(reg.CounterValue(obs.MFlushReorders))
 
 	arep, err := analyze.Analyze(rec.Events())
 	if err != nil {
@@ -399,6 +419,24 @@ func checkInvariants(rep *RunReport, cfg RunConfig, arep *analyze.Report, refs *
 	}
 	if !cfg.Shrink && (rep.Shrunk != 0 || rep.Shrinks != 0) {
 		v(fmt.Sprintf("shrinking disabled but %d slots shrunk away over %d shrink events", rep.Shrunk, rep.Shrinks))
+	}
+	// Message-log accounting: capture is exclusive to localized cells, and a
+	// localized recovery of a member kill must actually be served from the
+	// log — unless compaction disabled it (Shrunk > 0), which degrades to
+	// ordinary global rollback by design.
+	if !cfg.Localized && rep.MsgsLogged != 0 {
+		v(fmt.Sprintf("%s = %d in a non-localized run; the message log must stay off", obs.MMsgLogged, rep.MsgsLogged))
+	}
+	if cfg.Localized {
+		if rep.MsgsLogged == 0 {
+			v("localized run captured nothing into the message log")
+		}
+		if !cfg.ExpectFail && rep.Injected > 0 && rep.Shrunk == 0 && rep.MsgsReplayed == 0 {
+			v(fmt.Sprintf("localized recovery repaired %d failures without serving a single logged message", rep.Injected))
+		}
+	}
+	if cfg.Rehost == 0 && rep.Rehosts != 0 {
+		v(fmt.Sprintf("%s = %d with no rehost reserve configured", obs.MRehosts, rep.Rehosts))
 	}
 	// Flush-scheduler accounting reconciles with the event stream: every
 	// checkpoint's flush is queued exactly once, a flush starts at most

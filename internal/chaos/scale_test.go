@@ -138,3 +138,64 @@ func TestScale1024StormWaveReplay(t *testing.T) {
 			out[0].String(), out[1].String())
 	}
 }
+
+// TestScale1024LocalizedStormReplay is the nightly localized-recovery
+// storm cell: 1024 ranks under the worker-pool execution mode, three
+// staggered kills absorbed by one spare plus a two-rank rehost reserve,
+// so the sender-based message log stays live across every repair and
+// each replacement recovers by restore-and-replay while 1023 survivors
+// pause in place. The report — including the replay ledger and the
+// byte-identity invariant against the failure-free reference — must be
+// a pure function of the seed across two replays. Gated behind
+// CHAOS_NIGHTLY=1 like the O(10k) pool cell so the per-commit tier
+// stays fast.
+func TestScale1024LocalizedStormReplay(t *testing.T) {
+	if os.Getenv("CHAOS_NIGHTLY") == "" {
+		t.Skip("1024-rank localized storm runs in the nightly tier (set CHAOS_NIGHTLY=1)")
+	}
+	if testing.Short() {
+		t.Skip("1024-rank localized storm skipped in -short mode")
+	}
+	cfg := RunConfig{
+		Seed: 1025, App: AppHeatdis, Mode: ModeLocalizedShrink,
+		Ranks: 1024, Spares: 1, Rehost: 2, Shrink: true, RanksPerNode: 1,
+		Localized: true,
+		Iters:     16, Interval: 4,
+		Flush: cluster.FlushPolicy{Window: 2, Coalesce: true},
+		Schedule: Schedule{Kills: []Kill{
+			{Rank: 100, Point: PointIteration, Hit: 5},
+			{Rank: 500, Point: PointIteration, Hit: 9},
+			{Rank: 900, Point: PointIteration, Hit: 13},
+		}},
+		Exec: "pool",
+	}
+	var out [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		rep := RunOne(cfg, NewRefCache(), scaleTimeout)
+		for _, v := range rep.Violations {
+			t.Error(v)
+		}
+		if rep.JobFailed {
+			t.Fatalf("1024-rank localized storm failed: %s", rep.Error)
+		}
+		if rep.Repaired != 3 || rep.Unrepaired != 0 {
+			t.Fatalf("repaired %d, unrepaired %d; want all three kills repaired", rep.Repaired, rep.Unrepaired)
+		}
+		if rep.MsgsReplayed == 0 {
+			t.Error("localized storm replayed no logged messages (degraded to global rollback?)")
+		}
+		if rep.Rehosts != 2 {
+			t.Errorf("rehosts %d, want the two-rank reserve fully drawn", rep.Rehosts)
+		}
+		if rep.Shrunk != 0 {
+			t.Errorf("shrunk %d, want the reserve to absorb every kill without compaction", rep.Shrunk)
+		}
+		if err := rep.WriteJSON(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Errorf("1024-rank localized storm replay differs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			out[0].String(), out[1].String())
+	}
+}

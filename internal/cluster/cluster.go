@@ -82,6 +82,12 @@ type Node struct {
 	policy   FlushPolicy
 	pending  []*pendingFlush
 	flushSeq int
+	// lastCommit remembers, per CoalesceKey, the most recent committed
+	// flush (version and window start). FlushSubmit consults it to detect
+	// the deep-skew reorder: a superseding submission arriving virtually at
+	// or before a start that a virtually-later co-resident observer already
+	// committed (see FlushRequest.OnReorder).
+	lastCommit map[string]flushCommit
 }
 
 // stored is a scratch or PFS object: real contents plus the simulated size

@@ -95,6 +95,26 @@ type FlushRequest struct {
 	// of OnStart/OnCancel fires for every request a scheduler accepted,
 	// except requests cancelled by coalescing, which fire neither.
 	OnCancel func(t float64, reason string, depth int)
+	// OnReorder, if non-nil, is invoked — outside all cluster locks — when
+	// this submission supersedes (same CoalesceKey, Version at or above) a
+	// flush the node has already committed at a window start at or after
+	// `now`. That is the deep virtual-time skew corner of the lazy
+	// scheduler: a virtually-later co-resident observer advanced the queue
+	// and committed the older version before this virtually-earlier
+	// superseding submission arrived, so the superseded bytes reached the
+	// PFS even though a faithful virtual-order replay would have coalesced
+	// them. The commitment is not undone — PFS writes are final — but the
+	// miss is surfaced so the policy layer can account for it
+	// (cluster.flush_reorder). Arguments: the submission time, and the
+	// committed flush's window start and version.
+	OnReorder func(now, committedStart float64, committedVersion int)
+}
+
+// flushCommit is the per-CoalesceKey record of the latest committed flush,
+// kept for reorder detection.
+type flushCommit struct {
+	version int
+	start   float64
 }
 
 // pendingFlush is one queued, not-yet-started flush.
@@ -263,6 +283,18 @@ func (n *Node) FlushSubmit(req FlushRequest, now float64) (started bool, end flo
 			n.pending[i] = nil
 		}
 		n.pending = kept
+		// Deep-skew reorder detection: commitment is strictly lazy, so any
+		// submission at or before a committed window's start would have been
+		// queued — and coalesced — before that commit in faithful virtual
+		// order. If a superseding version arrives now <= committedStart, a
+		// virtually-later observer beat it to the commit. Entries committed
+		// by the advance above always have start < now and can never match.
+		if cb := req.OnReorder; cb != nil {
+			if c, ok := n.lastCommit[req.CoalesceKey]; ok && c.version <= req.Version && now <= c.start {
+				at, cs, cv := now, c.start, c.version
+				fire = append(fire, func() { cb(at, cs, cv) })
+			}
+		}
 	}
 	n.flushSeq++
 	entry := &pendingFlush{req: req, enqueued: now, seq: n.flushSeq}
@@ -322,6 +354,14 @@ func (n *Node) advanceLocked(t float64, fire *[]func()) {
 		end := n.pfs.WriteSharedFor(e.req.PFSKey, s.data, start, s.simBytes, e.req.Owner, e.req.Share)
 		n.recordFlushLocked(start, end)
 		e.started, e.start, e.end = true, start, end
+		if k := e.req.CoalesceKey; k != "" {
+			if c, ok := n.lastCommit[k]; !ok || e.req.Version >= c.version {
+				if n.lastCommit == nil {
+					n.lastCommit = make(map[string]flushCommit)
+				}
+				n.lastCommit[k] = flushCommit{version: e.req.Version, start: start}
+			}
+		}
 		if e.req.OnStart != nil {
 			depth := n.openAtLocked(end) + len(n.pending)
 			cb, st, en := e.req.OnStart, start, end

@@ -314,6 +314,83 @@ func TestScratchDeleteDiscardsQueuedFlush(t *testing.T) {
 	}
 }
 
+// TestFlushReorderDetectedOnDeepSkew pins the DESIGN §10 deep-skew corner
+// with two ranks sharing a node: the owner submits version 1 while another
+// flush occupies the window, a virtually-later co-resident observer (its
+// clock far ahead) advances the scheduler and commits v1 at its deferred
+// start, and only then does the owner — still virtually *before* that
+// start — submit the superseding version 2. The commit cannot be undone,
+// so the scheduler must report the missed coalesce through OnReorder. A
+// superseding version arriving virtually after the committed start is
+// ordinary coalescing timing and must stay silent.
+func TestFlushReorderDetectedOnDeepSkew(t *testing.T) {
+	type reorder struct {
+		at, start float64
+		version   int
+	}
+	n := schedNode(t, 1, 3, 150_000_000) // entries a, b, c
+	// Filler flush occupying the window for ~7s (owner rank 1).
+	n.ScratchWriteSized("x", []byte{9}, 10_500_000_000)
+	rec := newFlushRecorder()
+	var reorders []reorder
+	submit := func(key string, version int, owner int, now float64) {
+		t.Helper()
+		r := rec.req(key, 100, "mini/rank0", version)
+		r.Owner = owner
+		r.OnReorder = func(at, cs float64, cv int) {
+			reorders = append(reorders, reorder{at: at, start: cs, version: cv})
+		}
+		if _, _, _, err := n.FlushSubmit(r, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := rec.req("x", 0, "", 0)
+	fr.Owner = 1
+	if _, _, _, err := n.FlushSubmit(fr, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Owner rank 0 submits v1 at its clock 2.0; the filler holds the window
+	// until ~7.0, so v1's start is deferred there.
+	submit("a", 1, 0, 2.0)
+	// A co-resident observer whose clock has run ahead advances the
+	// scheduler: the filler commits at [0, ~7) and v1 at ~7.
+	n.AdvanceFlushes(9.0)
+	v1start, ok := rec.starts["a"]
+	if !ok {
+		t.Fatal("v1 never committed under the observer's advance")
+	}
+	if v1start < 6.9 || v1start > 7.1 {
+		t.Fatalf("v1 start = %v, want ~7.0 (deferred behind the filler window)", v1start)
+	}
+	if len(reorders) != 0 {
+		t.Fatalf("reorder fired before any superseding submission: %+v", reorders)
+	}
+	// Owner rank 0, virtually still before v1's committed start, submits the
+	// superseding v2: in faithful virtual order it would have coalesced v1
+	// away, so the scheduler must flag the reorder.
+	submit("b", 2, 0, 5.0)
+	if len(reorders) != 1 {
+		t.Fatalf("got %d reorder callbacks, want 1", len(reorders))
+	}
+	if r := reorders[0]; r.at != 5.0 || r.start != v1start || r.version != 1 {
+		t.Fatalf("reorder = %+v, want {at:5 start:%v version:1}", r, v1start)
+	}
+	// Both versions reached the PFS: the reorder is detected, not prevented.
+	if _, ok := n.pfs.Exists("a"); !ok {
+		t.Fatal("committed v1 missing from the PFS")
+	}
+	// Negative case: after v2 commits, a superseding v3 arriving virtually
+	// after v2's committed start is normal operation — no reorder.
+	n.AdvanceFlushes(20.0)
+	if _, ok := rec.starts["b"]; !ok {
+		t.Fatal("v2 never committed")
+	}
+	submit("c", 3, 0, 8.0)
+	if len(reorders) != 1 {
+		t.Fatalf("superseding submission after the committed start fired a reorder: %+v", reorders)
+	}
+}
+
 func TestAdvanceFlushesIsLazyInVirtualTime(t *testing.T) {
 	const sim = 150_000_000
 	n := schedNode(t, 1, 2, sim)

@@ -56,10 +56,15 @@ func Run(job mpi.JobConfig, cfg Config, app App) *Result {
 		job.FailRestart = true
 		job.MaxRestarts = cfg.MaxRestarts
 	}
-	if !cfg.Strategy.UsesFenix() && cfg.Spares != 0 {
+	if !cfg.Strategy.UsesFenix() && (cfg.Spares != 0 || cfg.RehostReserve != 0) {
 		panic(fmt.Sprintf("core: strategy %v cannot use spares", cfg.Strategy))
 	}
-	appRanks := job.Ranks - cfg.Spares
+	if cfg.Strategy.Localized() {
+		// Localized recovery needs the sender-based message log capturing
+		// from the first iteration on.
+		job.MsgLog = true
+	}
+	appRanks := job.Ranks - cfg.Spares - cfg.RehostReserve
 	if appRanks <= 0 {
 		panic("core: no application ranks left after spares")
 	}
@@ -81,7 +86,12 @@ func runRank(p *mpi.Proc, cfg *Config, prog *progress, app App) error {
 	}
 
 	var held *Session // survives Fenix re-entries for survivors
-	return fenix.Run(p, fenix.Config{Spares: cfg.Spares, ShrinkOnExhaustion: cfg.ShrinkOnExhaustion}, func(fctx *fenix.Context) error {
+	fcfg := fenix.Config{
+		Spares:             cfg.Spares,
+		ShrinkOnExhaustion: cfg.ShrinkOnExhaustion,
+		RehostReserve:      cfg.RehostReserve,
+	}
+	return fenix.Run(p, fcfg, func(fctx *fenix.Context) error {
 		s, err := sessionForEntry(held, fctx, cfg, prog)
 		if err != nil {
 			return err
@@ -97,7 +107,7 @@ func runRank(p *mpi.Proc, cfg *Config, prog *progress, app App) error {
 // VeloC version query performs the recovery discovery.
 func newPlainSession(p *mpi.Proc, cfg *Config, prog *progress) (*Session, error) {
 	comm := p.World().CommWorld()
-	s := &Session{p: p, cfg: cfg, prog: prog, comm: comm, role: fenix.RoleInitial, Store: make(map[string]any)}
+	s := &Session{p: p, cfg: cfg, prog: prog, comm: comm, role: fenix.RoleInitial, Store: make(map[string]any), liveIter: -1, shadowIter: -1}
 	switch cfg.Strategy {
 	case StrategyNone:
 		return s, nil
@@ -142,6 +152,19 @@ func sessionForEntry(held *Session, fctx *fenix.Context, cfg *Config, prog *prog
 			if err := held.krctx.Reset(fctx.Comm()); err != nil {
 				return nil, err
 			}
+			if cfg.Strategy.Localized() {
+				if held.krctx.RecoveryPending() {
+					held.collInstallPending = p.MsgLogActive()
+				} else {
+					// No committed checkpoint survives the failure: every
+					// rank rebuilds from scratch and re-executes live, so
+					// the aborted epoch's log is garbage everywhere.
+					held.collInstallPending = false
+					held.liveIter = -1
+					held.shadow, held.shadowIter = nil, -1
+					p.MsgLogResetOnce(fctx.Generation())
+				}
+			}
 		case held.manual != nil:
 			held.manual.client.SetComm(fctx.Comm())
 			held.manual.client.SetRank(fctx.Rank())
@@ -156,7 +179,7 @@ func sessionForEntry(held *Session, fctx *fenix.Context, cfg *Config, prog *prog
 	s := &Session{
 		p: p, cfg: cfg, prog: prog,
 		comm: fctx.Comm(), role: fctx.Role(), fctx: fctx,
-		Store: make(map[string]any),
+		Store: make(map[string]any), liveIter: -1, shadowIter: -1,
 	}
 	switch cfg.Strategy {
 	case StrategyFenixVeloC:
@@ -169,21 +192,33 @@ func sessionForEntry(held *Session, fctx *fenix.Context, cfg *Config, prog *prog
 		client.SetComm(fctx.Comm())
 		s.manual = &manualCtx{client: client, name: cfg.CheckpointName, interval: cfg.CheckpointInterval, latest: -1}
 		return s, s.manual.resync(fctx.Comm(), p)
-	case StrategyFenixKRVeloC, StrategyPartialRollback:
+	case StrategyFenixKRVeloC, StrategyPartialRollback, StrategyLocalized:
 		client, err := veloc.New(p, veloc.Config{Mode: veloc.Single, Rank: fctx.Rank(), RankSet: true, Verify: cfg.SDC.Policy != kokkos.SDCNone})
 		if err != nil {
 			return nil, err
 		}
 		krCfg := kr.Config{Interval: cfg.CheckpointInterval, RestoreSurvivors: true}
-		if cfg.Strategy.PartialRollback() {
+		if cfg.Strategy.PartialRollback() || cfg.Strategy.Localized() {
 			krCfg.RestoreSurvivors = false
 			krCfg.Recovered = func() bool { return fctx.Role() == fenix.RoleRecovered }
+			krCfg.Localized = cfg.Strategy.Localized()
 		}
 		ctx, err := kr.MakeContext(p, fctx.Comm(), kr.NewVeloCBackend(client, cfg.CheckpointName), krCfg)
 		if err != nil {
 			return nil, err
 		}
 		s.krctx = ctx
+		if cfg.Strategy.Localized() && fctx.Role() == fenix.RoleRecovered {
+			if ctx.RecoveryPending() {
+				// The replacement's replay clock starts at re-entry; it
+				// stops when forward re-execution crosses the log frontier.
+				s.replayStarted, s.replayStart = true, p.Now()
+			} else {
+				// Predecessor died before any commit: full re-execution
+				// from scratch for everyone; drop the aborted epoch's log.
+				p.MsgLogResetOnce(fctx.Generation())
+			}
+		}
 		return s, nil
 	case StrategyFenixIMR:
 		im, err := fenix.NewIMR(fctx, cfg.CheckpointName)

@@ -48,6 +48,11 @@ type Config struct {
 	CheckpointName string
 	// MaxRestarts bounds relaunches for fail-restart strategies.
 	MaxRestarts int
+	// RehostReserve is the number of extra world ranks Fenix holds behind
+	// the spare pool as a second-line replacement reserve; drawing on it
+	// re-hosts a failed slot instead of shrinking, keeping the lineage
+	// width (and message-log slot identity) stable (Fenix strategies only).
+	RehostReserve int
 	// Failures lists the injected failures (nil for overhead-only runs).
 	Failures []*FailurePlan
 	// SDC configures the silent-data-corruption detection layer; the zero
@@ -109,6 +114,34 @@ type Session struct {
 	// Store persists application state (views, solver data) across Fenix
 	// re-entries of the same process.
 	Store map[string]any
+
+	// liveIter is the highest iteration whose effects this process's live
+	// data reflects in its current incarnation (-1 for none): advanced by
+	// executed bodies and by checkpoint restores. Under localized recovery
+	// it drives the survivor skip — a survivor pauses through iterations
+	// its data already contains while the replacement replays. It is
+	// per-process, NOT per-slot progress: an ex-replacement that survives
+	// a second failure mid-replay holds data well behind its slot's
+	// recorded maximum.
+	liveIter int
+	// collInstallPending marks a survivor that must rewind its collective
+	// log cursor at the first boundary after a Fenix re-entry, so that
+	// loop-level collectives re-executed across the skipped region are
+	// served from the logged lineage.
+	collInstallPending bool
+	// replayStart is the virtual time a recovered rank's localized replay
+	// began; consumed into mpi_replay_seconds when it crosses the log
+	// frontier.
+	replayStart   float64
+	replayStarted bool
+	// shadow is the boundary-entry image of the captured views for the
+	// iteration last entered (shadowIter), kept only under localized
+	// recovery. A failure can surface inside a body that already mutated
+	// live data (e.g. MiniMD's half-kick and drift precede its halo
+	// exchange); the surviving rank re-executes that iteration from the
+	// shadow so the partial mutations are not applied twice.
+	shadow     [][]byte
+	shadowIter int
 }
 
 // noteStart records the session (re-)entry in the observability stream:
@@ -193,11 +226,119 @@ func (s *Session) Census() kr.Census {
 	return kr.Census{}
 }
 
+// localizedActive reports whether message-log localized recovery is in
+// force: the strategy selects it, KR manages control flow, and the log has
+// not been disabled by a shrink compaction.
+func (s *Session) localizedActive() bool {
+	return s.cfg.Strategy.Localized() && s.krctx != nil && s.p.MsgLogActive()
+}
+
+// msgLogBoundary runs the DESIGN.md §12 checkpoint-region boundary
+// protocol before iteration iter: record this slot's log cursors for a
+// first-reached boundary, or install previously recorded ones when
+// re-executing (replacement) or resuming (survivor).
+func (s *Session) msgLogBoundary(slot, iter int) {
+	if !s.localizedActive() {
+		return
+	}
+	switch s.role {
+	case fenix.RoleRecovered:
+		// Replaying replacement: adopt the predecessor's cursors at every
+		// boundary it recorded, so re-executed sends are suppressed and
+		// receives/collectives are served from the log.
+		if s.p.MsgLogInstall(slot, iter, true) {
+			return
+		}
+		// No snapshot: the replay has crossed the log frontier and this
+		// boundary is genuinely new.
+		s.noteReplayDone()
+		s.p.MsgLogRecord(slot, iter)
+	case fenix.RoleSurvivor:
+		if s.collInstallPending {
+			// First boundary after re-entry: rewind only the collective
+			// cursor so loop-level collectives re-executed across the
+			// skipped region replay the logged lineage. The live p2p
+			// cursors are ground truth for a survivor and stay put.
+			s.collInstallPending = false
+			s.p.MsgLogInstall(slot, iter, false)
+		}
+		if iter == s.liveIter+1 {
+			// First live iteration. If this boundary was recorded, the
+			// failure interrupted the iteration mid-body (or a previous
+			// incarnation got further): rewind fully, so the partial
+			// re-execution's sends are suppressed and its receives are
+			// served from the log instead of double-delivering.
+			if s.p.MsgLogInstall(slot, iter, true) {
+				return
+			}
+		}
+		if iter > s.liveIter {
+			s.p.MsgLogRecord(slot, iter)
+		}
+	default:
+		s.p.MsgLogRecord(slot, iter)
+	}
+}
+
+// localizedSkip reports whether a survivor pauses through iteration iter
+// under localized recovery: its live data already reflects the body, so
+// nothing executes while the replacement replays. A pending restore at the
+// restored iteration is consumed without touching data.
+func (s *Session) localizedSkip(slot, iter int) bool {
+	if !s.localizedActive() || s.role != fenix.RoleSurvivor || iter > s.liveIter {
+		return false
+	}
+	if s.krctx.RecoveryPending() && iter == s.krctx.LatestVersion() {
+		s.krctx.SkipRestore()
+	}
+	return true
+}
+
+// boundaryShadow maintains the localized-recovery boundary image of the
+// captured views. Reaching the same boundary twice without completing it
+// means the failure surfaced inside the body after it had already mutated
+// live data (a survivor's partial iteration): the views are rewound to
+// their boundary-entry image first, so the re-execution — whose sends are
+// suppressed and receives log-served via the matching cursor snapshot —
+// does not apply the body's leading mutations twice. First arrivals just
+// record the image.
+func (s *Session) boundaryShadow(iter int, views []kokkos.View) error {
+	if !s.localizedActive() {
+		return nil
+	}
+	if s.role == fenix.RoleSurvivor && s.shadowIter == iter && len(s.shadow) == len(views) {
+		for i, v := range views {
+			if err := v.Deserialize(s.shadow[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s.shadow = s.shadow[:0]
+	for _, v := range views {
+		s.shadow = append(s.shadow, v.Serialize())
+	}
+	s.shadowIter = iter
+	return nil
+}
+
+// noteReplayDone records the recovered rank's replay duration once, when
+// its forward re-execution crosses the log frontier.
+func (s *Session) noteReplayDone() {
+	if !s.replayStarted {
+		return
+	}
+	s.replayStarted = false
+	s.p.Obs().Registry().Histogram(obs.MReplaySeconds, obs.TimeBuckets).
+		Observe(s.p.Now() - s.replayStart)
+}
+
 // Checkpoint wraps one iteration of the application's checkpoint region:
 // failure injection, recompute attribution, recovery-or-execute, and
 // checkpoint writing are all handled according to the strategy.
 func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body func() error) error {
 	slot := s.Rank()
+	s.msgLogBoundary(slot, iter)
 	for _, fp := range s.cfg.Failures {
 		if fp.matches(slot, iter) {
 			s.p.Event(obs.LayerCore, obs.EvFailureInjected,
@@ -207,6 +348,12 @@ func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body f
 		}
 	}
 	s.p.Inject("core.iteration")
+	if s.localizedSkip(slot, iter) {
+		return nil
+	}
+	if err := s.boundaryShadow(iter, views); err != nil {
+		return s.Check(err)
+	}
 	if s.prog != nil {
 		re := s.prog.isRecompute(slot, iter)
 		// Under partial rollback survivors never roll their data back, so
@@ -227,6 +374,7 @@ func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body f
 			}()
 		}
 	}
+	wasRestore := s.krctx != nil && s.krctx.RecoveryPending() && iter == s.krctx.LatestVersion()
 	var err error
 	switch {
 	case s.krctx != nil:
@@ -238,6 +386,19 @@ func (s *Session) Checkpoint(label string, iter int, views []kokkos.View, body f
 	}
 	if err != nil {
 		return s.Check(err)
+	}
+	if iter > s.liveIter {
+		s.liveIter = iter
+	}
+	if wasRestore && s.localizedActive() && s.role == fenix.RoleRecovered &&
+		!s.p.MsgLogHasSnapshot(slot, iter+1) {
+		// The predecessor died after committing this version but before
+		// entering the next iteration, so there is no successor boundary
+		// snapshot to install — yet the restored iteration's traffic is
+		// all in the log with this rank's fresh cursors behind it. Jump
+		// the cursors to the stream frontiers so live execution resumes
+		// without wrongly suppressing future sends.
+		s.p.MsgLogFastForward(slot)
 	}
 	if s.prog != nil {
 		s.prog.update(slot, iter)

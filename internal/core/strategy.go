@@ -33,6 +33,11 @@ const (
 	// checkpoint restoration and keep their in-progress data; only the
 	// recovered rank rolls back (for convergence-tolerant applications).
 	StrategyPartialRollback
+	// StrategyLocalized is Fenix + KR + VeloC with sender-based message
+	// logging (DESIGN.md §12): after a failure only the replacement rank
+	// rolls back and re-executes, served from the log, while survivors
+	// pause in place — no global rollback, and bitwise-identical results.
+	StrategyLocalized
 
 	numStrategies
 )
@@ -45,6 +50,7 @@ var strategyNames = [...]string{
 	StrategyFenixKRVeloC:    "fenix-kr-veloc",
 	StrategyFenixIMR:        "fenix-imr",
 	StrategyPartialRollback: "partial-rollback",
+	StrategyLocalized:       "localized",
 }
 
 // String returns the strategy's flag name.
@@ -77,7 +83,7 @@ func Strategies() []Strategy {
 // UsesFenix reports whether the strategy recovers processes online.
 func (s Strategy) UsesFenix() bool {
 	switch s {
-	case StrategyFenixVeloC, StrategyFenixKRVeloC, StrategyFenixIMR, StrategyPartialRollback:
+	case StrategyFenixVeloC, StrategyFenixKRVeloC, StrategyFenixIMR, StrategyPartialRollback, StrategyLocalized:
 		return true
 	}
 	return false
@@ -86,7 +92,7 @@ func (s Strategy) UsesFenix() bool {
 // UsesKR reports whether control flow is managed by Kokkos Resilience.
 func (s Strategy) UsesKR() bool {
 	switch s {
-	case StrategyKRVeloC, StrategyFenixKRVeloC, StrategyFenixIMR, StrategyPartialRollback:
+	case StrategyKRVeloC, StrategyFenixKRVeloC, StrategyFenixIMR, StrategyPartialRollback, StrategyLocalized:
 		return true
 	}
 	return false
@@ -95,7 +101,7 @@ func (s Strategy) UsesKR() bool {
 // UsesVeloC reports whether the data layer is VeloC.
 func (s Strategy) UsesVeloC() bool {
 	switch s {
-	case StrategyVeloC, StrategyKRVeloC, StrategyFenixVeloC, StrategyFenixKRVeloC, StrategyPartialRollback:
+	case StrategyVeloC, StrategyKRVeloC, StrategyFenixVeloC, StrategyFenixKRVeloC, StrategyPartialRollback, StrategyLocalized:
 		return true
 	}
 	return false
@@ -112,6 +118,10 @@ func (s Strategy) UsesRelaunch() bool {
 
 // PartialRollback reports whether survivors keep in-progress data.
 func (s Strategy) PartialRollback() bool { return s == StrategyPartialRollback }
+
+// Localized reports whether recovery is message-log localized: only the
+// replacement rank recomputes while survivors pause in place.
+func (s Strategy) Localized() bool { return s == StrategyLocalized }
 
 // Checkpoints reports whether the strategy writes checkpoints at all.
 func (s Strategy) Checkpoints() bool { return s != StrategyNone }

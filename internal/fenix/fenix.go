@@ -77,6 +77,14 @@ type Config struct {
 	// ShrinkOnExhaustion, when true, continues with a smaller resilient
 	// communicator once spares run out instead of failing the job.
 	ShrinkOnExhaustion bool
+	// RehostReserve is the number of additional world ranks held out as a
+	// second-line replacement pool behind Spares. When the regular spares
+	// are exhausted, a failure that would otherwise shrink (or fail) the
+	// job instead re-hosts the dead slot onto a reserve rank, keeping the
+	// communicator width — and therefore logical-slot identity, which the
+	// message log depends on — stable. Substitutions from the reserve are
+	// surfaced as `rehosted` on the rebuild event.
+	RehostReserve int
 	// OnRecover, if set, runs on every rank after communicator repair,
 	// before the application body is re-entered (Fenix recovery callback).
 	OnRecover func(*Context)
@@ -277,8 +285,9 @@ type repair struct {
 var registry sync.Map // *mpi.World -> *runtime
 
 func runtimeFor(w *mpi.World, cfg Config) (*runtime, error) {
-	if cfg.Spares < 0 || cfg.Spares >= w.Size() {
-		return nil, fmt.Errorf("fenix: %d spares invalid for world size %d", cfg.Spares, w.Size())
+	if cfg.Spares < 0 || cfg.RehostReserve < 0 || cfg.Spares+cfg.RehostReserve >= w.Size() {
+		return nil, fmt.Errorf("fenix: %d spares + %d reserve invalid for world size %d",
+			cfg.Spares, cfg.RehostReserve, w.Size())
 	}
 	rt := &runtime{
 		world:     w,
@@ -291,8 +300,9 @@ func runtimeFor(w *mpi.World, cfg Config) (*runtime, error) {
 	}
 	actual, loaded := registry.LoadOrStore(w, rt)
 	got := actual.(*runtime)
-	if loaded && got.cfg.Spares != cfg.Spares {
-		return nil, fmt.Errorf("fenix: inconsistent spare counts across ranks (%d vs %d)", got.cfg.Spares, cfg.Spares)
+	if loaded && (got.cfg.Spares != cfg.Spares || got.cfg.RehostReserve != cfg.RehostReserve) {
+		return nil, fmt.Errorf("fenix: inconsistent spare counts across ranks (%d+%d vs %d+%d)",
+			got.cfg.Spares, got.cfg.RehostReserve, cfg.Spares, cfg.RehostReserve)
 	}
 	if !loaded {
 		// Re-evaluate pending repairs whenever a failure occurs: a rank
@@ -340,16 +350,19 @@ const initCost = 10e-3
 func (rt *runtime) initRank(p *mpi.Proc) (*Context, bool, error) {
 	rt.mu.Lock()
 	if rt.comm == nil {
-		n := rt.world.Size() - rt.cfg.Spares
+		n := rt.world.Size() - rt.cfg.Spares - rt.cfg.RehostReserve
 		group := make([]int, n)
 		for i := range group {
 			group[i] = i
 		}
 		rt.slots = append([]int(nil), group...)
+		// Reserve ranks sit behind the regular spares in the same pool;
+		// substitution order makes them strictly second-line.
 		for r := n; r < rt.world.Size(); r++ {
 			rt.spares = append(rt.spares, r)
 		}
 		rt.comm = rt.world.NewComm(group)
+		rt.world.RegisterLineageComm(rt.comm)
 	}
 	comm := rt.comm
 	isSpare := comm.Rank(p) < 0
@@ -536,10 +549,15 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 		}
 	}
 
-	// Build the new slot map, substituting spares for failed slots.
+	// Build the new slot map, substituting spares for failed slots. A
+	// substitution drawn from the rehost reserve (world ranks behind the
+	// regular spares) counts as a re-host: same mechanism, but it is the
+	// pool that exists specifically to avoid compaction.
+	reserveStart := rt.world.Size() - rt.cfg.RehostReserve
 	newSlots := append([]int(nil), rt.slots...)
 	var activated []int // logical ranks filled by spares
 	var shrunkOut []int
+	rehosted := 0
 	for slot, wr := range newSlots {
 		if !deadSet[wr] {
 			continue
@@ -549,6 +567,9 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 			rt.spares = rt.spares[1:]
 			newSlots[slot] = sp
 			activated = append(activated, slot)
+			if sp >= reserveStart {
+				rehosted++
+			}
 		} else if rt.cfg.ShrinkOnExhaustion {
 			shrunkOut = append(shrunkOut, slot)
 		} else {
@@ -576,6 +597,14 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 
 	syncTime := maxClock + rt.world.Machine().RepairTime(len(newSlots))
 	newComm := rt.world.NewComm(newSlots)
+	if len(shrunkOut) > 0 {
+		// Compaction changes logical-slot identity: the message log's
+		// slot-keyed streams are meaningless, so localized recovery
+		// degrades to global rollback from here on.
+		rt.world.MsgLog().Disable()
+	} else {
+		rt.world.RegisterLineageComm(newComm)
+	}
 
 	rt.slots = newSlots
 	rt.comm = newComm
@@ -602,9 +631,13 @@ func (rt *runtime) tryCompleteRepairLocked(r *repair) {
 		rec.Emit(syncTime, -1, obs.LayerFenix, obs.EvFenixRebuild,
 			obs.KV("generation", rt.gen),
 			obs.KV("replaced", len(activated)),
+			obs.KV("rehosted", rehosted),
 			obs.KV("shrunk", len(shrunkOut)),
 			obs.KV("size", len(newSlots)))
 		rec.Registry().Counter(obs.MRebuilds).Inc()
+		if rehosted > 0 {
+			rec.Registry().Counter(obs.MRehosts).Add(float64(rehosted))
+		}
 		rec.Registry().Counter(obs.MFailuresSurvived).Add(float64(len(activated) + len(shrunkOut)))
 	}
 

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/apps/heatdis"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file adds the recovery-cost figure: for a single kill landing after
+// a committed checkpoint, how much work does each recovery scheme redo?
+// Global rollback (the paper's Fenix/KR/VeloC stack) restores every rank to
+// the best common version and re-executes the lost iterations world-wide;
+// localized recovery replays the sender-based message log, so only the
+// replacement recomputes while survivors pause in place. The figure plots
+// the recompute-iteration totals side by side per kill point.
+
+// RecoveryCostPoint is one (kill iteration, strategy) cell.
+type RecoveryCostPoint struct {
+	KillIter       int
+	Strategy       core.Strategy
+	RecomputeIters float64 // recompute_iterations_total over the whole job
+	ReplayedMsgs   float64 // mpi_msgs_replayed_total (0 under global rollback)
+	WallTime       float64
+	Completed      bool
+}
+
+// RecoveryCostOptions configures the study.
+type RecoveryCostOptions struct {
+	Machine *sim.Machine
+	// Ranks is the application rank count (one spare is added on top).
+	Ranks int
+	// Iterations is the job length.
+	Iterations int
+	// Interval is the checkpoint cadence; checkpoints commit at iterations
+	// Interval-1, 2*Interval-1, ...
+	Interval int
+	// BytesPerRank is the Heatdis data size.
+	BytesPerRank int
+	// KillIters are the iterations at which the single kill lands. Each must
+	// fall after the first committed checkpoint so both schemes recover from
+	// data rather than re-executing from scratch.
+	KillIters []int
+	// Seed drives machine jitter.
+	Seed uint64
+}
+
+func (o *RecoveryCostOptions) normalize() {
+	if o.Machine == nil {
+		o.Machine = sim.DefaultMachine()
+	}
+	if o.Ranks <= 0 {
+		o.Ranks = 16
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 30
+	}
+	if o.Interval <= 0 {
+		o.Interval = 10
+	}
+	if o.BytesPerRank <= 0 {
+		o.BytesPerRank = 64 * MB
+	}
+	if len(o.KillIters) == 0 {
+		// Kill-after-checkpoint cells: just past the iteration-9 commit,
+		// mid-epoch, and just before the iteration-19 commit.
+		o.KillIters = []int{11, 15, 18}
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+}
+
+// RecoveryCostStudy runs each kill point under global rollback
+// (StrategyFenixKRVeloC) and localized recovery (StrategyLocalized) on the
+// same Heatdis job and collects the recompute accounting from the obs
+// registry.
+func RecoveryCostStudy(opts RecoveryCostOptions) []RecoveryCostPoint {
+	opts.normalize()
+	cfg := heatdis.Config{
+		BytesPerRank:       opts.BytesPerRank,
+		Iterations:         opts.Iterations,
+		CheckpointInterval: opts.Interval,
+		ActualRows:         8,
+		ActualCols:         16,
+	}
+	var out []RecoveryCostPoint
+	for _, kill := range opts.KillIters {
+		for _, strat := range []core.Strategy{core.StrategyFenixKRVeloC, core.StrategyLocalized} {
+			rec := obs.New()
+			cc := core.Config{
+				Strategy:           strat,
+				Spares:             1,
+				CheckpointInterval: opts.Interval,
+				CheckpointName:     "cost",
+				Failures:           []*core.FailurePlan{{Slot: 1, Iteration: kill}},
+			}
+			sink := heatdis.NewSink()
+			res := core.Run(
+				mpi.JobConfig{Ranks: opts.Ranks + 1, Machine: opts.Machine, Seed: opts.Seed, Obs: rec},
+				cc, heatdis.App(cfg, sink))
+			reg := rec.Registry()
+			out = append(out, RecoveryCostPoint{
+				KillIter:       kill,
+				Strategy:       strat,
+				RecomputeIters: reg.CounterValue(obs.MRecomputeIters),
+				ReplayedMsgs:   reg.CounterValue(obs.MMsgReplayed),
+				WallTime:       res.WallTime,
+				Completed:      !res.Failed,
+			})
+		}
+	}
+	return out
+}
+
+// RenderRecoveryCost writes the recovery-cost table.
+func RenderRecoveryCost(w io.Writer, pts []RecoveryCostPoint) {
+	fmt.Fprintln(w, "Recovery cost: recompute iterations after one kill (localized vs global rollback)")
+	fmt.Fprintln(w, "kill_iter\tstrategy\trecompute_iters\treplayed_msgs\twall_s\tcompleted")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%s\t%.0f\t%.0f\t%.3f\t%v\n",
+			p.KillIter, p.Strategy, p.RecomputeIters, p.ReplayedMsgs, p.WallTime, p.Completed)
+	}
+}
+
+// CheckRecoveryCost verifies the figure's acceptance property: on every
+// kill-after-checkpoint cell the localized scheme recomputes strictly less
+// than global rollback (it pays one rank's rollback instead of the
+// world's), both runs complete, and localized recovery actually replayed
+// the log rather than silently degrading to a global restore.
+func CheckRecoveryCost(pts []RecoveryCostPoint) []error {
+	global := map[int]RecoveryCostPoint{}
+	localized := map[int]RecoveryCostPoint{}
+	var errs []error
+	for _, p := range pts {
+		if !p.Completed {
+			errs = append(errs, fmt.Errorf("kill %d: %s run did not complete", p.KillIter, p.Strategy))
+		}
+		switch p.Strategy {
+		case core.StrategyLocalized:
+			localized[p.KillIter] = p
+		case core.StrategyFenixKRVeloC:
+			global[p.KillIter] = p
+		}
+	}
+	kills := make([]int, 0, len(localized))
+	for kill := range localized {
+		kills = append(kills, kill)
+	}
+	sort.Ints(kills)
+	for _, kill := range kills {
+		loc := localized[kill]
+		glob, ok := global[kill]
+		if !ok {
+			continue
+		}
+		if loc.RecomputeIters >= glob.RecomputeIters {
+			errs = append(errs, fmt.Errorf("kill %d: localized recompute %.0f >= global %.0f",
+				kill, loc.RecomputeIters, glob.RecomputeIters))
+		}
+		if loc.ReplayedMsgs == 0 {
+			errs = append(errs, fmt.Errorf("kill %d: localized run replayed no logged messages", kill))
+		}
+	}
+	return errs
+}

@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoveryCostLocalizedBelowGlobal pins the figure's acceptance
+// property on one kill-after-checkpoint cell: localized recovery recomputes
+// strictly fewer iterations than global rollback, because only the
+// replacement rolls back while survivors pause on the message log.
+func TestRecoveryCostLocalizedBelowGlobal(t *testing.T) {
+	pts := RecoveryCostStudy(RecoveryCostOptions{
+		Ranks: 8, Iterations: 20, Interval: 6, KillIters: []int{9},
+	})
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, err := range CheckRecoveryCost(pts) {
+		t.Error(err)
+	}
+	var b strings.Builder
+	RenderRecoveryCost(&b, pts)
+	for _, want := range []string{"kill_iter", "localized", "fenix-kr-veloc"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("rendered table missing %q:\n%s", want, b.String())
+		}
+	}
+}

@@ -85,6 +85,16 @@ type Config struct {
 	// Recovered reports whether this rank's memory was lost (Fenix role
 	// Recovered). Consulted only when RestoreSurvivors is false.
 	Recovered func() bool
+	// Localized selects message-log-backed localized recovery (DESIGN.md
+	// §12): on the restored iteration only the Recovered rank rolls back,
+	// and — unlike partial rollback — the region body is NOT re-executed
+	// collectively. The recovered rank re-executes forward alone, served
+	// by the message log, while survivors skip already-executed iterations
+	// (the session layer drives the skip and calls SkipRestore). Requires
+	// RestoreSurvivors=false and a Recovered callback. When the message
+	// log has been disabled (shrink compaction), recovery degrades to full
+	// rollback: every rank restores and communication stays aligned.
+	Localized bool
 }
 
 func (c Config) shouldCheckpoint(iter int) bool {
@@ -126,6 +136,9 @@ const (
 func MakeContext(p *mpi.Proc, comm *mpi.Comm, backend Backend, cfg Config) (*Context, error) {
 	if cfg.RestoreSurvivors && cfg.Recovered != nil {
 		return nil, errors.New("kr: Recovered callback only meaningful with RestoreSurvivors=false")
+	}
+	if cfg.Localized && (cfg.RestoreSurvivors || cfg.Recovered == nil) {
+		return nil, errors.New("kr: Localized requires RestoreSurvivors=false and a Recovered callback")
 	}
 	ctx := &Context{p: p, comm: comm, backend: backend, cfg: cfg, latest: -1, aliases: make(map[string]bool)}
 	// Wire the communicator through to the backend from the start, not only
@@ -184,6 +197,12 @@ func (c *Context) LatestVersion() int { return c.latest }
 // restore instead of execute.
 func (c *Context) RecoveryPending() bool { return c.recoveryPending }
 
+// SkipRestore disarms a pending recovery without touching view data. The
+// session layer calls it for a survivor that skips the restored iteration
+// under localized recovery: its live data already reflects that iteration,
+// so the pending restore must be consumed, not executed.
+func (c *Context) SkipRestore() { c.recoveryPending = false }
+
 // Comm returns the context's current communicator.
 func (c *Context) Comm() *mpi.Comm { return c.comm }
 
@@ -215,10 +234,12 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 
 	if c.recoveryPending && iter == c.latest {
 		c.recoveryPending = false
-		if c.cfg.RestoreSurvivors {
+		if c.cfg.RestoreSurvivors || (c.cfg.Localized && !c.p.MsgLogActive()) {
 			// Full rollback: every rank restores and the region body is
 			// skipped for this iteration (its effects are the restored
-			// data), keeping all ranks' communication aligned.
+			// data), keeping all ranks' communication aligned. Localized
+			// recovery degrades to this path when the message log was
+			// disabled (shrink compaction changed slot identity).
 			c.p.Event(obs.LayerKR, obs.EvKRRestoreBegin,
 				obs.KV("label", label), obs.KV("version", iter), obs.KV("views", len(cap.checkpointed)))
 			blob, err := c.backend.Restore(iter)
@@ -232,11 +253,34 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 				obs.KV("label", label), obs.KV("version", iter))
 			return nil
 		}
-		// Partial rollback: only the recovered rank rolls its data back,
-		// then ALL ranks execute the body — survivors with their newer
-		// in-progress data, the recovered rank with checkpoint data — so
-		// collectives stay aligned while the solver re-converges.
-		if c.cfg.Recovered != nil && c.cfg.Recovered() {
+		if c.cfg.Localized {
+			// Localized recovery: only the recovered rank restores, and the
+			// region body is NOT re-executed collectively — the restored
+			// data is this iteration's effect, and the recovered rank
+			// re-executes forward alone, served by the message log, while
+			// survivors pause in place (the session layer skips their
+			// executed iterations via SkipRestore, so a survivor normally
+			// never reaches this branch; one that does executes live).
+			if c.cfg.Recovered() {
+				c.p.Event(obs.LayerKR, obs.EvKRRestoreBegin,
+					obs.KV("label", label), obs.KV("version", iter),
+					obs.KV("views", len(cap.checkpointed)), obs.KV("mode", "localized"))
+				blob, err := c.backend.Restore(iter)
+				if err != nil {
+					return err
+				}
+				if err := deserializeViews(blob, cap.checkpointed); err != nil {
+					return err
+				}
+				c.p.Event(obs.LayerKR, obs.EvKRRestoreEnd,
+					obs.KV("label", label), obs.KV("version", iter), obs.KV("mode", "localized"))
+				return nil
+			}
+		} else if c.cfg.Recovered != nil && c.cfg.Recovered() {
+			// Partial rollback: only the recovered rank rolls its data back,
+			// then ALL ranks execute the body — survivors with their newer
+			// in-progress data, the recovered rank with checkpoint data — so
+			// collectives stay aligned while the solver re-converges.
 			c.p.Event(obs.LayerKR, obs.EvKRRestoreBegin,
 				obs.KV("label", label), obs.KV("version", iter), obs.KV("views", len(cap.checkpointed)))
 			blob, err := c.backend.Restore(iter)
@@ -289,6 +333,10 @@ func (c *Context) Checkpoint(label string, iter int, views []kokkos.View, body f
 			return err
 		}
 		c.latest = iter
+		// Feed the message log's GC watermark: once every slot has
+		// committed a version, entries from earlier epochs are unreachable
+		// and can be trimmed. No-op when logging is off.
+		c.p.MsgLogCommit(c.comm.Rank(c.p), iter)
 		c.p.Event(obs.LayerKR, obs.EvKRCheckpointEnd,
 			obs.KV("label", label), obs.KV("version", iter), obs.KV("bytes", simBytes))
 	}

@@ -106,6 +106,13 @@ type rendezvous struct {
 	deadAtEnd []int // world ranks dead at completion, in comm rank order
 	result    any   // memoized collective result (e.g. the shrunk comm)
 
+	// loggable marks a non-tolerant op on the registered resilient lineage:
+	// finishLocked appends its result slots to the message log on success.
+	loggable bool
+	// replayed marks a synthetic rendezvous served from the message log:
+	// its slots are owned by the log, so release is a no-op (never pooled).
+	replayed bool
+
 	// reduced memoizes the shared element-wise reduction so P members cost
 	// one O(P·n) pass instead of P of them. Guarded by world.mu.
 	reduced   []float64
@@ -130,6 +137,18 @@ func (r *rendezvous) finishLocked(w *World, syncTime float64) {
 	}
 	r.completed = true
 	r.syncTime = syncTime
+	if r.loggable && r.err == nil && w.msglog.Active() {
+		// Log the completed lineage collective for replay. Completion order
+		// equals program order (a collective completes only when every
+		// member arrived, and members arrive in program order), so the log
+		// is the lineage's successful-collective sequence. Slots are
+		// deep-copied: the op and its payload buffers are pooled.
+		slots, bytes := cloneSlotsForLog(r.slots)
+		w.msglog.AppendColl(slots, r.nArrived, bytes)
+		w.obs.Emit(syncTime, -1, obs.LayerMPI, obs.EvMsgLogged,
+			obs.KV("kind", "coll"), obs.KV("comm", r.comm.id), obs.KV("bytes", bytes))
+		w.obs.Registry().Counter(obs.MMsgLogged).Inc()
+	}
 	if r.done != nil {
 		close(r.done)
 	}
@@ -229,8 +248,39 @@ func (w *World) tryCompleteFlatLocked(r *rendezvous) {
 // extracting its results; on error the reference has already been
 // released.
 func (c *Comm) collective(p *Proc, tolerant bool, pl payload, bytes int) (*rendezvous, error) {
+	return c.collectiveLog(p, tolerant, true, pl, bytes)
+}
+
+// collectiveLog is collective with an explicit message-log opt-out. Split
+// passes logOK=false: its memoized result is a communicator, which cannot
+// be replayed from logged bytes (and no lineage workload splits
+// per-iteration).
+func (c *Comm) collectiveLog(p *Proc, tolerant, logOK bool, pl payload, bytes int) (*rendezvous, error) {
 	p.Inject("mpi.collective")
 	commRank := c.checkMember(p, "collective")
+	var l *MsgLog
+	if !tolerant && logOK {
+		l = p.msglogOn(c)
+	}
+	if l != nil {
+		if e, ok := l.collAt(p.logColl); ok {
+			// Served from the log: this collective completed in the epoch
+			// being replayed, so its logged result slots are returned at
+			// zero rendezvous cost — peers paused in place (or replaying
+			// themselves) never need to arrive again. The cursor advances
+			// without consuming a live sequence number: all members reach
+			// the first never-completed collective with cursor == lineage
+			// length and enter it live with aligned sequence numbers.
+			p.logColl++
+			p.Event(obs.LayerMPI, obs.EvMsgReplayed, obs.KV("kind", "coll"), obs.KV("comm", c.id))
+			p.world.obs.Registry().Counter(obs.MMsgReplayed).Inc()
+			fake := &rendezvous{comm: c, completed: true, syncTime: p.clock.Now(), replayed: true}
+			fake.slots = e.slots
+			fake.nArrived = e.nArrived
+			fake.refs.Store(1)
+			return fake, nil
+		}
+	}
 	// Tolerant collectives (Shrink/Agree) use a separate sequence space:
 	// after a failure, survivors reach them having executed different
 	// numbers of regular collectives, so they cannot share the counter.
@@ -259,6 +309,7 @@ func (c *Comm) collective(p *Proc, tolerant bool, pl payload, bytes int) (*rende
 	r, ok := w.colls[key]
 	if !ok {
 		r = w.acquireOpLocked(c, tolerant, key)
+		r.loggable = l != nil
 		w.colls[key] = r
 		if w.engine == EngineTree {
 			w.seedTerminalLocked(r)
@@ -302,7 +353,46 @@ func (c *Comm) collective(p *Proc, tolerant bool, pl payload, bytes int) (*rende
 		r.release(w)
 		return nil, err
 	}
+	if l != nil {
+		// This member completed one more logged lineage collective.
+		p.logColl++
+	}
 	return r, nil
+}
+
+// cloneSlotsForLog deep-copies a completed rendezvous' slots for the
+// message log (the originals and their payload buffers are pooled).
+// Returns the copies and the total payload bytes held.
+func cloneSlotsForLog(slots []slot) ([]slot, int) {
+	out := make([]slot, len(slots))
+	bytes := 0
+	for i := range slots {
+		s := slots[i]
+		if len(s.pl.f64) > 0 {
+			cp := make([]float64, len(s.pl.f64))
+			copy(cp, s.pl.f64)
+			s.pl.f64 = cp
+			bytes += 8 * len(cp)
+		}
+		if len(s.pl.b) > 0 {
+			cp := make([]byte, len(s.pl.b))
+			copy(cp, s.pl.b)
+			s.pl.b = cp
+			bytes += len(cp)
+		}
+		if len(s.pl.bb) > 0 {
+			cpp := make([][]byte, len(s.pl.bb))
+			for j, b := range s.pl.bb {
+				cb := make([]byte, len(b))
+				copy(cb, b)
+				cpp[j] = cb
+				bytes += len(cb)
+			}
+			s.pl.bb = cpp
+		}
+		out[i] = s
+	}
+	return out, bytes
 }
 
 // Barrier blocks until all live members arrive. It fails with FailedError

@@ -176,7 +176,7 @@ func (c *Comm) Send(p *Proc, dst, tag int, data []byte) error {
 // real buffer length, used when a small real buffer stands in for
 // paper-scale data (see kokkos.View.SimBytes).
 func (c *Comm) SendSized(p *Proc, dst, tag int, data []byte, simBytes int) error {
-	c.checkMember(p, "Send")
+	me := c.checkMember(p, "Send")
 	dstW := c.WorldRank(dst)
 	if p.obsDead[dstW] {
 		p.waitForDetection([]int{dstW})
@@ -189,13 +189,50 @@ func (c *Comm) SendSized(p *Proc, dst, tag int, data []byte, simBytes int) error
 	p.clock.Advance(cost)
 	p.rec.Add(trace.AppMPI, cost)
 
+	l := p.msglogOn(c)
+	lkey := p2pKey{src: me, dst: dst, tag: tag}
+	seq := -1
+	if l != nil {
+		seq = p.logSend[lkey]
+		if seq < l.p2pLen(lkey) {
+			// Replay: this message was delivered and logged by a previous
+			// incarnation of this program point; suppress the duplicate.
+			p.bumpSend(lkey, seq)
+			p.noteReplay("send", dst, tag)
+			return nil
+		}
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	c.world.procs[dstW].mail.deliver(
 		msgKey{comm: c.id, src: p.rank, tag: tag},
-		message{data: cp, arriveAt: p.clock.Now()},
+		message{data: cp, arriveAt: p.clock.Now(), seq: seq},
 	)
+	if l != nil {
+		// Deliver before append: a receiver that sees the log entry is
+		// guaranteed the mailbox copy exists too.
+		l.AppendP2P(lkey, data, simBytes, p.clock.Now())
+		p.bumpSend(lkey, seq)
+		p.Event(obs.LayerMPI, obs.EvMsgLogged, obs.KV("peer", dst), obs.KV("tag", tag), obs.KV("bytes", simBytes))
+		p.world.obs.Registry().Counter(obs.MMsgLogged).Inc()
+		p.msglogGauges(l)
+	}
 	return nil
+}
+
+// bumpSend advances the send cursor for lkey past seq.
+func (p *Proc) bumpSend(lkey p2pKey, seq int) {
+	if p.logSend == nil {
+		p.logSend = make(map[p2pKey]int)
+	}
+	p.logSend[lkey] = seq + 1
+}
+
+// noteReplay emits the replay event + counter for one suppressed/served
+// operation.
+func (p *Proc) noteReplay(kind string, peer, tag int) {
+	p.Event(obs.LayerMPI, obs.EvMsgReplayed, obs.KV("kind", kind), obs.KV("peer", peer), obs.KV("tag", tag))
+	p.world.obs.Registry().Counter(obs.MMsgReplayed).Inc()
 }
 
 // Recv blocks until a message with the given tag from comm rank src
@@ -204,10 +241,18 @@ func (c *Comm) SendSized(p *Proc, dst, tag int, data []byte, simBytes int) error
 // communicator (sends are eager, so a message posted before the sender's
 // death or departure is always drained first).
 func (c *Comm) Recv(p *Proc, src, tag int) ([]byte, error) {
-	c.checkMember(p, "Recv")
+	me := c.checkMember(p, "Recv")
 	srcW := c.WorldRank(src)
 	start := p.clock.Now()
 	key := msgKey{comm: c.id, src: srcW, tag: tag}
+	l := p.msglogOn(c)
+	lkey := p2pKey{src: src, dst: me, tag: tag}
+	if l != nil {
+		seq := p.logRecv[lkey]
+		if e, ok := l.p2pAt(lkey, seq); ok {
+			return c.recvFromLog(p, l, key, lkey, seq, e, start), nil
+		}
+	}
 	var release float64
 	msg, err := p.mail.receive(p, key, func() error {
 		e, rel := c.recvGiveUp(srcW)
@@ -225,7 +270,47 @@ func (c *Comm) Recv(p *Proc, src, tag int) ([]byte, error) {
 	recvOverhead := p.congest(p.world.machine.NetLatency)
 	p.clock.Advance(recvOverhead)
 	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+	if l != nil {
+		p.bumpRecv(l, lkey, msg.seq)
+	}
 	return msg.data, nil
+}
+
+// recvFromLog serves one logged message: it consumes the live mailbox copy
+// (if the original send delivered on this communicator), reproduces the
+// logged arrival time, and returns a fresh copy of the payload.
+func (c *Comm) recvFromLog(p *Proc, l *MsgLog, key msgKey, lkey p2pKey, seq int, e p2pEntry, start float64) []byte {
+	p.mail.dropThrough(key, seq)
+	p.clock.AdvanceTo(e.arriveAt)
+	recvOverhead := p.congest(p.world.machine.NetLatency)
+	p.clock.Advance(recvOverhead)
+	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+	if replay := l.noteConsumed(lkey, seq); replay {
+		p.noteReplay("recv", lkey.src, lkey.tag)
+	}
+	if p.logRecv == nil {
+		p.logRecv = make(map[p2pKey]int)
+	}
+	p.logRecv[lkey] = seq + 1
+	out := make([]byte, len(e.data))
+	copy(out, e.data)
+	return out
+}
+
+// bumpRecv advances the receive cursor for lkey after a live mailbox
+// consumption of the message carrying absolute sequence seq (-1 when the
+// send was unlogged, in which case the cursor simply increments).
+func (p *Proc) bumpRecv(l *MsgLog, lkey p2pKey, seq int) {
+	if p.logRecv == nil {
+		p.logRecv = make(map[p2pKey]int)
+	}
+	if seq < 0 {
+		seq = p.logRecv[lkey]
+		p.logRecv[lkey] = seq + 1
+		return
+	}
+	l.noteConsumed(lkey, seq)
+	p.logRecv[lkey] = seq + 1
 }
 
 // Sendrecv performs a combined send to dst and receive from src, the idiom
@@ -290,7 +375,7 @@ func (c *Comm) Revoke(p *Proc) {
 // broken by old comm rank). Members passing a negative color receive nil
 // (MPI_UNDEFINED). Split is collective.
 func (c *Comm) Split(p *Proc, color, key int) (*Comm, error) {
-	r, err := c.collective(p, false, payload{a: int64(color), k: int64(key), has: true}, 8)
+	r, err := c.collectiveLog(p, false, false, payload{a: int64(color), k: int64(key), has: true}, 8)
 	if err != nil {
 		return nil, err
 	}

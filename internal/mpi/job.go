@@ -68,6 +68,10 @@ type JobConfig struct {
 	// executable spec); ExecPool multiplexes rank continuations onto
 	// GOMAXPROCS execution slots for O(10k)-rank worlds.
 	Exec ExecMode
+	// MsgLog enables the sender-based message log (msglog.go) on every
+	// launch's world, the capture side of localized recovery. The process
+	// resilience layer registers its lineage communicators with it.
+	MsgLog bool
 }
 
 func (cfg *JobConfig) normalize() {
@@ -168,6 +172,9 @@ func RunJob(cfg JobConfig, f RankFunc) *JobResult {
 		w.SetInjector(cfg.Inject)
 		w.SetEngine(cfg.Engine)
 		w.SetExecMode(cfg.Exec)
+		if cfg.MsgLog {
+			w.EnableMsgLog()
+		}
 		res.Launches++
 		cfg.Obs.Emit(start, -1, obs.LayerMPI, obs.EvJobLaunch,
 			obs.KV("attempt", attempt), obs.KV("ranks", cfg.Ranks), obs.KV("nodes", nodes))

@@ -11,10 +11,15 @@ type msgKey struct {
 }
 
 // message is an in-flight point-to-point payload. arriveAt is the virtual
-// time at which the message is available at the receiver.
+// time at which the message is available at the receiver. seq is the
+// message's absolute sequence number in the sender-based message log's
+// stream for this (sender, receiver, tag), or -1 when the send was not
+// logged; a receiver that serves the same message from the log drops the
+// mailbox copy by seq (dropThrough).
 type message struct {
 	data     []byte
 	arriveAt float64
+	seq      int
 }
 
 // msgQueue is one matching queue: a slice consumed from head so dequeue
@@ -119,6 +124,29 @@ func (m *mailbox) receive(p *Proc, key msgKey, giveUp func() error) (message, er
 		p.regainSlot()
 	}
 	return msg, err
+}
+
+// dropThrough removes queued messages for key whose log sequence number is
+// <= maxSeq. When a receiver serves a message from the sender-based log,
+// the live mailbox copy (delivered by the original send on the same
+// communicator) must be consumed too, or it would satisfy a later receive
+// out of order. Messages with seq -1 (unlogged sends) are never dropped.
+func (m *mailbox) dropThrough(key msgKey, maxSeq int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	q, ok := m.q[key]
+	if !ok {
+		return
+	}
+	for q.head < len(q.msgs) && q.msgs[q.head].seq >= 0 && q.msgs[q.head].seq <= maxSeq {
+		q.msgs[q.head] = message{}
+		q.head++
+	}
+	if q.head == len(q.msgs) {
+		q.head, q.msgs = 0, q.msgs[:0]
+		delete(m.q, key)
+		m.free = append(m.free, q)
+	}
 }
 
 // pending reports the number of queued messages for key (for tests).

@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,11 @@ type Request struct {
 	key msgKey
 	src int // world rank
 
+	// message-log stream key (valid when logged is true): the sender-based
+	// log consulted by Wait on the receive side.
+	lkey   p2pKey
+	logged bool
+
 	done bool
 	data []byte
 	err  error
@@ -45,7 +51,7 @@ func (c *Comm) Isend(p *Proc, dst, tag int, data []byte) (*Request, error) {
 // of the destination's death or of its own departure from the communicator
 // (see Comm.Send).
 func (c *Comm) IsendSized(p *Proc, dst, tag int, data []byte, simBytes int) (*Request, error) {
-	c.checkMember(p, "Isend")
+	me := c.checkMember(p, "Isend")
 	dstW := c.WorldRank(dst)
 	if p.obsDead[dstW] {
 		p.waitForDetection([]int{dstW})
@@ -60,26 +66,48 @@ func (c *Comm) IsendSized(p *Proc, dst, tag int, data []byte, simBytes int) (*Re
 	p.clock.Advance(post)
 	p.rec.Add(trace.AppMPI, post)
 
+	l := p.msglogOn(c)
+	lkey := p2pKey{src: me, dst: dst, tag: tag}
+	seq := -1
+	if l != nil {
+		seq = p.logSend[lkey]
+		if seq < l.p2pLen(lkey) {
+			// Replay: already delivered and logged; suppress the duplicate
+			// but keep the send's timing contract (Wait settles to arrive).
+			p.bumpSend(lkey, seq)
+			p.noteReplay("send", dst, tag)
+			return &Request{p: p, comm: c, isSend: true, completeAt: p.clock.Now() + cost}, nil
+		}
+	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	arrive := p.clock.Now() + cost
 	c.world.procs[dstW].mail.deliver(
 		msgKey{comm: c.id, src: p.rank, tag: tag},
-		message{data: cp, arriveAt: arrive},
+		message{data: cp, arriveAt: arrive, seq: seq},
 	)
+	if l != nil {
+		l.AppendP2P(lkey, data, simBytes, arrive)
+		p.bumpSend(lkey, seq)
+		p.Event(obs.LayerMPI, obs.EvMsgLogged, obs.KV("peer", dst), obs.KV("tag", tag), obs.KV("bytes", simBytes))
+		p.world.obs.Registry().Counter(obs.MMsgLogged).Inc()
+		p.msglogGauges(l)
+	}
 	return &Request{p: p, comm: c, isSend: true, completeAt: arrive}, nil
 }
 
 // Irecv posts a nonblocking receive for a message from comm rank src with
 // the given tag. The data is produced by Wait.
 func (c *Comm) Irecv(p *Proc, src, tag int) (*Request, error) {
-	c.checkMember(p, "Irecv")
+	me := c.checkMember(p, "Irecv")
 	srcW := c.WorldRank(src)
 	return &Request{
-		p:    p,
-		comm: c,
-		key:  msgKey{comm: c.id, src: srcW, tag: tag},
-		src:  srcW,
+		p:      p,
+		comm:   c,
+		key:    msgKey{comm: c.id, src: srcW, tag: tag},
+		src:    srcW,
+		lkey:   p2pKey{src: src, dst: me, tag: tag},
+		logged: p.msglogOn(c) != nil,
 	}, nil
 }
 
@@ -100,6 +128,31 @@ func (r *Request) Wait() ([]byte, error) {
 	}
 
 	start := p.clock.Now()
+	var l *MsgLog
+	if r.logged {
+		l = p.msglogOn(r.comm)
+	}
+	if l != nil {
+		seq := p.logRecv[r.lkey]
+		if e, ok := l.p2pAt(r.lkey, seq); ok {
+			// Served from the sender-based log (same path as Comm.Recv, but
+			// with Wait's un-congested completion overhead).
+			p.mail.dropThrough(r.key, seq)
+			p.clock.AdvanceTo(e.arriveAt)
+			p.clock.Advance(p.world.machine.NetLatency)
+			p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+			if replay := l.noteConsumed(r.lkey, seq); replay {
+				p.noteReplay("recv", r.lkey.src, r.lkey.tag)
+			}
+			if p.logRecv == nil {
+				p.logRecv = make(map[p2pKey]int)
+			}
+			p.logRecv[r.lkey] = seq + 1
+			out := make([]byte, len(e.data))
+			copy(out, e.data)
+			return out, nil
+		}
+	}
 	var release float64
 	msg, err := p.mail.receive(p, r.key, func() error {
 		e, rel := r.comm.recvGiveUp(r.src)
@@ -114,6 +167,9 @@ func (r *Request) Wait() ([]byte, error) {
 	p.clock.AdvanceTo(msg.arriveAt)
 	p.clock.Advance(p.world.machine.NetLatency)
 	p.rec.Add(trace.AppMPI, p.clock.Now()-start)
+	if l != nil {
+		p.bumpRecv(l, r.lkey, msg.seq)
+	}
 	return msg.data, nil
 }
 

@@ -36,6 +36,18 @@ type Proc struct {
 	// sends to a rank known dead fail fast deterministically. Owned by the
 	// rank goroutine; no lock needed.
 	obsDead map[int]bool
+
+	// Message-log cursors (msglog.go), owned by the rank goroutine. They
+	// track how far this process has progressed through each logged stream:
+	// a send below the stream length is suppressed (already delivered), a
+	// receive below it is served from the log, a collective cursor below
+	// the lineage length returns the logged result. logExempt marks
+	// sections (e.g. the recovery-time version agreement) whose traffic is
+	// outside the replayed program order and must stay live and unlogged.
+	logSend   map[p2pKey]int
+	logRecv   map[p2pKey]int
+	logColl   int
+	logExempt int
 }
 
 func newProc(w *World, rank int, node *cluster.Node, rng *sim.RNG, startTime float64) *Proc {
@@ -216,6 +228,162 @@ func (p *Proc) noteFailures(err error) {
 		p.Event(obs.LayerMPI, obs.EvFailureDetected, obs.KV("failed_rank", wr))
 		p.world.obs.Registry().Counter(obs.MFailuresDetected).Inc()
 	}
+}
+
+// msglogOn returns the world's message log when it should mediate traffic
+// on c for this process: the log is live, c is part of the registered
+// resilient lineage, and the process is not inside an exempt section.
+func (p *Proc) msglogOn(c *Comm) *MsgLog {
+	l := p.world.msglog
+	if l == nil || p.logExempt > 0 || !l.registered(c.id) {
+		return nil
+	}
+	return l
+}
+
+// LogExemptBegin marks the start of a message-log-exempt section: traffic
+// until the matching LogExemptEnd is neither logged nor replayed. Recovery
+// infrastructure (the checkpoint version agreement) uses this so its
+// collectives do not shift the replayed lineage's cursor space.
+func (p *Proc) LogExemptBegin() { p.logExempt++ }
+
+// LogExemptEnd closes the innermost exempt section.
+func (p *Proc) LogExemptEnd() {
+	if p.logExempt == 0 {
+		panic("mpi: unbalanced LogExemptEnd")
+	}
+	p.logExempt--
+}
+
+// MsgLogActive reports whether the world's message log is live (enabled
+// and not disabled by a shrink compaction). Localized recovery is only
+// possible while it is.
+func (p *Proc) MsgLogActive() bool { return p.world.msglog.Active() }
+
+// msglogCursors builds a snapshot of this process's current log cursors.
+func (p *Proc) msglogCursors() *CursorSnap {
+	s := &CursorSnap{Send: make(map[p2pKey]int, len(p.logSend)), Recv: make(map[p2pKey]int, len(p.logRecv)), Coll: p.logColl}
+	for k, v := range p.logSend {
+		s.Send[k] = v
+	}
+	for k, v := range p.logRecv {
+		s.Recv[k] = v
+	}
+	return s
+}
+
+// installCursors replaces this process's log cursors with s (p2p only when
+// p2pToo; the collective cursor is always installed).
+func (p *Proc) installCursors(s *CursorSnap, p2pToo bool) {
+	p.logColl = s.Coll
+	if !p2pToo {
+		return
+	}
+	p.logSend = make(map[p2pKey]int, len(s.Send))
+	for k, v := range s.Send {
+		p.logSend[k] = v
+	}
+	p.logRecv = make(map[p2pKey]int, len(s.Recv))
+	for k, v := range s.Recv {
+		p.logRecv[k] = v
+	}
+}
+
+// MsgLogRecord records this process's cursors as logical slot `slot`'s
+// boundary snapshot for iteration iter (first incarnation to reach the
+// boundary wins). No-op when the log is inactive.
+func (p *Proc) MsgLogRecord(slot, iter int) {
+	l := p.world.msglog
+	if !l.Active() {
+		return
+	}
+	l.Snapshot(slot, iter, p.msglogCursors())
+}
+
+// MsgLogInstall installs the boundary snapshot for (slot, iter) into this
+// process's cursors and reports whether one existed. p2pToo selects
+// whether point-to-point cursors are rewound as well (replaying
+// replacements) or only the collective cursor (paused survivors, whose
+// live p2p cursors are ground truth).
+func (p *Proc) MsgLogInstall(slot, iter int, p2pToo bool) bool {
+	l := p.world.msglog
+	if !l.Active() {
+		return false
+	}
+	s := l.SnapshotAt(slot, iter)
+	if s == nil {
+		return false
+	}
+	p.installCursors(s, p2pToo)
+	return true
+}
+
+// MsgLogHasSnapshot reports whether a boundary snapshot exists for (slot,
+// iter).
+func (p *Proc) MsgLogHasSnapshot(slot, iter int) bool {
+	l := p.world.msglog
+	return l.Active() && l.SnapshotAt(slot, iter) != nil
+}
+
+// MsgLogFastForward sets this process's cursors to the frontier of every
+// stream touching slot: the state of a rank that has sent and consumed
+// everything logged for it. A replacement whose restored checkpoint
+// version V covers a fully-executed iteration with no recorded successor
+// boundary (the predecessor died right after committing V) uses this to
+// jump over the restored iteration's traffic.
+func (p *Proc) MsgLogFastForward(slot int) {
+	l := p.world.msglog
+	if !l.Active() {
+		return
+	}
+	p.installCursors(l.frontier(slot), true)
+}
+
+// MsgLogResetCursors zeroes this process's log cursors.
+func (p *Proc) MsgLogResetCursors() {
+	p.logSend, p.logRecv, p.logColl = nil, nil, 0
+}
+
+// MsgLogResetOnce clears the whole world log for repair generation gen
+// (first caller wins) and zeroes this process's cursors. Used when a
+// recovery finds no committed checkpoint: the run re-executes from
+// scratch, so the aborted epoch's log is garbage everywhere.
+func (p *Proc) MsgLogResetOnce(gen int) {
+	l := p.world.msglog
+	if !l.Active() {
+		return
+	}
+	l.ResetOnce(gen)
+	p.MsgLogResetCursors()
+}
+
+// MsgLogCommit records that logical slot `slot` committed checkpoint
+// version `version`, advancing the GC watermark and trimming unreachable
+// entries when every slot has committed. It updates the log-size gauges
+// and emits mpi.msg_log_trim when entries were dropped.
+func (p *Proc) MsgLogCommit(slot, version int) {
+	l := p.world.msglog
+	if !l.Active() {
+		return
+	}
+	water, trimmed := l.NoteCommit(slot, version)
+	p.msglogGauges(l)
+	if trimmed > 0 {
+		reg := p.world.obs.Registry()
+		reg.Counter(obs.MMsgLogTrimmed).Add(float64(trimmed))
+		entries, bytes, _, _ := l.Stats()
+		p.Event(obs.LayerMPI, obs.EvMsgLogTrim,
+			obs.KV("watermark", water), obs.KV("trimmed", trimmed),
+			obs.KV("entries", entries), obs.KV("bytes", bytes))
+	}
+}
+
+// msglogGauges publishes the log's current size to the metrics registry.
+func (p *Proc) msglogGauges(l *MsgLog) {
+	entries, bytes, _, _ := l.Stats()
+	reg := p.world.obs.Registry()
+	reg.Gauge(obs.MMsgLogEntries).Set(float64(entries))
+	reg.Gauge(obs.MMsgLogBytes).Set(float64(bytes))
 }
 
 // nextSeq returns the process's next collective sequence number on comm id.

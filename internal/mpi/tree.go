@@ -129,6 +129,7 @@ func (w *World) acquireOpLocked(c *Comm, tolerant bool, key collKey) *rendezvous
 	r.completed, r.err, r.syncTime = false, nil, 0
 	r.deadAtEnd = r.deadAtEnd[:0]
 	r.result = nil
+	r.loggable, r.replayed = false, false
 	r.reduced, r.reduceErr, r.reducedOK = r.reduced[:0], nil, false
 	return r
 }
@@ -157,6 +158,11 @@ func (w *World) releaseOp(r *rendezvous) {
 // is closed), no further references are taken, so the atomic decrement
 // alone decides the last reader.
 func (r *rendezvous) release(w *World) {
+	if r.replayed {
+		// Synthetic log-served op: its slots are owned by the message log
+		// and it was never pooled — recycling would poison the log.
+		return
+	}
 	if r.refs.Add(-1) == 0 {
 		w.releaseOp(r)
 	}

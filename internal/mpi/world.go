@@ -52,6 +52,10 @@ type World struct {
 	// exec.go); unused in goroutine mode, which keeps the specification
 	// mode's allocation behaviour untouched.
 	bufs bufFree
+	// msglog, when non-nil, is the sender-based message log backing
+	// localized recovery (msglog.go). Set via EnableMsgLog before ranks
+	// start; nil keeps every hot path untouched.
+	msglog *MsgLog
 
 	mu     sync.Mutex
 	dead   []bool
@@ -157,6 +161,26 @@ func (w *World) ExecutionMode() ExecMode {
 
 // Obs returns the world's observability recorder (possibly nil).
 func (w *World) Obs() *obs.Recorder { return w.obs }
+
+// EnableMsgLog installs a fresh sender-based message log (msglog.go). It
+// must be called before any rank goroutine starts; without it, logging and
+// replay are disabled and no hot path pays any cost.
+func (w *World) EnableMsgLog() { w.msglog = NewMsgLog() }
+
+// MsgLog returns the world's message log, or nil when disabled.
+func (w *World) MsgLog() *MsgLog { return w.msglog }
+
+// RegisterLineageComm marks c as part of the resilient lineage for the
+// message log: traffic on it is recorded for localized recovery. The
+// process resilience layer calls this for the initial resilient
+// communicator and for every repaired successor. A no-op when the log is
+// disabled; a width change (shrink compaction) disables the log.
+func (w *World) RegisterLineageComm(c *Comm) {
+	if w.msglog == nil || c == nil {
+		return
+	}
+	w.msglog.RegisterComm(c.id, len(c.group))
+}
 
 // Size returns the number of processes in the world.
 func (w *World) Size() int { return len(w.procs) }

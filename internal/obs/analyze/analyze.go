@@ -118,6 +118,12 @@ type Span struct {
 	// RecomputedIters counts re-executed iterations attributed to this
 	// span, across all ranks.
 	RecomputedIters int `json:"recomputed_iters"`
+	// ReplayedMsgs counts message-log replay deliveries (mpi.msg_replayed
+	// events) attributed to this span's recompute window: under localized
+	// recovery the replacement's re-execution is fed from the log, so a
+	// span with replayed messages recomputed on one rank while survivors
+	// paused in place.
+	ReplayedMsgs int `json:"replayed_msgs,omitempty"`
 	// FlushWaitSeconds sums the scheduler queue wait (flush_start
 	// wait_seconds) of flushes started inside the span's window — how much
 	// flush backlog overlapped this recovery episode.
@@ -499,6 +505,10 @@ func buildSpan(events []obs.Event, a anchor, start, windowEnd float64) Span {
 		case obs.EvVeloCFlushStart:
 			if w, ok := attrNum(e, "wait_seconds"); ok {
 				sp.FlushWaitSeconds += w
+			}
+		case obs.EvMsgReplayed:
+			if e.Time >= a.time {
+				sp.ReplayedMsgs++
 			}
 		case obs.EvRecomputeBegin:
 			if e.Time < a.time {

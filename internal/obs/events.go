@@ -3,12 +3,13 @@ package obs
 // Layer names, used as the Event.Layer field and as the "layer" metric
 // label where a metric is shared between data backends.
 const (
-	LayerMPI   = "mpi"
-	LayerFenix = "fenix"
-	LayerKR    = "kr"
-	LayerVeloC = "veloc"
-	LayerCore  = "core"
-	LayerChaos = "chaos"
+	LayerMPI     = "mpi"
+	LayerFenix   = "fenix"
+	LayerKR      = "kr"
+	LayerVeloC   = "veloc"
+	LayerCore    = "core"
+	LayerChaos   = "chaos"
+	LayerCluster = "cluster"
 )
 
 // Event names. The authoritative documentation — which layer emits each
@@ -25,6 +26,21 @@ const (
 	EvRevoke          = "mpi.revoke"
 	EvShrink          = "mpi.shrink"
 	EvAgree           = "mpi.agree"
+
+	// mpi message log: sender-based logging for localized recovery. A send
+	// on the resilient lineage is logged (msg_logged); during recovery,
+	// suppressed re-sends, log-served receives, and log-served collectives
+	// are replays (msg_replayed, attr kind=send|recv|coll); msg_log_trim
+	// marks a garbage-collection pass after the commit watermark advanced.
+	EvMsgLogged   = "mpi.msg_logged"
+	EvMsgReplayed = "mpi.msg_replayed"
+	EvMsgLogTrim  = "mpi.msg_log_trim"
+
+	// cluster: flush-scheduler anomalies. flush_reorder flags the DESIGN
+	// §10 deep-skew corner: a virtually-earlier superseding submission
+	// arrived after a virtually-later same-node observer had already
+	// forced commitment of the version it would have replaced.
+	EvFlushReorder = "cluster.flush_reorder"
 
 	// fenix: process-resilience lifecycle.
 	EvFenixInit        = "fenix.init"
@@ -82,6 +98,7 @@ const (
 func EventNames() []string {
 	return []string{
 		EvJobLaunch, EvJobEnd, EvRankExit, EvFailureDetected, EvRevoke, EvShrink, EvAgree,
+		EvMsgLogged, EvMsgReplayed, EvMsgLogTrim, EvFlushReorder,
 		EvFenixInit, EvFenixRebuild, EvFenixRoleChange, EvFenixIMRExchange, EvFenixIMRRestore,
 		EvKRInit, EvKRRecoveryArmed, EvKRReset, EvKRCheckpointBegin, EvKRCheckpointEnd,
 		EvKRRestoreBegin, EvKRRestoreEnd, EvKRCheckpointRejected,
@@ -105,8 +122,17 @@ const (
 	MShrinks          = "mpi_shrinks_total"
 	MAgreements       = "mpi_agreements_total"
 
+	MMsgLogged     = "mpi_msgs_logged_total"
+	MMsgReplayed   = "mpi_msgs_replayed_total"
+	MMsgLogTrimmed = "mpi_msg_log_trimmed_total"
+	MMsgLogEntries = "mpi_msg_log_entries" // gauge: live log entries (p2p + collective)
+	MMsgLogBytes   = "mpi_msg_log_bytes"   // gauge: sim payload bytes held by the log
+	MReplaySeconds = "mpi_replay_seconds"  // histogram: virtual time from recovery re-entry to first live iteration
+	MFlushReorders = "cluster_flush_reorders_total"
+
 	MRebuilds        = "fenix_rebuilds_total"
 	MSparesActivated = "fenix_spares_activated_total"
+	MRehosts         = "fenix_rehosts_total"
 
 	MCheckpoints           = "checkpoints_total"       // label: layer
 	MCheckpointBytes       = "checkpoint_bytes_total"  // label: layer
@@ -140,7 +166,9 @@ func MetricNames() []string {
 	return []string{
 		MJobLaunches, MFailuresInjected, MFailuresDetected, MFailuresSurvived,
 		MRevokes, MShrinks, MAgreements,
-		MRebuilds, MSparesActivated,
+		MMsgLogged, MMsgReplayed, MMsgLogTrimmed, MMsgLogEntries, MMsgLogBytes,
+		MReplaySeconds, MFlushReorders,
+		MRebuilds, MSparesActivated, MRehosts,
 		MCheckpoints, MCheckpointBytes, MCheckpointSyncSeconds,
 		MRestores, MRestoreBytes, MRestoreSeconds, MKRRegions,
 		MFlushes, MFlushSeconds, MFlushQueueDepth,

@@ -134,7 +134,8 @@ func (h *Histogram) Count() uint64 {
 // target rank, mirroring Prometheus's histogram_quantile: the first bucket
 // interpolates from zero (observations are non-negative virtual seconds or
 // bytes), and a rank landing in the +Inf overflow bucket clamps to the
-// highest finite bound. The estimate is exact whenever the target rank
+// highest finite bound (or the empirical mean when the histogram has no
+// finite bounds at all). The estimate is exact whenever the target rank
 // falls on a bucket boundary and never leaves the bucket's bounds, so it
 // is safe for p50/p99 reporting without retaining raw samples.
 //
@@ -164,7 +165,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if i == len(h.bounds) {
 			// Overflow bucket: no finite upper bound to interpolate toward.
 			if len(h.bounds) == 0 {
-				return math.NaN()
+				// A bound-less histogram puts every observation in its sole
+				// (+Inf) bucket. The empirical mean is the only point
+				// estimate available, and being constant in q it keeps
+				// quantiles monotone instead of collapsing to NaN.
+				return h.sum / float64(h.n)
 			}
 			return h.bounds[len(h.bounds)-1]
 		}

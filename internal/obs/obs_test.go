@@ -243,7 +243,7 @@ func TestEventNamesUnique(t *testing.T) {
 			continue
 		}
 		switch layer := n[:dot]; layer {
-		case LayerMPI, LayerFenix, LayerKR, LayerVeloC, LayerCore, LayerChaos:
+		case LayerMPI, LayerFenix, LayerKR, LayerVeloC, LayerCore, LayerChaos, LayerCluster:
 		default:
 			t.Errorf("event %s has unknown layer prefix %q", n, layer)
 		}

@@ -64,6 +64,30 @@ func TestQuantileOverflowBucket(t *testing.T) {
 	}
 }
 
+// TestQuantileAllSamplesInOverflowNoBounds pins the bound-less edge: a
+// histogram created with zero finite bounds puts every observation in its
+// sole +Inf bucket. There is no bound to clamp to, but the estimator must
+// not collapse to NaN with real observations present — it falls back to
+// the empirical mean, which is constant in q and therefore monotone.
+func TestQuantileAllSamplesInOverflowNoBounds(t *testing.T) {
+	h := quantHist([]float64{}) // non-nil empty: no TimeBuckets default
+	h.Observe(2)
+	h.Observe(4)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3 {
+			t.Errorf("Quantile(%v) = %v, want the empirical mean 3", q, got)
+		}
+	}
+	// Quantiles must never come back out of order.
+	if p50, p99 := h.Quantile(0.5), h.Quantile(0.99); p50 > p99 {
+		t.Errorf("p50 %v > p99 %v", p50, p99)
+	}
+	// Before any observation the distribution is genuinely undefined.
+	if got := quantHist([]float64{}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty bound-less histogram Quantile = %v, want NaN", got)
+	}
+}
+
 func TestQuantileNaNSafety(t *testing.T) {
 	var nilHist *Histogram
 	if got := nilHist.Quantile(0.5); !math.IsNaN(got) {

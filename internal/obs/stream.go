@@ -56,8 +56,13 @@ func (r *Recorder) StreamJSONL(w io.Writer, window float64) {
 	}
 	s := &jsonlStream{w: w, window: window}
 	// Events recorded before the stream was attached enter the window too.
-	for _, e := range r.events {
-		s.push(e)
+	// A wrapped ring is rotated in place — the oldest retained event sits
+	// at ringStart — so the backlog must be pushed chronologically from
+	// there: raw slice order would feed the newest tail first, advance the
+	// watermark past the older head, and write the head out of order as
+	// spurious "late" events.
+	for i := range r.events {
+		s.push(r.events[(r.ringStart+i)%len(r.events)])
 	}
 	r.stream = s
 }

@@ -227,6 +227,37 @@ func TestRingWithStreamKeepsFullLog(t *testing.T) {
 	}
 }
 
+// TestStreamAttachAfterRingWrap pins the rotated-backlog edge: attaching a
+// stream to a recorder whose ring has wrapped mid-rotation must push the
+// retained events chronologically from ringStart. Feeding the slice in raw
+// order would hand the newest tail to the window first, advance the
+// watermark past the older head, and emit the head out of order as
+// spurious late events.
+func TestStreamAttachAfterRingWrap(t *testing.T) {
+	r := New()
+	r.SetRingCapacity(4)
+	// Seven events: the ring holds t=3..6 rotated in place (ringStart != 0).
+	for i := 0; i < 7; i++ {
+		r.Emit(float64(i), 0, LayerMPI, EvRevoke)
+	}
+	var stream strings.Builder
+	r.StreamJSONL(&stream, 1.0)
+	if err := r.FlushStream(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.StreamLate(); got != 0 {
+		t.Errorf("late events = %d, want 0 (backlog must stream chronologically)", got)
+	}
+	var post strings.Builder
+	if err := r.WriteJSONL(&post); err != nil {
+		t.Fatal(err)
+	}
+	if stream.String() != post.String() {
+		t.Errorf("wrapped-ring backlog streamed out of order:\nstream:\n%s\npost-hoc:\n%s",
+			stream.String(), post.String())
+	}
+}
+
 func TestSetRingCapacityAfterEmitPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

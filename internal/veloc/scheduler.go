@@ -98,6 +98,20 @@ func (c *Client) scheduleFlush(name string, version, simSize int, now float64) e
 			reg.Counter(obs.MFlushDiscarded).Inc()
 			reg.Gauge(obs.MFlushQueueDepth).Set(float64(depth))
 		}
+		req.OnReorder = func(at, committedStart float64, committedVersion int) {
+			// Deep virtual-time skew between co-resident ranks: a
+			// virtually-later observer committed the older version at
+			// committedStart before this virtually-earlier superseding
+			// submission arrived, so the superseded bytes reached the PFS
+			// instead of being coalesced. The commit stands (PFS writes are
+			// final, and the newer version flushes right behind it); the
+			// event makes the missed coalesce auditable under storm replays.
+			rec.Emit(at, rank, obs.LayerCluster, obs.EvFlushReorder,
+				obs.KV("name", name), obs.KV("version", version),
+				obs.KV("committed_version", committedVersion),
+				obs.KV("committed_start", committedStart))
+			reg.Counter(obs.MFlushReorders).Inc()
+		}
 	}
 	_, _, coalesced, err := node.FlushSubmit(req, now)
 	if err != nil {

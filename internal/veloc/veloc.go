@@ -486,7 +486,12 @@ func (c *Client) LatestVersion(name string) (int, error) {
 	if ok {
 		v = local
 	}
+	// Recovery-infrastructure collective: it runs on recovery paths the
+	// application's failure-free execution never takes, so it must stay out
+	// of the message log's lineage cursor space.
+	c.p.LogExemptBegin()
 	global, err := c.comm.AllreduceInt(c.p, v, mpi.OpMin)
+	c.p.LogExemptEnd()
 	if err != nil {
 		return 0, err
 	}
@@ -504,7 +509,12 @@ func (c *Client) BestCommonVersion(name string, comm *mpi.Comm) (int, error) {
 	if local, ok := c.localLatest(name); ok {
 		v = local
 	}
+	// Exempt from message logging: this reduction runs once per (re-)entry
+	// including generation 0, but never during a localized replacement's
+	// forward re-execution, so logging it would skew the lineage cursors.
+	c.p.LogExemptBegin()
 	global, err := comm.AllreduceInt(c.p, v, mpi.OpMin)
+	c.p.LogExemptEnd()
 	if err != nil {
 		return 0, err
 	}

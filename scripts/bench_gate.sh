@@ -13,21 +13,25 @@
 #      exists as the executable spec), so its throughput is a pure
 #      machine-speed probe; normalizing by it turns the absolute baseline
 #      into a relative regression gate that works on slower CI hosts.
-#   3. pool/goroutine speedup >= 1.05x at 4096 ranks — the worker-pool
-#      execution mode must stay a strict win at the width it exists for.
-#      The floor is the single-core ratio with margin: on one core the
-#      pool saves run-queue churn and allocations but still pays a
-#      park/resume handoff per blocking point, which bounds the ratio at
-#      ~1.2x (PERFORMANCE.md has the scaling story; the design-target
-#      ratio on multicore hosts is >= 3x, which this gate deliberately
-#      does not assume so single-core CI stays meaningful).
+#   3. pool/goroutine speedup at 4096 ranks — the worker-pool execution
+#      mode must stay a strict win at the width it exists for. The floor
+#      is GOMAXPROCS-aware: on a single core the measured story bounds
+#      the ratio near ~1.2x (the pool saves run-queue churn and
+#      allocations but still pays a park/resume handoff per blocking
+#      point), so the floor is 1.05x with margin. On multicore hosts the
+#      single-core bound does not transfer — the design-target ratio is
+#      >= 3x but unmeasured on the reference machine (PERFORMANCE.md) —
+#      so the gate only asserts no regression (floor 1.0x) rather than
+#      applying the single-core number verbatim.
 #   4. pool events/sec at 4096 ranks >= 80% of its machine-normalized
 #      baseline — same construction as bound 2.
 #
 # Besides the raw `go test -bench` text, the gate emits a machine-readable
-# bench-throughput.json (one record per cell: events/sec, ns/rank-step,
-# allocs/op, best of -count runs) and prints a baseline-vs-current delta
-# table, so CI artifacts carry the trend without re-parsing bench text.
+# bench-throughput.json ({"gomaxprocs": N, "cells": [...]}: one record per
+# cell with events/sec, ns/rank-step, allocs/op, best of -count runs; the
+# core count records which pool-gate floor applied) and prints a
+# baseline-vs-current delta table, so CI artifacts carry the trend without
+# re-parsing bench text.
 #
 # Usage: scripts/bench_gate.sh [output-file] [json-file]
 #   output-file: where to tee the raw `go test -bench` output (default
@@ -41,10 +45,15 @@ out=${1:-bench-throughput.txt}
 json=${2:-bench-throughput.json}
 baseline=scripts/bench_baseline.txt
 
+# The effective parallelism the benchmarks ran with: GOMAXPROCS if the
+# caller pinned it, otherwise the host's online core count. Picks the
+# pool-gate floor and is recorded in the JSON artifact.
+cores=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}
+
 go test -run '^$' -bench 'BenchmarkSimThroughput(Pool|Flat)?$/ranks=(256|1024|4096)' \
     -benchtime=1s -count=3 ./internal/mpi/ | tee "$out"
 
-awk -v jsonfile="$json" '
+awk -v jsonfile="$json" -v cores="$cores" '
 # Pass 1: the baseline file (key events/sec).
 FNR == NR {
     if ($0 !~ /^#/ && NF >= 2) base[$1] = $2
@@ -73,14 +82,16 @@ FNR == NR {
     if (als[cell] == "" || al + 0 < als[cell] + 0) als[cell] = al
 }
 END {
-    # Machine-readable per-cell records for the CI trend artifact.
-    printf "[" > jsonfile
+    # Machine-readable per-cell records for the CI trend artifact. The
+    # gomaxprocs field records which pool-gate floor applied, so trend
+    # consumers can separate single-core and multicore runs.
+    printf "{\"gomaxprocs\": %d,\n \"cells\": [", cores > jsonfile
     for (i = 1; i <= ncells; i++) {
         c = order[i]
         printf "%s\n  {\"cell\": \"%s\", \"engine\": \"%s\", \"exec\": \"%s\", \"ranks\": %d, \"events_per_sec\": %.0f, \"ns_per_rank_step\": %.1f, \"allocs_per_op\": %d}", \
             (i > 1 ? "," : ""), c, engine[c], exec[c], rank[c], evs[c], nss[c], als[c] >> jsonfile
     }
-    printf "\n]\n" >> jsonfile
+    printf "\n]}\n" >> jsonfile
 
     if (evs["tree256"] + 0 == 0 || evs["flat256"] + 0 == 0 || \
         evs["tree4096"] + 0 == 0 || evs["pool4096"] + 0 == 0) {
@@ -113,10 +124,17 @@ END {
             evs["tree256"], base["tree256"] * scale
         fail = 1
     }
+    # The single-core measured story bounds the ratio near ~1.2x, so on
+    # one core 1.05x is a meaningful floor with margin. On multicore the
+    # modes scale differently (goroutine mode also overlaps ranks), so
+    # the single-core number is not applied verbatim: the gate only
+    # requires the pool not to regress below goroutine mode.
+    pfloor = (cores + 0 <= 1) ? 1.05 : 1.0
     pratio = evs["pool4096"] / evs["tree4096"]
-    printf "bench_gate: pool/goroutine speedup at 4096 ranks %.2fx (floor 1.05x)\n", pratio
-    if (pratio < 1.05) {
-        printf "bench_gate: FAIL pool/goroutine speedup %.2fx below the 1.05x floor\n", pratio
+    printf "bench_gate: pool/goroutine speedup at 4096 ranks %.2fx (floor %.2fx, GOMAXPROCS=%d)\n", \
+        pratio, pfloor, cores
+    if (pratio < pfloor) {
+        printf "bench_gate: FAIL pool/goroutine speedup %.2fx below the %.2fx floor\n", pratio, pfloor
         fail = 1
     }
     if (evs["pool4096"] < 0.8 * base["pool4096"] * scale) {

@@ -61,7 +61,9 @@ run_nightly() {
     # The full-depth tier: scale cells too slow for the per-commit loop.
     # CHAOS_NIGHTLY=1 un-gates TestScale8192HeatdisReplay — the worker-pool
     # O(10k) acceptance cell (8192 ranks, mid-run kill, byte-identical
-    # replay pair).
+    # replay pair) — and TestScale1024LocalizedStormReplay, the 1024-rank
+    # localized-recovery storm (three kills absorbed by the spare + rehost
+    # reserve under ExecPool, replay ledger byte-identical across replays).
     banner "nightly: O(10k) scale cells (CHAOS_NIGHTLY=1)"
     CHAOS_NIGHTLY=1 go test -run 'TestScale' -count=1 -timeout 55m ./internal/chaos/
 }
@@ -140,6 +142,13 @@ run_chaos() {
     #   seed 19 storm-wave cell (minimd): the allreduce-synchronized
     #           flush-storm cell that caught the arrival-order PFS
     #           congestion leak; its flush ledger must replay exactly
+    #   seed 14 localized cell (heatdis): single kill under the
+    #           message-logging strategy — the replacement's replay
+    #           ledger must replay exactly, and the pool exec mode must
+    #           produce a bitwise-identical report (cross-exec pin)
+    #   seed 31 localized-shrink cell (minimd): three kills absorbed by
+    #           one spare plus the two-rank rehost reserve, so the log
+    #           stays live and recovery stays localized throughout
     banner "chaos: $CHAOS_SEEDS-seed campaign under -race"
     go run -race ./cmd/chaos -seeds "$CHAOS_SEEDS" -json "$tmp/campaign.json"
     grep -q '"violated": 0' "$tmp/campaign.json"
@@ -173,6 +182,26 @@ run_chaos() {
     grep -q '"mpi_shrinks": 3' "$tmp/stormrun2.json"
     grep -q '"flushes_queued": 175' "$tmp/stormrun2.json"
     grep -q '"flushes_started": 175' "$tmp/stormrun2.json"
+
+    banner "chaos: seed 14 replay (localized, heatdis; goroutine vs pool)"
+    go run ./cmd/chaos -seed 14 -json "$tmp/loc.json"
+    grep -q '"failures_repaired": 1' "$tmp/loc.json"
+    grep -q '"msgs_logged": 168' "$tmp/loc.json"
+    grep -q '"msgs_replayed": 19' "$tmp/loc.json"
+    grep -q '"msgs_trimmed": 161' "$tmp/loc.json"
+    # Exec scheduling must not change the virtual outcome: the pool-mode
+    # report is bitwise identical apart from the echoed -exec override.
+    go run ./cmd/chaos -seed 14 -exec pool -json "$tmp/loc-pool.json"
+    grep -v '"exec"' "$tmp/loc-pool.json" | cmp - "$tmp/loc.json"
+
+    banner "chaos: seed 31 replay (localized-shrink, minimd rehost reserve)"
+    go run ./cmd/chaos -seed 31 -json "$tmp/loc-shrink.json"
+    grep -q '"failures_repaired": 3' "$tmp/loc-shrink.json"
+    grep -q '"rehosts": 2' "$tmp/loc-shrink.json"
+    grep -q '"msgs_replayed": 42' "$tmp/loc-shrink.json"
+    # Reserve substitutions kept the communicator uncompacted.
+    grep -q '"shrunk": 0' "$tmp/loc-shrink.json"
+    grep -q '"final_size": 4' "$tmp/loc-shrink.json"
 
     # The O(1k)-rank smoke cell: the storm-wave family at CHAOS_SCALE=1024.
     # Multi-wave spare exhaustion, shrink repairs, and a 1024-rank flush
